@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report calibrate sweep clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro --preset medium report
+
+calibrate:
+	$(PYTHON) scripts/calibrate.py medium
+
+sweep:
+	$(PYTHON) scripts/seed_sweep.py 5 small
+
+clean:
+	rm -rf build *.egg-info .pytest_cache .hypothesis benchmarks/output
+	find . -name __pycache__ -type d -exec rm -rf {} +

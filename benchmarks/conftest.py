@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+The benchmarks regenerate every paper table and figure against the
+*medium* world (large enough for well-resolved distributions).  The
+study is built once per session; each benchmark times the regeneration
+of its artifact and writes the rendered rows to
+``benchmarks/output/<artifact>.txt`` so the run leaves the same rows the
+paper reports as evidence.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import Study, WorldConfig
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def pytest_configure(config):
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """The shared medium-scale study with every stage precomputed."""
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "20180825"))
+    instance = Study(WorldConfig.medium(seed=seed))
+    instance.run_all()
+    return instance
+
+
+@pytest.fixture()
+def save_artifact():
+    """Writer for the rendered artifact text."""
+
+    def write(artifact_id: str, text: str) -> None:
+        (OUTPUT_DIR / f"{artifact_id}.txt").write_text(text + "\n")
+
+    return write

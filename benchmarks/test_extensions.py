@@ -1,0 +1,60 @@
+"""Benchmarks for the paper's future-work extensions implemented here:
+the inter-tracker collaboration graph and the multi-regulation monitor."""
+
+from repro.core.collaboration import CollaborationAnalyzer
+from repro.core.regulations import RegulationMonitor
+
+
+def test_collaboration_graph(benchmark, study, save_artifact):
+    def build():
+        analyzer = CollaborationAnalyzer(
+            study.classification, study.geolocation.reference
+        )
+        return analyzer, analyzer.summary()
+
+    analyzer, summary = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{key}: {value:.2f}" for key, value in sorted(summary.items())]
+    lines.append("top hand-off edges:")
+    for source, target, weight in analyzer.top_collaborations(8):
+        lines.append(f"  {source} -> {target}: {weight:,}")
+    lines.append("top identifier sinks (in-degree):")
+    for domain, degree in analyzer.hubs(8):
+        lines.append(f"  {domain}: {degree} partners")
+    save_artifact("collaboration_graph", "\n".join(lines))
+
+    # Cookie syncing binds the ecosystem into one dominant component...
+    assert summary["giant_component_share"] > 0.6
+    # ...and a substantial share of identifier hand-offs cross borders —
+    # the data-exchange dimension the endpoint analysis cannot see.
+    assert summary["cross_border_share_pct"] > 25.0
+    assert summary["hand_offs"] > 10_000
+
+
+def test_regulation_monitor(benchmark, study, save_artifact):
+    monitor = RegulationMonitor(
+        study.geolocation.reference,
+        sensitive=study.sensitive,
+        registry=study.world.registry,
+    )
+    tracking = study.tracking_requests()
+
+    reports = benchmark.pedantic(
+        monitor.evaluate_all, args=(tracking,), rounds=1, iterations=1
+    )
+    lines = []
+    for name, report in sorted(reports.items()):
+        lines.append(
+            f"{name}: in-scope={report.in_scope_flows:,} "
+            f"confined={report.confinement_pct:.1f}% "
+            f"investigable={report.investigable}"
+        )
+    save_artifact("regulation_monitor", "\n".join(lines))
+
+    gdpr = reports["GDPR"]
+    national = reports["BDSG (DE national scope)"]
+    assert gdpr.confinement_pct > 75.0
+    assert gdpr.investigable
+    # The paper's Sect. 2.1 point: national scopes reach far less.
+    assert national.confinement_pct < gdpr.confinement_pct
+    health = reports["Health-records (EU28)"]
+    assert health.in_scope_flows < gdpr.in_scope_flows

@@ -1,0 +1,31 @@
+"""Figure 10 — destination continents per sensitive category."""
+
+
+from repro.analysis.figures import figure10
+from repro.geodata.regions import Region
+
+
+def test_f10_sensitive_continents(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure10, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure10", artifact["text"])
+    per_category = artifact["per_category"]
+    assert per_category
+
+    eu = Region.EU28.value
+    # Paper: sensitive flows mirror the aggregate — mostly confined to
+    # EU28 (84.9%) with N. America the main leak.
+    weighted_eu = [shares.get(eu, 0.0) for shares in per_category.values()]
+    assert sum(weighted_eu) / len(weighted_eu) > 60.0
+
+    # Paper: the porn category leaks far more than the rest (44% out of
+    # EU28) because adult ad networks are US-served.
+    if "porn" in per_category:
+        porn_leak = 100.0 - per_category["porn"].get(eu, 0.0)
+        other_leaks = [
+            100.0 - shares.get(eu, 0.0)
+            for category, shares in per_category.items()
+            if category != "porn"
+        ]
+        assert porn_leak > sum(other_leaks) / len(other_leaks)

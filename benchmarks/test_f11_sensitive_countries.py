@@ -1,0 +1,29 @@
+"""Figure 11 — per-country leakage of sensitive tracking flows."""
+
+from repro.analysis.figures import figure11
+
+
+def test_f11_sensitive_countries(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure11, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure11", artifact["text"])
+    leakage = artifact["leakage"]
+    assert leakage
+
+    # Every (leaked, total) pair is consistent.
+    for leaked, total in leakage.values():
+        assert 0 <= leaked <= total
+
+    # Paper: small/IT-sparse countries (CY, GR, DK, RO) leak nearly all
+    # their sensitive flows; IT-dense countries retain a visible share.
+    def leak_pct(country):
+        leaked, total = leakage.get(country, (0, 0))
+        return 100.0 * leaked / total if total else None
+
+    small = [p for p in (leak_pct("CY"), leak_pct("PL")) if p is not None]
+    big = [p for p in (leak_pct("DE"), leak_pct("GB"), leak_pct("ES"))
+           if p is not None]
+    assert small and big
+    assert min(small) > 85.0
+    assert min(big) < min(small)

@@ -1,0 +1,34 @@
+"""Figure 12 — top destination countries per ISP (April 4 snapshot)."""
+
+from repro.analysis.figures import figure12
+
+
+def test_f12_isp_destinations(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure12, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure12", artifact["text"])
+    reports = artifact["reports"]
+
+    # Paper 12(a)/(b): German subscribers' flows are dominated by German
+    # servers (69.0% / 67.3%).
+    for name in ("DE-Broadband", "DE-Mobile"):
+        top = reports[name].top_destinations(5)
+        assert top[0][0] == "Germany"
+        assert top[0][1] > 45.0
+
+    # Paper 12(c): Poland keeps almost nothing at home — the Netherlands
+    # leads, with the US and Germany next.
+    pl = reports["PL"]
+    pl_top = dict(pl.top_destinations(5))
+    assert pl_top.get("Poland", 0.0) < 6.0
+    assert "Netherlands" in pl_top
+    leaders = [c for c, _ in pl.top_destinations(3)]
+    assert "Netherlands" in leaders
+    assert pl_top["Netherlands"] > pl_top.get("Germany", 0.0) - 3.0
+
+    # Paper 12(d): Austria (Vienna) is Hungary's dominant sink (62.3%).
+    hu = reports["HU"]
+    hu_top = hu.top_destinations(3)
+    assert hu_top[0][0] == "Austria"
+    assert hu_top[0][1] > 30.0

@@ -1,0 +1,35 @@
+"""Figure 6 — flows between continents (the global Sankey)."""
+
+
+from repro.analysis.figures import figure6
+from repro.geodata.regions import Region
+
+
+def test_f6_continent_sankey(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure6, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure6", artifact["text"])
+    sankey = artifact["sankey"]
+    eu = Region.EU28.value
+    na = Region.NORTH_AMERICA.value
+    sa = Region.SOUTH_AMERICA.value
+
+    # Paper: EU28 flows overwhelmingly stay in EU28…
+    assert sankey.confinement(eu) > 75.0
+    # …while South American flows leak mostly to North America.
+    sa_shares = sankey.origin_shares(sa)
+    assert sa_shares.get(na, 0.0) > 55.0
+    assert sa_shares.get(sa, 0.0) < 25.0
+
+    # Paper: EU28 and N. America host most tracking backends
+    # (51.65% + 40.87% of all terminations).
+    destinations = artifact["destination_shares"]
+    assert destinations[eu] + destinations[na] > 80.0
+    assert destinations[eu] > destinations.get(Region.ASIA.value, 0.0)
+
+    # Per-origin-region confinement/user counts are reported like the
+    # paper's inline listing.
+    per_region = artifact["per_region_confinement"]
+    assert per_region[eu][1] == 183  # EU28 panel users
+    assert sum(users for _, users in per_region.values()) == 350

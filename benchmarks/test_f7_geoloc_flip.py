@@ -1,0 +1,27 @@
+"""Figure 7 — the geolocation flip: MaxMind vs RIPE IPmap for EU28."""
+
+from repro.analysis.figures import figure7
+from repro.geodata.regions import Region
+
+
+def test_f7_geoloc_flip(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure7, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure7", artifact["text"])
+    maxmind = artifact["maxmind"]
+    ipmap = artifact["ipmap"]
+    eu = Region.EU28.value
+    na = Region.NORTH_AMERICA.value
+
+    # Paper 7(b): under active geolocation ~85% of EU28 flows terminate
+    # inside EU28 and ~11% in North America.
+    assert 78.0 < ipmap[eu] < 95.0
+    assert 3.0 < ipmap.get(na, 0.0) < 18.0
+
+    # Paper 7(a): the commercial database flips the takeaway —
+    # N. America appears dominant (65.94%) and EU28 minor (33.16%).
+    assert maxmind.get(na, 0.0) > 50.0
+    assert 20.0 < maxmind[eu] < 48.0
+    assert maxmind[eu] < ipmap[eu] - 30.0
+    assert maxmind[na] > ipmap[na] + 30.0

@@ -1,0 +1,28 @@
+"""Figure 8 — country-level flows for EU28 origins."""
+
+from repro.analysis.figures import figure8
+
+
+def test_f8_country_sankey(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure8, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure8", artifact["text"])
+    national = artifact["national_confinement"]
+
+    # Paper: large/IT-dense countries keep far more tracking at home
+    # (UK 58.4%, ES 33.1%) than small ones (GR 6.77%, RO 5.1%, CY 1.16%).
+    for big in ("GB", "DE", "ES"):
+        assert national[big] > 20.0
+    for small in ("CY", "PL"):
+        assert national.get(small, 0.0) < 8.0
+    assert national["GB"] > national.get("GR", 0.0)
+    assert national["ES"] > national.get("CY", 0.0)
+
+    # Destinations skew to IT-dense countries: NL/DE/IE/FR/GB absorb a
+    # disproportionate share of the cross-border flows.
+    sankey = artifact["sankey"]
+    hub_total = sum(
+        sankey.destination_total(hub) for hub in ("NL", "DE", "IE", "FR", "GB")
+    )
+    assert hub_total / sankey.total > 0.3

@@ -1,0 +1,22 @@
+"""Figure 9 — sensitive-category shares of tracking flows."""
+
+from repro.analysis.figures import figure9
+
+
+def test_f9_sensitive_categories(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        figure9, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("figure9", artifact["text"])
+    # Paper: sensitive flows are ~2.89% of tracking flows over 1,067
+    # identified domains across 12 categories.
+    assert 1.0 < artifact["sensitive_share_pct"] < 7.0
+    assert artifact["n_sensitive_domains"] > 20
+    shares = artifact["category_shares"]
+    assert shares
+    ranked = sorted(shares.items(), key=lambda kv: -kv[1])
+    # Health and gambling lead the distribution (38% and 22%).
+    assert ranked[0][0] in ("health", "gambling")
+    top3 = {category for category, _ in ranked[:4]}
+    assert "health" in top3
+    assert "gambling" in top3

@@ -1,0 +1,71 @@
+"""End-to-end benchmarks: world construction, panel simulation,
+classification throughput, geolocation throughput, and the full
+paper-vs-measured report."""
+
+
+from repro import Study, WorldConfig
+from repro.analysis.report import paper_vs_measured
+from repro.core.classify import RequestClassifier
+from repro.datasets.builder import build_world
+
+
+def test_world_build_small(benchmark):
+    """Cost of constructing a complete (small) world from one seed."""
+    world = benchmark.pedantic(
+        build_world, args=(WorldConfig.small(seed=123),),
+        rounds=1, iterations=1,
+    )
+    assert world.fleet.servers()
+
+
+def test_panel_simulation_small(benchmark):
+    """Cost of simulating the full browser-extension panel."""
+    study = Study(WorldConfig.small(seed=321))
+
+    def run():
+        return study.visit_log
+
+    log = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert log.third_party_requests() > 0
+
+
+def test_classification_throughput(benchmark, study):
+    """Requests/second of the three-stage classifier (medium log)."""
+    classifier = RequestClassifier(
+        study.world.easylist, study.world.easyprivacy
+    )
+    requests = study.visit_log.requests
+
+    result = benchmark.pedantic(
+        classifier.classify, args=(requests,), rounds=1, iterations=1
+    )
+    assert result.n_tracking() > 0
+
+
+def test_geolocation_throughput(benchmark, study):
+    """Active-measurement campaigns per second (fresh engine, 150 IPs)."""
+    from repro.geoloc.ipmap import IPmapEngine
+
+    engine = IPmapEngine(
+        mesh=study.world.probes,
+        oracle=study.world.oracle,
+        registry=study.world.registry,
+        config=study.config.geolocation,
+        streams=study.world.streams.spawn("bench-ipmap"),
+    )
+    addresses = study.inventory.addresses()[:150]
+
+    def run():
+        return [engine.geolocate(a) for a in addresses]
+
+    estimates = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(estimates) == len(addresses)
+
+
+def test_paper_vs_measured_report(benchmark, study, save_artifact):
+    """The consolidated paper-vs-measured block (EXPERIMENTS.md input)."""
+    block = benchmark.pedantic(
+        paper_vs_measured, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("paper_vs_measured", block)
+    assert "f7_ipmap_eu28_pct" in block

@@ -1,0 +1,29 @@
+"""Benchmark: how fast a GDPR-friendly DNS redirection would take effect
+across the tracking FQDN population (Sect. 5.1's TTL argument)."""
+
+from repro.dnssim.cache import propagation_profile
+
+
+def test_redirection_propagation(benchmark, study, save_artifact):
+    services = [
+        deployed.service
+        for deployed in study.world.fleet.tracking_fqdns()
+    ]
+
+    profile = benchmark.pedantic(
+        propagation_profile, args=(services,), rounds=1, iterations=1
+    )
+    lines = [
+        f"after {int(deadline):>6}s: {share:6.1%} of clients redirected"
+        for deadline, share in profile
+    ]
+    save_artifact("redirection_propagation", "\n".join(lines))
+
+    shares = dict(profile)
+    # Paper: "DNS redirection can take place in relatively small time
+    # scale, from seconds to a few hours."
+    assert shares[300] > 0.03          # some clients within five minutes
+    assert shares[7200] > 0.85         # nearly everyone within two hours
+    assert shares[86400] == 1.0        # complete within a day
+    values = [share for _, share in profile]
+    assert values == sorted(values)

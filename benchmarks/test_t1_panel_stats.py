@@ -1,0 +1,21 @@
+"""Table 1 — the real-users dataset statistics."""
+
+from repro.analysis.tables import table1
+
+
+def test_t1_panel_stats(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table1, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table1", artifact["text"])
+    # Paper: 350 users, 5,693 1st-party domains, 76,507 visits, 19,298
+    # 3rd-party domains, 7.17M 3rd-party requests (we run a scaled world;
+    # the structure, not the absolute counts, must match).
+    assert artifact["users"] == 350
+    assert artifact["first_party_domains"] < artifact["first_party_requests"]
+    assert artifact["third_party_domains"] < artifact["third_party_requests"]
+    # Third-party requests dominate first-party page loads by >10x.
+    assert (
+        artifact["third_party_requests"]
+        > 10 * artifact["first_party_requests"]
+    )

@@ -1,0 +1,22 @@
+"""Table 3 — pairwise agreement across geolocation tools."""
+
+from repro.analysis.tables import table3
+
+
+def test_t3_geoloc_agreement(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table3, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table3", artifact["text"])
+    matrix = artifact["matrix"]
+    commercial = matrix[("ip-api", "MaxMind")]
+    vs_ipmap = matrix[("MaxMind", "RIPE IPmap")]
+    # Paper: commercial tools agree with each other (96%/99%) but only
+    # about half agree with the active-measurement reference (53%/65%).
+    assert commercial.country_pct > 90.0
+    assert commercial.region_pct > 93.0
+    assert vs_ipmap.country_pct < commercial.country_pct - 25.0
+    assert 25.0 < vs_ipmap.country_pct < 75.0
+    assert vs_ipmap.region_pct > vs_ipmap.country_pct
+    # Diagonal sanity.
+    assert matrix[("RIPE IPmap", "RIPE IPmap")].country_pct == 100.0

@@ -1,0 +1,20 @@
+"""Table 4 — commercial mis-geolocation for the top ad providers."""
+
+from repro.analysis.tables import table4
+
+
+def test_t4_maxmind_errors(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table4, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table4", artifact["text"])
+    rows = artifact["rows"]
+    assert len(rows) == 3
+    # Paper: 45-59% of the major providers' IPs land in the wrong
+    # country under the commercial database.
+    for row in rows:
+        assert row.n_ips > 0
+        assert row.wrong_country_ip_pct > 25.0
+        assert row.wrong_country_ip_pct >= row.wrong_region_ip_pct
+    # At least one hyperscaler-class provider is badly mis-geolocated.
+    assert max(row.wrong_country_ip_pct for row in rows) > 45.0

@@ -1,0 +1,30 @@
+"""Table 5 — localization improvements under the what-if scenarios."""
+
+from repro.analysis.tables import table5
+from repro.core.localization import LocalizationScenario
+
+
+def test_t5_localization(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table5, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table5", artifact["text"])
+    outcomes = {o.scenario: o for o in artifact["outcomes"]}
+    default = outcomes[LocalizationScenario.DEFAULT]
+    fqdn = outcomes[LocalizationScenario.REDIRECT_FQDN]
+    tld = outcomes[LocalizationScenario.REDIRECT_TLD]
+    mirror = outcomes[LocalizationScenario.POP_MIRRORING]
+    combined = outcomes[LocalizationScenario.REDIRECT_TLD_PLUS_MIRRORING]
+
+    # Paper row 1: Default 27.60% / 88.00%.
+    assert 20.0 < default.country_pct < 40.0
+    assert 80.0 < default.region_pct < 95.0
+    # Paper's ordering: FQDN < TLD redirection; mirroring helps the
+    # region more than the country; combined dominates everything.
+    assert fqdn.country_pct > default.country_pct + 5.0
+    assert tld.country_pct > fqdn.country_pct
+    assert mirror.region_pct > default.region_pct
+    assert combined.country_pct >= tld.country_pct
+    assert combined.region_pct >= mirror.region_pct
+    # Paper: TLD redirection nearly seals the GDPR region (98.33%).
+    assert tld.region_pct > 93.0

@@ -1,0 +1,17 @@
+"""Table 7 — the four ISP profiles."""
+
+from repro.analysis.tables import table7
+
+
+def test_t7_isp_profiles(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table7, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table7", artifact["text"])
+    isps = {isp.name: isp for isp in artifact["isps"]}
+    assert set(isps) == {"DE-Broadband", "DE-Mobile", "PL", "HU"}
+    assert isps["DE-Broadband"].subscribers_m >= 15
+    assert isps["DE-Mobile"].subscribers_m >= 40
+    assert isps["PL"].subscribers_m >= 11
+    assert isps["HU"].subscribers_m >= 6
+    assert isps["DE-Mobile"].is_mobile and isps["HU"].is_mobile

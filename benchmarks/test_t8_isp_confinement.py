@@ -1,0 +1,39 @@
+"""Table 8 — sampled tracking-flow statistics across the four ISPs and
+the four snapshot days."""
+
+from repro.analysis.tables import table8
+
+
+def test_t8_isp_confinement(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table8, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table8", artifact["text"])
+    reports = artifact["reports"]
+    assert len(reports) == 16  # 4 ISPs x 4 days
+
+    # Paper: EU28 confinement 74.7-93.1% across all cells; N. America is
+    # the dominant leak; Asia / rest-world are ~1%.
+    for (isp, snapshot), report in reports.items():
+        eu = report.region_shares["EU 28"]
+        assert 60.0 < eu < 99.0, (isp, snapshot, eu)
+        assert report.region_shares["Asia"] < 5.0
+        assert report.sampled_tracking_flows > 0
+        assert report.estimated_tracking_flows > report.sampled_tracking_flows
+
+    # Paper: Poland is the least-confined ISP within EU28.
+    for snapshot in ("Nov 8", "April 4"):
+        pl = reports[("PL", snapshot)].region_shares["EU 28"]
+        others = [
+            reports[(isp, snapshot)].region_shares["EU 28"]
+            for isp in ("DE-Broadband", "DE-Mobile", "HU")
+        ]
+        assert pl < min(others) + 3.0
+
+    # Confinement is stable across the GDPR implementation date.
+    for isp in ("DE-Broadband", "DE-Mobile", "PL", "HU"):
+        values = [
+            reports[(isp, snap)].region_shares["EU 28"]
+            for snap in ("Nov 8", "April 4", "May 16", "June 20")
+        ]
+        assert max(values) - min(values) < 12.0

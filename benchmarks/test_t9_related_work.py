@@ -1,0 +1,14 @@
+"""Table 9 — the methodology feature axes."""
+
+from repro.analysis.tables import table9
+
+
+def test_t9_related_work(benchmark, study, save_artifact):
+    artifact = benchmark.pedantic(
+        table9, args=(study,), rounds=1, iterations=1
+    )
+    save_artifact("table9", artifact["text"])
+    axes = dict(artifact["axes"])
+    assert len(axes) == 7
+    assert "HTTPS" in axes["Traffic type"]
+    assert "RIPE IPmap" in axes["Infrastructure geolocation"]

@@ -1,0 +1,36 @@
+"""Benchmark for the temporal-variation analysis (the paper's
+four-month continuous-monitoring angle)."""
+
+from repro.analysis.temporal import (
+    confinement_trend,
+    discovery_saturation_day,
+    trend_stability,
+)
+
+
+def test_temporal_trends(benchmark, study, save_artifact):
+    tracking = study.tracking_requests()
+    locate = study.geolocation.reference
+
+    points = benchmark.pedantic(
+        confinement_trend,
+        args=(tracking, locate),
+        kwargs={"bucket_days": 30.0},
+        rounds=1,
+        iterations=1,
+    )
+    saturation = discovery_saturation_day(study.inventory, coverage=0.9)
+    lines = [
+        f"{point.label}: EU28 confinement {point.confinement_pct:.2f}% "
+        f"({point.n_flows:,} flows)"
+        for point in points
+    ]
+    lines.append(f"stability (max-min): {trend_stability(points):.2f} points")
+    lines.append(f"90% of tracker IPs known by day: {saturation}")
+    save_artifact("temporal_trends", "\n".join(lines))
+
+    # Paper: confinement is high and stable throughout the window.
+    assert len(points) >= 3
+    assert all(point.confinement_pct > 75.0 for point in points)
+    assert trend_stability(points) < 10.0
+    assert saturation is not None

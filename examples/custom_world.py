@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Build a customized world: a counterfactual ecosystem experiment.
+
+Usage::
+
+    python examples/custom_world.py [seed]
+
+The configuration system makes "what if the ecosystem were different?"
+experiments one dataclass away.  Here we compare the default world
+against a counterfactual where the RTB middle tier has been consolidated
+into the hyperscalers (fewer DSPs/DMPs/long-tail trackers) and ask how
+the paper's headline numbers move.
+"""
+
+import dataclasses
+import sys
+
+from repro import Study, WorldConfig
+from repro.geodata.regions import Region
+
+
+def headline(study: Study) -> dict:
+    shares = study.eu28_destination_regions("RIPE IPmap")
+    classification = study.classification
+    abp = classification.list_stats().total_requests
+    semi = classification.semi_automatic_stats().total_requests
+    return {
+        "eu28_confinement": shares.get(Region.EU28.value, 0.0),
+        "na_leakage": shares.get(Region.NORTH_AMERICA.value, 0.0),
+        "semi_over_abp": semi / abp if abp else 0.0,
+        "tracker_ips": len(study.inventory),
+    }
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    base_config = WorldConfig.small(seed=seed)
+
+    consolidated_ecosystem = dataclasses.replace(
+        base_config.ecosystem,
+        n_dsps=2,
+        n_dmps=2,
+        n_eu_trackers=4,
+        n_us_trackers=2,
+        n_analytics=3,
+    )
+    consolidated_config = dataclasses.replace(
+        base_config, ecosystem=consolidated_ecosystem
+    )
+
+    print("Running the baseline world…")
+    baseline = headline(Study(base_config))
+    print("Running the consolidated (hyperscaler-dominated) world…")
+    consolidated = headline(Study(consolidated_config))
+
+    print("\nmetric                     baseline   consolidated")
+    for key in baseline:
+        print(f"{key:<26} {baseline[key]:>9.2f}   {consolidated[key]:>9.2f}")
+
+    print(
+        "\nReading: consolidation shrinks the list-invisible middle tier, "
+        "so the semi-automatic classifier finds less (lower semi/abp), "
+        "while confinement shifts with the hyperscalers' dense EU "
+        "footprint."
+    )
+
+
+if __name__ == "__main__":
+    main()

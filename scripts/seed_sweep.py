@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Cross-seed robustness sweep.
+
+Usage::
+
+    python scripts/seed_sweep.py [n_seeds] [preset]
+
+Rebuilds the world under ``n_seeds`` different seeds (default 5, preset
+``small``) and reports mean / min / max for every headline metric — the
+check that the calibrated shape is a property of the model, not of one
+lucky seed.
+"""
+
+import statistics
+import sys
+
+from repro import Study, WorldConfig
+from repro.analysis.report import PAPER_VALUES, experiment_summary
+
+PRESETS = {
+    "small": WorldConfig.small,
+    "medium": WorldConfig.medium,
+}
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    preset = sys.argv[2] if len(sys.argv) > 2 else "small"
+    factory = PRESETS[preset]
+
+    runs = []
+    for index in range(n_seeds):
+        seed = 1000 + index
+        print(f"running seed {seed} ({index + 1}/{n_seeds})…")
+        runs.append(experiment_summary(Study(factory(seed=seed))))
+
+    print(
+        f"\n{'metric':<42} {'paper':>8} {'mean':>8} {'min':>8} {'max':>8}"
+    )
+    for key in sorted(PAPER_VALUES):
+        values = [run[key] for run in runs]
+        print(
+            f"{key:<42} {PAPER_VALUES[key]:>8.2f} "
+            f"{statistics.mean(values):>8.2f} {min(values):>8.2f} "
+            f"{max(values):>8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

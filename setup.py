@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described in pyproject.toml; this file only enables
+legacy (`--no-use-pep517`) editable installs in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

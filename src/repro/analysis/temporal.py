@@ -1,0 +1,154 @@
+"""Temporal analysis of the panel window (Sect. 1, 3.1, 7.3).
+
+The paper stresses that the methodology "monitor[s] the tracking
+ecosystem continuously for a time period of more than four months
+capturing any possible temporal variations", and Sect. 7.3 checks that
+confinement "has not changed dramatically" across the GDPR
+implementation date.  This module provides those time-series views over
+the panel log and the tracker-IP inventory:
+
+* per-bucket confinement trends (the panel-side analogue of Table 8's
+  four snapshots),
+* the tracker-IP discovery curve (how fast the IP list saturates — the
+  operational question behind the paper's "continuously monitor"
+  proposal).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.confinement import ConfinementAnalyzer, Locator
+from repro.core.tracker_ips import TrackerIPInventory
+from repro.geodata.countries import CountryRegistry, default_registry
+from repro.geodata.regions import Region, region_of_country
+from repro.web.requests import ThirdPartyRequest
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One time bucket of the confinement trend."""
+
+    bucket_start_day: float
+    bucket_end_day: float
+    n_flows: int
+    confinement_pct: float
+
+    @property
+    def label(self) -> str:
+        return f"day {self.bucket_start_day:.0f}-{self.bucket_end_day:.0f}"
+
+
+def confinement_trend(
+    tracking_requests: Sequence[ThirdPartyRequest],
+    locate: Locator,
+    origin_region: Region = Region.EU28,
+    bucket_days: float = 30.0,
+    registry: Optional[CountryRegistry] = None,
+) -> List[TrendPoint]:
+    """Region confinement per time bucket over the panel window.
+
+    Mirrors the paper's finding that EU28 confinement stayed high and
+    stable throughout the observation period.
+    """
+    if bucket_days <= 0:
+        raise ValueError("bucket_days must be positive")
+    registry = registry or default_registry()
+    analyzer = ConfinementAnalyzer(locate, registry)
+    in_region = [
+        request
+        for request in tracking_requests
+        if region_of_country(request.user_country, registry) is origin_region
+    ]
+    if not in_region:
+        return []
+    last_day = max(request.day for request in in_region)
+    n_buckets = max(1, math.ceil((last_day + 1e-9) / bucket_days))
+    confined = [0] * n_buckets
+    totals = [0] * n_buckets
+    for request in in_region:
+        index = min(n_buckets - 1, int(request.day / bucket_days))
+        totals[index] += 1
+        destination = analyzer.destination_country(request.ip)
+        if (
+            destination is not None
+            and region_of_country(destination, registry) is origin_region
+        ):
+            confined[index] += 1
+    out: List[TrendPoint] = []
+    for index in range(n_buckets):
+        if totals[index] == 0:
+            continue
+        out.append(
+            TrendPoint(
+                bucket_start_day=index * bucket_days,
+                bucket_end_day=(index + 1) * bucket_days,
+                n_flows=totals[index],
+                confinement_pct=100.0 * confined[index] / totals[index],
+            )
+        )
+    return out
+
+
+def trend_stability(points: Sequence[TrendPoint]) -> float:
+    """Max-minus-min confinement across buckets (the paper's "has not
+    changed dramatically" check; smaller is more stable)."""
+    if not points:
+        return 0.0
+    values = [point.confinement_pct for point in points]
+    return max(values) - min(values)
+
+
+def discovery_curve(
+    inventory: TrackerIPInventory,
+    bucket_days: float = 15.0,
+) -> List[Tuple[float, int]]:
+    """Cumulative tracker IPs known by the end of each time bucket.
+
+    The curve's saturation answers the operational question behind the
+    paper's monitoring proposal: how long must a panel run before its
+    tracker-IP list stops growing?
+    """
+    if bucket_days <= 0:
+        raise ValueError("bucket_days must be positive")
+    first_seen = sorted(
+        record.first_seen
+        for record in inventory.records()
+        if record.first_seen is not None
+    )
+    if not first_seen:
+        return []
+    last = first_seen[-1]
+    out: List[Tuple[float, int]] = []
+    bucket_end = bucket_days
+    cumulative = 0
+    cursor = 0
+    while bucket_end < last + bucket_days:
+        while cursor < len(first_seen) and first_seen[cursor] <= bucket_end:
+            cumulative += 1
+            cursor += 1
+        out.append((bucket_end, cumulative))
+        bucket_end += bucket_days
+    return out
+
+
+def discovery_saturation_day(
+    inventory: TrackerIPInventory,
+    coverage: float = 0.95,
+    bucket_days: float = 15.0,
+) -> Optional[float]:
+    """The first bucket end by which ``coverage`` of all eventually-known
+    tracker IPs had already been discovered."""
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    curve = discovery_curve(inventory, bucket_days)
+    if not curve:
+        return None
+    total = curve[-1][1]
+    threshold = coverage * total
+    for bucket_end, cumulative in curve:
+        if cumulative >= threshold:
+            return bucket_end
+    return None

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report``
+    Run the full pipeline and print every regenerated table and figure
+    plus the paper-vs-measured block.
+``table N`` / ``figure N``
+    Regenerate one artifact (e.g. ``table 5``, ``figure 7``).
+``summary``
+    Print the headline paper-vs-measured metrics as JSON.
+``world``
+    Build the world and print its population statistics.
+``export``
+    Run the pipeline and export its products (request log JSONL,
+    tracker-IP inventory JSON, continent sankey CSV) into a directory.
+
+Every command accepts ``--preset small|medium|paper`` and ``--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro import Study, WorldConfig
+from repro.analysis import figures as F
+from repro.analysis import tables as T
+from repro.analysis.report import (
+    experiment_summary,
+    full_report,
+    paper_vs_measured,
+)
+
+_TABLES: Dict[int, Callable] = {
+    1: T.table1, 2: T.table2, 3: T.table3, 4: T.table4, 5: T.table5,
+    6: T.table6, 7: T.table7, 8: T.table8, 9: T.table9,
+}
+_FIGURES: Dict[int, Callable] = {
+    2: F.figure2, 3: F.figure3, 4: F.figure4, 5: F.figure5, 6: F.figure6,
+    7: F.figure7, 8: F.figure8, 9: F.figure9, 10: F.figure10,
+    11: F.figure11, 12: F.figure12,
+}
+
+_PRESETS = {
+    "small": WorldConfig.small,
+    "medium": WorldConfig.medium,
+    "paper": WorldConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Tracing Cross Border Web Tracking' "
+        "(IMC 2018).",
+    )
+    parser.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="small",
+        help="world size preset (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="world seed override"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("report", help="print every table and figure")
+    commands.add_parser("summary", help="paper-vs-measured metrics as JSON")
+    commands.add_parser("world", help="print world population statistics")
+
+    table_command = commands.add_parser("table", help="regenerate one table")
+    table_command.add_argument("number", type=int, choices=sorted(_TABLES))
+
+    figure_command = commands.add_parser(
+        "figure", help="regenerate one figure"
+    )
+    figure_command.add_argument("number", type=int, choices=sorted(_FIGURES))
+
+    export_command = commands.add_parser(
+        "export", help="export pipeline products to a directory"
+    )
+    export_command.add_argument("directory", type=pathlib.Path)
+    return parser
+
+
+def _make_study(args: argparse.Namespace) -> Study:
+    factory = _PRESETS[args.preset]
+    config = factory(seed=args.seed) if args.seed is not None else factory()
+    return Study(config)
+
+
+def _command_world(study: Study) -> str:
+    world = study.world
+    lines = [
+        f"seed:            {world.config.seed}",
+        f"organizations:   {len(world.organizations)}",
+        f"servers:         {len(world.fleet.servers())}",
+        f"tracking FQDNs:  {len(world.fleet.tracking_fqdns())}",
+        f"publishers:      {len(world.publishers)}",
+        f"panel users:     {len(world.users)}",
+        f"probes:          {len(world.probes)}",
+        f"cloud providers: {len(world.clouds)}",
+        f"ISPs:            {', '.join(isp.name for isp in world.isps)}",
+    ]
+    return "\n".join(lines)
+
+
+def _command_export(study: Study, directory: pathlib.Path) -> str:
+    from repro.io import (
+        inventory_to_json,
+        requests_to_jsonl,
+        sankey_to_csv,
+        summary_to_json,
+    )
+
+    directory.mkdir(parents=True, exist_ok=True)
+    n_requests = requests_to_jsonl(
+        study.visit_log.requests, directory / "requests.jsonl"
+    )
+    inventory_to_json(study.inventory, directory / "tracker_ips.json")
+    sankey = study.confinement().continent_sankey(study.tracking_requests())
+    n_edges = sankey_to_csv(sankey, directory / "continent_sankey.csv")
+    summary_to_json(experiment_summary(study), directory / "summary.json")
+    return (
+        f"wrote {n_requests} requests, {len(study.inventory)} tracker IPs, "
+        f"{n_edges} sankey edges and the summary to {directory}/"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    study = _make_study(args)
+    if args.command == "report":
+        print(full_report(study))
+    elif args.command == "summary":
+        print(json.dumps(experiment_summary(study), indent=1, sort_keys=True))
+        print("\n" + paper_vs_measured(study), file=sys.stderr)
+    elif args.command == "world":
+        print(_command_world(study))
+    elif args.command == "table":
+        print(_TABLES[args.number](study)["text"])
+    elif args.command == "figure":
+        print(_FIGURES[args.number](study)["text"])
+    elif args.command == "export":
+        print(_command_export(study, args.directory))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Public-cloud provider catalog: the nine providers the paper's
+localization what-if analysis considers (Sect. 5.2), with country-level
+PoP footprints and published IP ranges."""
+
+from repro.cloud.providers import CloudCatalog, CloudProvider, default_providers
+
+__all__ = ["CloudProvider", "CloudCatalog", "default_providers"]

@@ -1,0 +1,180 @@
+"""The nine public cloud providers of the localization study (Sect. 5.2).
+
+Each provider advertises (i) the countries where it operates datacenters
+and (ii) its IP ranges — exactly the two facts the paper collects from
+the providers' public websites.  The footprints below are synthetic but
+calibrated to reproduce Table 6's shape: the union of the nine footprints
+covers every EU28 country *except Cyprus* (and a few micro-states), and
+coverage density tracks IT-infrastructure development, so small countries
+such as Denmark, Greece and Romania gain dramatically from full cloud
+migration while Cyprus gains nothing.
+
+Provider prefixes are carved out of the world's address plan at build
+time by :class:`CloudCatalog`; tenants (tracking organizations renting
+cloud servers) draw addresses from these pools, which is what makes
+"is this IP in a published cloud range" queries meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.netbase.addr import IPAddress, Prefix
+from repro.netbase.allocator import AddressPlan, PrefixRecord
+
+
+@dataclass(frozen=True)
+class CloudProvider:
+    """A public cloud: identity, legal seat, and PoP countries."""
+
+    name: str
+    display_name: str
+    legal_country: str
+    pop_countries: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pop_countries:
+            raise ConfigError(f"cloud {self.name} has no PoPs")
+        if len(set(self.pop_countries)) != len(self.pop_countries):
+            raise ConfigError(f"cloud {self.name} lists duplicate PoPs")
+
+    def has_pop(self, country: str) -> bool:
+        return country in self.pop_countries
+
+
+def default_providers() -> List[CloudProvider]:
+    """The nine-provider catalog used throughout the reproduction."""
+    return [
+        CloudProvider(
+            "aws", "Amazon AWS", "US",
+            ("US", "CA", "IE", "DE", "GB", "FR", "SE", "IT", "JP", "SG",
+             "AU", "BR", "IN"),
+        ),
+        CloudProvider(
+            "azure", "Microsoft Azure", "US",
+            ("US", "CA", "IE", "NL", "DE", "GB", "FR", "AT", "JP", "SG",
+             "AU", "BR", "ZA"),
+        ),
+        CloudProvider(
+            "google-cloud", "Google Cloud", "US",
+            ("US", "NL", "BE", "DE", "GB", "FI", "JP", "SG", "AU", "BR",
+             "TW"),
+        ),
+        CloudProvider(
+            "ibm-cloud", "IBM Cloud", "US",
+            ("US", "DE", "GB", "NL", "IT", "JP", "AU", "IN"),
+        ),
+        CloudProvider(
+            "cloudflare", "CloudFlare", "US",
+            ("US", "CA", "GB", "DE", "NL", "FR", "ES", "IT", "PL", "RO",
+             "GR", "DK", "CZ", "PT", "AT", "SE", "FI", "HU", "BG", "IE",
+             "BE", "LT", "LV", "EE", "HR", "SK", "SI", "LU", "CH", "RU",
+             "JP", "SG", "HK", "BR", "ZA", "AU", "IN", "KR"),
+        ),
+        CloudProvider(
+            "digital-ocean", "Digital Ocean", "US",
+            ("US", "NL", "DE", "GB", "SG", "IN", "CA"),
+        ),
+        CloudProvider(
+            "equinix", "Equinix", "US",
+            ("US", "GB", "DE", "NL", "FR", "IT", "ES", "PL", "SE", "FI",
+             "CH", "JP", "SG", "AU", "BR", "AT", "DK"),
+        ),
+        CloudProvider(
+            "oracle-cloud", "Oracle Cloud", "US",
+            ("US", "GB", "DE", "JP", "CA"),
+        ),
+        CloudProvider(
+            "rackspace", "Rackspace", "US",
+            ("US", "GB", "DE", "HK", "AU"),
+        ),
+    ]
+
+
+class CloudCatalog:
+    """Registered cloud providers plus their allocated address pools."""
+
+    def __init__(self, providers: Optional[Iterable[CloudProvider]] = None) -> None:
+        self._providers: Dict[str, CloudProvider] = {}
+        for provider in providers if providers is not None else default_providers():
+            if provider.name in self._providers:
+                raise ConfigError(f"duplicate cloud provider {provider.name}")
+            self._providers[provider.name] = provider
+        self._pools: Dict[Tuple[str, str], PrefixRecord] = {}
+        self._plan: Optional[AddressPlan] = None
+
+    # -- catalog queries ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def names(self) -> List[str]:
+        return sorted(self._providers)
+
+    def get(self, name: str) -> CloudProvider:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise ConfigError(f"unknown cloud provider {name!r}") from None
+
+    def providers(self) -> List[CloudProvider]:
+        return [self._providers[name] for name in self.names()]
+
+    def union_pop_countries(self) -> Set[str]:
+        """Countries covered by at least one provider (Table 6 migration)."""
+        out: Set[str] = set()
+        for provider in self._providers.values():
+            out.update(provider.pop_countries)
+        return out
+
+    def providers_in(self, country: str) -> List[CloudProvider]:
+        return [p for p in self.providers() if p.has_pop(country)]
+
+    # -- address ranges ----------------------------------------------------
+    def attach_plan(self, plan: AddressPlan) -> None:
+        """Carve each provider's per-country pools out of ``plan``."""
+        self._plan = plan
+        for provider in self.providers():
+            for country in provider.pop_countries:
+                record = plan.create_pool(
+                    country=country,
+                    kind="cloud",
+                    owner=provider.name,
+                    length=20,
+                )
+                self._pools[(provider.name, country)] = record
+
+    def pool_record(self, provider: str, country: str) -> PrefixRecord:
+        try:
+            return self._pools[(provider, country)]
+        except KeyError:
+            raise ConfigError(
+                f"cloud {provider} has no pool in {country} "
+                "(no PoP, or attach_plan not called)"
+            ) from None
+
+    def allocate_address(self, provider: str, country: str) -> IPAddress:
+        """Allocate a tenant server address in a provider's country pool."""
+        if self._plan is None:
+            raise ConfigError("attach_plan must be called before allocation")
+        record = self.pool_record(provider, country)
+        return self._plan.pool(record.prefix).allocate_address()
+
+    def published_ranges(self, provider: str) -> List[Prefix]:
+        """The provider's published IP ranges (all its country pools)."""
+        self.get(provider)
+        return sorted(
+            record.prefix
+            for (name, _), record in self._pools.items()
+            if name == provider
+        )
+
+    def provider_of_ip(self, address: IPAddress) -> Optional[CloudProvider]:
+        """Which provider's published range covers ``address``, if any."""
+        if self._plan is None:
+            return None
+        record = self._plan.lookup(address)
+        if record is None or record.kind != "cloud":
+            return None
+        return self._providers.get(record.owner)

@@ -1,0 +1,253 @@
+"""Experiment configuration.
+
+One :class:`WorldConfig` object parameterizes the entire simulated world:
+how many organizations and publishers exist, how the panel browses, how
+the ISP traffic is synthesized, and the calibration knobs that shape the
+reproduction targets (traffic shares per organization archetype,
+misgeolocation rates, resolver mix, ...).
+
+Three presets are provided:
+
+* :meth:`WorldConfig.small` — unit/property tests (seconds);
+* :meth:`WorldConfig.medium` — the default for benchmarks: large enough
+  that every distributional figure is well resolved (~hundreds of
+  thousands of third-party requests) while a full pipeline run stays in
+  tens of seconds;
+* :meth:`WorldConfig.paper_scale` — counts matching the paper's Table 1
+  (7M+ third-party requests; minutes of runtime, for offline use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigError
+
+#: simulation time (days) — panel window, Sept 1 2017 = day 0
+PANEL_START_DAY = 0.0
+PANEL_END_DAY = 135.0  # mid-January 2018
+
+#: ISP snapshot days used by the paper (Sect. 7.2), days since Sept 1 2017.
+SNAPSHOT_DAYS: Dict[str, float] = {
+    "Nov 8": 68.0,
+    "April 4": 215.0,
+    "May 16": 257.0,
+    "June 20": 292.0,
+}
+
+
+@dataclass(frozen=True)
+class PanelConfig:
+    """The browser-extension panel (Sect. 3.1)."""
+
+    n_users: int = 350
+    #: users per region, mirroring the paper's recruitment skew
+    users_per_region: Dict[str, int] = field(
+        default_factory=lambda: {
+            "EU28": 183,
+            "SA": 86,
+            "REST_EU": 23,
+            "AF": 22,
+            "AS": 20,
+            "NA": 16,
+        }
+    )
+    #: EU28 panel countries and their user counts (sums to the EU28 total)
+    eu28_user_counts: Dict[str, int] = field(
+        default_factory=lambda: {
+            "ES": 40, "GB": 30, "DE": 24, "IT": 18, "GR": 14, "PL": 12,
+            "RO": 10, "DK": 8, "BE": 8, "CY": 5, "HU": 4, "FR": 4,
+            "NL": 2, "SE": 2, "PT": 1, "CZ": 1,
+        }
+    )
+    days: float = PANEL_END_DAY - PANEL_START_DAY
+    #: mean site visits per user over the whole window
+    visits_per_user: float = 218.0
+    #: probability a (desktop) panel user uses a third-party DNS resolver
+    public_resolver_share: float = 0.22
+
+    def __post_init__(self) -> None:
+        if sum(self.users_per_region.values()) != self.n_users:
+            raise ConfigError("users_per_region must sum to n_users")
+        if sum(self.eu28_user_counts.values()) != self.users_per_region.get(
+            "EU28", 0
+        ):
+            raise ConfigError("eu28_user_counts must sum to the EU28 total")
+
+
+@dataclass(frozen=True)
+class EcosystemConfig:
+    """How many organizations / domains / publishers the world contains."""
+
+    n_hyperscalers: int = 3
+    n_ad_exchanges: int = 10
+    n_dsps: int = 40
+    n_ssps: int = 25
+    n_dmps: int = 35
+    n_analytics: int = 45
+    n_eu_trackers: int = 90
+    n_us_trackers: int = 65
+    n_resteu_trackers: int = 12
+    n_asia_trackers: int = 5
+    n_adult_networks: int = 10
+    n_clean_orgs: int = 140
+    n_publishers: int = 1400
+    #: fraction of publishers carrying a GDPR-sensitive topic
+    sensitive_publisher_share: float = 0.19
+    #: share of tracker IPs allocated from IPv6 pools (paper: <3%)
+    ipv6_share: float = 0.025
+
+    def scaled(self, factor: float) -> "EcosystemConfig":
+        """Scale all population counts by ``factor`` (min 1 per class)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+
+        def s(n: int) -> int:
+            return max(1, round(n * factor))
+
+        return replace(
+            self,
+            n_hyperscalers=max(3, s(self.n_hyperscalers)),
+            n_ad_exchanges=s(self.n_ad_exchanges),
+            n_dsps=s(self.n_dsps),
+            n_ssps=s(self.n_ssps),
+            n_dmps=s(self.n_dmps),
+            n_analytics=s(self.n_analytics),
+            n_eu_trackers=s(self.n_eu_trackers),
+            n_us_trackers=s(self.n_us_trackers),
+            n_resteu_trackers=s(self.n_resteu_trackers),
+            n_asia_trackers=s(self.n_asia_trackers),
+            n_adult_networks=s(self.n_adult_networks),
+            n_clean_orgs=s(self.n_clean_orgs),
+            n_publishers=s(self.n_publishers),
+        )
+
+
+@dataclass(frozen=True)
+class BrowsingConfig:
+    """Per-visit request synthesis (drives Table 1 / Table 2 / Fig. 2)."""
+
+    mean_ad_slots: float = 3.2
+    mean_analytics_tags: float = 3.0
+    mean_clean_widgets: float = 7.5
+    #: mean cookie-sync / chain descendants per ad slot (the list-invisible
+    #: tail recovered by the semi-automatic classifier)
+    mean_chain_descendants: float = 6.8
+    #: mean list-visible requests per ad slot (bid + creative + pixels)
+    mean_chain_visible: float = 3.0
+    #: mean requests per clean widget
+    mean_clean_requests: float = 2.4
+
+
+@dataclass(frozen=True)
+class GeolocationConfig:
+    """Accuracy knobs for the geolocation substrate (Sect. 3.4)."""
+
+    #: probability a commercial DB maps an infrastructure IP to the
+    #: operator's legal-seat country instead of the true location
+    commercial_legal_seat_bias: float = 0.93
+    #: probability IP-API agrees with MaxMind on a given infrastructure IP
+    ip_api_agreement: float = 0.965
+    #: probes participating in one active geolocation campaign
+    probes_per_campaign: int = 100
+    #: majority threshold for accepting the country vote; the paper
+    #: keeps the plurality winner ("the most popular estimation"), i.e. 0
+    country_majority: float = 0.0
+    #: probe mesh sizing
+    n_probes_eu: int = 500
+    n_probes_us: int = 120
+    n_probes_other: int = 120
+
+
+@dataclass(frozen=True)
+class ISPConfig:
+    """NetFlow synthesis for the four ISPs (Sect. 7)."""
+
+    #: sampled tracking flows to synthesize per ISP snapshot, keyed by ISP
+    sampled_flows: Dict[str, int] = field(
+        default_factory=lambda: {
+            "DE-Broadband": 60_000,
+            "DE-Mobile": 24_000,
+            "PL": 12_000,
+            "HU": 16_000,
+        }
+    )
+    #: 1-in-N packet sampling rate of the exporters
+    sampling_rate: int = 1000
+    #: share of non-web ports among tracking-IP flows (paper: <0.5%)
+    non_web_share: float = 0.004
+    #: share of port-443 (encrypted) among web flows (paper: >83%)
+    https_share: float = 0.834
+    #: background (non-tracking) flows to synthesize per snapshot
+    background_flows: int = 4_000
+    #: probability a broadband subscriber uses a public DNS resolver
+    broadband_public_resolver_share: float = 0.38
+    #: probability a mobile subscriber uses a public DNS resolver
+    mobile_public_resolver_share: float = 0.04
+
+    def scaled(self, factor: float) -> "ISPConfig":
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return replace(
+            self,
+            sampled_flows={
+                name: max(200, round(count * factor))
+                for name, count in self.sampled_flows.items()
+            },
+            background_flows=max(100, round(self.background_flows * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Top-level configuration of one experiment world."""
+
+    seed: int = 20180825
+    panel: PanelConfig = field(default_factory=PanelConfig)
+    ecosystem: EcosystemConfig = field(default_factory=EcosystemConfig)
+    browsing: BrowsingConfig = field(default_factory=BrowsingConfig)
+    geolocation: GeolocationConfig = field(default_factory=GeolocationConfig)
+    isp: ISPConfig = field(default_factory=ISPConfig)
+
+    # -- presets ---------------------------------------------------------
+    @classmethod
+    def small(cls, seed: int = 7) -> "WorldConfig":
+        """Tiny world for unit and property tests."""
+        return cls(
+            seed=seed,
+            panel=PanelConfig(
+                n_users=40,
+                users_per_region={
+                    "EU28": 24, "SA": 6, "REST_EU": 3, "AF": 2, "AS": 3,
+                    "NA": 2,
+                },
+                eu28_user_counts={
+                    "ES": 5, "GB": 4, "DE": 4, "IT": 2, "GR": 2, "PL": 2,
+                    "RO": 1, "DK": 1, "BE": 1, "CY": 1, "HU": 1,
+                },
+                visits_per_user=16.0,
+            ),
+            ecosystem=EcosystemConfig().scaled(0.18),
+            isp=ISPConfig().scaled(0.05),
+        )
+
+    @classmethod
+    def medium(cls, seed: int = 20180825) -> "WorldConfig":
+        """Benchmark default: ~hundreds of thousands of requests."""
+        return cls(
+            seed=seed,
+            panel=PanelConfig(visits_per_user=34.0),
+            ecosystem=EcosystemConfig().scaled(0.6),
+            isp=ISPConfig().scaled(0.35),
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 20180825) -> "WorldConfig":
+        """Counts matching the paper's Table 1 (slow; offline use)."""
+        return cls(
+            seed=seed,
+            panel=PanelConfig(visits_per_user=218.0),
+            ecosystem=EcosystemConfig().scaled(4.0),
+            isp=ISPConfig(),
+        )

@@ -1,0 +1,45 @@
+"""The paper's measurement pipeline: two-stage tracking-flow
+classification, tracker-IP inventory with passive-DNS completion,
+geolocation orchestration, border-crossing quantification, localization
+what-ifs, the sensitive-category study, and the ISP-scale validation."""
+
+from repro.core.classify import (
+    ClassificationStage,
+    RequestClassifier,
+    ClassificationResult,
+)
+from repro.core.tracker_ips import TrackerIPInventory, TrackerIPRecord
+from repro.core.geolocate import GeolocationSuite
+from repro.core.confinement import ConfinementAnalyzer
+from repro.core.localization import LocalizationAnalyzer, LocalizationScenario
+from repro.core.sensitive import SensitiveStudy
+from repro.core.ispscale import ISPScaleStudy
+from repro.core.collaboration import CollaborationAnalyzer, HandOff
+from repro.core.regulations import (
+    Regulation,
+    RegulationMonitor,
+    RegulationReport,
+    builtin_regulations,
+)
+from repro.core.pipeline import Study
+
+__all__ = [
+    "ClassificationStage",
+    "RequestClassifier",
+    "ClassificationResult",
+    "TrackerIPInventory",
+    "TrackerIPRecord",
+    "GeolocationSuite",
+    "ConfinementAnalyzer",
+    "LocalizationAnalyzer",
+    "LocalizationScenario",
+    "SensitiveStudy",
+    "ISPScaleStudy",
+    "CollaborationAnalyzer",
+    "HandOff",
+    "Regulation",
+    "RegulationMonitor",
+    "RegulationReport",
+    "builtin_regulations",
+    "Study",
+]

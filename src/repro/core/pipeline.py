@@ -1,0 +1,190 @@
+"""End-to-end study orchestration.
+
+:class:`Study` is the package's top-level object: it owns a simulated
+world and runs the paper's pipeline over it, stage by stage, caching
+each product:
+
+1. **panel** — simulate the browser-extension panel (Sect. 3.1);
+2. **classification** — the two-stage tracking classifier (Sect. 3.2);
+3. **inventory** — tracker IPs with passive-DNS completion (Sect. 3.3);
+4. **geolocation** — the three-tool suite (Sect. 3.4);
+5. **confinement** — border-crossing analysis (Sect. 4);
+6. **localization** — the what-if scenarios (Sect. 5);
+7. **sensitive** — the sensitive-category study (Sect. 6);
+8. **ISP scale** — the four-ISP NetFlow validation (Sect. 7).
+
+Typical use::
+
+    from repro import Study, WorldConfig
+
+    study = Study(WorldConfig.small())
+    eu_shares = study.eu28_destination_regions()      # Fig. 7(b)
+    table5 = study.localization.scenario_table(study.tracking_requests())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import WorldConfig
+from repro.core.classify import ClassificationResult, RequestClassifier
+from repro.core.confinement import ConfinementAnalyzer
+from repro.core.geolocate import GeolocationSuite
+from repro.core.ispscale import ISPScaleStudy
+from repro.core.localization import LocalizationAnalyzer
+from repro.core.sensitive import SensitiveStudy
+from repro.core.tracker_ips import TrackerIPInventory
+from repro.datasets.builder import BACKGROUND_END_DAY, World, build_world
+from repro.errors import PipelineError
+from repro.geodata.regions import Region
+from repro.web.browser import BrowserExtensionSimulator, VisitLog
+from repro.web.requests import ThirdPartyRequest
+
+
+class Study:
+    """The full reproduction pipeline over one simulated world."""
+
+    def __init__(
+        self,
+        config: Optional[WorldConfig] = None,
+        world: Optional[World] = None,
+    ) -> None:
+        if world is not None and config is not None:
+            if world.config is not config:
+                raise PipelineError(
+                    "pass either a config or a pre-built world, not both"
+                )
+        self.world = world if world is not None else build_world(config)
+        self.config = self.world.config
+        self._visit_log: Optional[VisitLog] = None
+        self._classification: Optional[ClassificationResult] = None
+        self._inventory: Optional[TrackerIPInventory] = None
+        self._geolocation: Optional[GeolocationSuite] = None
+        self._localization: Optional[LocalizationAnalyzer] = None
+        self._sensitive: Optional[SensitiveStudy] = None
+        self._isp_study: Optional[ISPScaleStudy] = None
+
+    # -- stage 1: panel ----------------------------------------------------
+    @property
+    def visit_log(self) -> VisitLog:
+        if self._visit_log is None:
+            simulator = BrowserExtensionSimulator(
+                fleet=self.world.fleet,
+                publishers=self.world.publishers,
+                users=self.world.users,
+                panel_config=self.config.panel,
+                browsing_config=self.config.browsing,
+                registry=self.world.registry,
+                mapping=self.world.mapping,
+                streams=self.world.streams,
+            )
+            self._visit_log = simulator.simulate()
+        return self._visit_log
+
+    # -- stage 2: classification ------------------------------------------
+    @property
+    def classifier(self) -> RequestClassifier:
+        return RequestClassifier(
+            self.world.easylist, self.world.easyprivacy
+        )
+
+    @property
+    def classification(self) -> ClassificationResult:
+        if self._classification is None:
+            self._classification = self.classifier.classify(
+                self.visit_log.requests
+            )
+        return self._classification
+
+    def tracking_requests(self) -> List[ThirdPartyRequest]:
+        return self.classification.tracking_requests()
+
+    # -- stage 3: tracker IP inventory ----------------------------------
+    @property
+    def inventory(self) -> TrackerIPInventory:
+        if self._inventory is None:
+            self._inventory = TrackerIPInventory.build(
+                tracking_requests=self.tracking_requests(),
+                pdns=self.world.pdns,
+                window=(0.0, BACKGROUND_END_DAY),
+            )
+        return self._inventory
+
+    # -- stage 4: geolocation ---------------------------------------------
+    @property
+    def geolocation(self) -> GeolocationSuite:
+        if self._geolocation is None:
+            self._geolocation = GeolocationSuite(
+                ipmap=self.world.ipmap,
+                maxmind=self.world.maxmind,
+                ip_api=self.world.ip_api,
+                oracle=self.world.oracle,
+            )
+        return self._geolocation
+
+    # -- stage 5: confinement ---------------------------------------------
+    def confinement(self, tool: str = "RIPE IPmap") -> ConfinementAnalyzer:
+        """A confinement analyzer bound to one geolocation tool."""
+        locator = self.geolocation.locators()[tool]
+        return ConfinementAnalyzer(locator, self.world.registry)
+
+    def eu28_destination_regions(
+        self, tool: str = "RIPE IPmap"
+    ) -> Dict[str, float]:
+        """Fig. 7: destination-region shares of EU28 users' flows."""
+        return self.confinement(tool).destination_regions(
+            self.tracking_requests(), Region.EU28
+        )
+
+    # -- stage 6: localization ---------------------------------------------
+    @property
+    def localization(self) -> LocalizationAnalyzer:
+        if self._localization is None:
+            self._localization = LocalizationAnalyzer(
+                inventory=self.inventory,
+                locate=self.geolocation.reference,
+                clouds=self.world.clouds,
+                registry=self.world.registry,
+            )
+        return self._localization
+
+    # -- stage 7: sensitive categories --------------------------------------
+    @property
+    def sensitive(self) -> SensitiveStudy:
+        if self._sensitive is None:
+            study = SensitiveStudy(
+                publishers=self.world.publishers,
+                streams=self.world.streams,
+                registry=self.world.registry,
+            )
+            study.identify(
+                visit.publisher_domain for visit in self.visit_log.visits
+            )
+            self._sensitive = study
+        return self._sensitive
+
+    # -- stage 8: ISP scale ----------------------------------------------
+    @property
+    def isp_study(self) -> ISPScaleStudy:
+        if self._isp_study is None:
+            self._isp_study = ISPScaleStudy(
+                synthesizers=self.world.synthesizers,
+                isps=self.world.isps,
+                inventory=self.inventory,
+                locate=self.geolocation.reference,
+                config=self.config.isp,
+                registry=self.world.registry,
+            )
+        return self._isp_study
+
+    # -- convenience -----------------------------------------------------
+    def run_all(self) -> "Study":
+        """Force every pipeline stage (useful for benchmarks)."""
+        _ = self.visit_log
+        _ = self.classification
+        _ = self.inventory
+        _ = self.geolocation
+        _ = self.localization
+        _ = self.sensitive
+        _ = self.isp_study
+        return self

@@ -1,0 +1,174 @@
+"""Multi-regulation confinement monitoring (the paper's outlook).
+
+Sect. 9: *"We can continuously monitor the compliance to GDPR over time
+and also include the monitoring of other regulations in the future at
+different regional (e.g., USA) or content scope (Children's Online
+Privacy Protection Act — COPPA, etc.)"*.
+
+A :class:`Regulation` generalizes the paper's EU28 analysis to any
+jurisdiction (a set of countries) and any content scope (a filter over
+the tracked first party's sensitive categories or a custom predicate).
+:class:`RegulationMonitor` evaluates, for each regulation, the share of
+in-scope flows that terminate inside the jurisdiction — the paper's
+"investigability" notion, portable to any law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.confinement import ConfinementAnalyzer, Locator
+from repro.core.sensitive import SensitiveStudy
+from repro.geodata.countries import CountryRegistry, default_registry
+from repro.web.requests import ThirdPartyRequest
+
+
+@dataclass(frozen=True)
+class Regulation:
+    """A data-protection regulation the monitor can evaluate.
+
+    ``jurisdiction``: countries whose authorities can directly reach a
+    tracking backend under this law.
+    ``origin_countries``: whose citizens the law protects (defaults to
+    the jurisdiction itself).
+    ``category_scope``: when set, only flows from first parties in these
+    sensitive categories are in scope (content-scoped laws like COPPA or
+    health-records acts).
+    """
+
+    name: str
+    jurisdiction: FrozenSet[str]
+    origin_countries: Optional[FrozenSet[str]] = None
+    category_scope: Optional[FrozenSet[str]] = None
+
+    def protected_origins(self) -> FrozenSet[str]:
+        return (
+            self.origin_countries
+            if self.origin_countries is not None
+            else self.jurisdiction
+        )
+
+
+def builtin_regulations(
+    registry: Optional[CountryRegistry] = None,
+) -> List[Regulation]:
+    """The regulations the paper names or implies.
+
+    * **GDPR** — the EU28 jurisdiction of the whole study;
+    * **BDSG (national scope)** — the paper's Sect. 2.1 point that
+      national laws only reach domestically-hosted backends (Germany as
+      the worked example);
+    * **COPPA-like (children)** — a content-scoped law: flows from
+      family/children-adjacent sensitive categories, US jurisdiction;
+    * **Health-records act** — content-scoped on the health categories,
+      evaluated for the EU28 jurisdiction.
+    """
+    registry = registry or default_registry()
+    eu28 = frozenset(country.iso2 for country in registry.eu28())
+    return [
+        Regulation(name="GDPR", jurisdiction=eu28),
+        Regulation(
+            name="BDSG (DE national scope)",
+            jurisdiction=frozenset({"DE"}),
+        ),
+        Regulation(
+            name="COPPA-like (children, US)",
+            jurisdiction=frozenset({"US"}),
+            origin_countries=frozenset({"US", "CA"}),
+            category_scope=frozenset({"pregnancy", "gambling"}),
+        ),
+        Regulation(
+            name="Health-records (EU28)",
+            jurisdiction=eu28,
+            category_scope=frozenset({"health", "cancer", "pregnancy",
+                                      "death"}),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class RegulationReport:
+    """Confinement of in-scope flows under one regulation."""
+
+    regulation: Regulation
+    in_scope_flows: int
+    inside_jurisdiction: int
+    unknown_destination: int
+
+    @property
+    def confinement_pct(self) -> float:
+        if not self.in_scope_flows:
+            return 0.0
+        return 100.0 * self.inside_jurisdiction / self.in_scope_flows
+
+    @property
+    def investigable(self) -> bool:
+        """Paper framing: most in-scope flows are directly reachable."""
+        return self.confinement_pct >= 50.0
+
+
+class RegulationMonitor:
+    """Evaluates a set of regulations over classified tracking flows."""
+
+    def __init__(
+        self,
+        locate: Locator,
+        sensitive: Optional[SensitiveStudy] = None,
+        registry: Optional[CountryRegistry] = None,
+    ) -> None:
+        self._analyzer = ConfinementAnalyzer(
+            locate, registry or default_registry()
+        )
+        self._sensitive = sensitive
+
+    def _in_scope(
+        self, request: ThirdPartyRequest, regulation: Regulation
+    ) -> bool:
+        if request.user_country not in regulation.protected_origins():
+            return False
+        if regulation.category_scope is None:
+            return True
+        if self._sensitive is None:
+            return False
+        category = self._sensitive.category_of(request)
+        return category in regulation.category_scope
+
+    def evaluate(
+        self,
+        tracking_requests: Sequence[ThirdPartyRequest],
+        regulation: Regulation,
+    ) -> RegulationReport:
+        """One regulation's confinement report."""
+        in_scope = inside = unknown = 0
+        for request in tracking_requests:
+            if not self._in_scope(request, regulation):
+                continue
+            in_scope += 1
+            destination = self._analyzer.destination_country(request.ip)
+            if destination is None:
+                unknown += 1
+            elif destination in regulation.jurisdiction:
+                inside += 1
+        return RegulationReport(
+            regulation=regulation,
+            in_scope_flows=in_scope,
+            inside_jurisdiction=inside,
+            unknown_destination=unknown,
+        )
+
+    def evaluate_all(
+        self,
+        tracking_requests: Sequence[ThirdPartyRequest],
+        regulations: Optional[Sequence[Regulation]] = None,
+    ) -> Dict[str, RegulationReport]:
+        """Every regulation's report, keyed by name."""
+        regulations = (
+            list(regulations)
+            if regulations is not None
+            else builtin_regulations()
+        )
+        return {
+            regulation.name: self.evaluate(tracking_requests, regulation)
+            for regulation in regulations
+        }

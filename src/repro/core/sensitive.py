@@ -1,0 +1,250 @@
+"""Sensitive-category tracking study (Sect. 6).
+
+The multi-stage identification funnel mirrors the paper:
+
+1. **Automated tagging** — each first-party domain's AdWords-style
+   interest topics (5–15 per domain) are matched against the GDPR
+   sensitive terms.  Taggers mask many sensitive sites behind benign
+   topics ("pregnancy" → "Health", "gambling" → "Games", ...), so this
+   stage has high precision but limited recall.
+2. **Manual inspection** — the remaining domains are reviewed by
+   independent examiners; a domain enters the study when at least two
+   examiners agree it is relevant to a GDPR sensitive term.  We model
+   each examiner as a noisy classifier over the site's true content.
+
+The study then measures, over the identified sensitive domains: the
+per-category flow shares (Fig. 9), the per-category destination regions
+(Fig. 10), and the per-country leakage of sensitive flows (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.confinement import ConfinementAnalyzer, Locator
+from repro.geodata.countries import CountryRegistry, default_registry
+from repro.geodata.regions import Region, region_of_country
+from repro.util.rng import RngStreams
+from repro.web.publishers import SENSITIVE_CATEGORIES, Publisher
+from repro.web.requests import ThirdPartyRequest
+
+
+@dataclass(frozen=True)
+class SensitiveDomain:
+    """One first-party domain identified as sensitive."""
+
+    domain: str
+    category: str
+    #: 'tagger' when the automated stage caught it, 'manual' otherwise
+    identified_by: str
+
+
+class ExaminerPanel:
+    """The manual-inspection stage: independent noisy examiners.
+
+    Each examiner flags a truly sensitive site with probability
+    ``sensitivity`` and a benign site with probability
+    ``false_positive``; a domain is accepted when at least
+    ``required_agreement`` examiners flag it (the paper used two).
+    """
+
+    def __init__(
+        self,
+        streams: RngStreams,
+        n_examiners: int = 3,
+        sensitivity: float = 0.88,
+        false_positive: float = 0.01,
+        required_agreement: int = 2,
+    ) -> None:
+        if not 1 <= required_agreement <= n_examiners:
+            raise ValueError("required_agreement out of range")
+        self._rng = streams.get("examiners")
+        self.n_examiners = n_examiners
+        self.sensitivity = sensitivity
+        self.false_positive = false_positive
+        self.required_agreement = required_agreement
+
+    def review(self, publisher: Publisher) -> Optional[str]:
+        """The panel's verdict for one domain (category or None)."""
+        probability = (
+            self.sensitivity
+            if publisher.sensitive_category is not None
+            else self.false_positive
+        )
+        flags = sum(
+            1
+            for _ in range(self.n_examiners)
+            if self._rng.random() < probability
+        )
+        if flags < self.required_agreement:
+            return None
+        if publisher.sensitive_category is not None:
+            return publisher.sensitive_category
+        # A false positive gets filed under the closest-looking category.
+        names = sorted(SENSITIVE_CATEGORIES)
+        return names[self._rng.randrange(len(names))]
+
+
+class SensitiveStudy:
+    """The full Sect. 6 pipeline over a classified request log."""
+
+    def __init__(
+        self,
+        publishers: Sequence[Publisher],
+        streams: RngStreams,
+        examiners: Optional[ExaminerPanel] = None,
+        registry: Optional[CountryRegistry] = None,
+    ) -> None:
+        self._publishers = {p.domain: p for p in publishers}
+        self._registry = registry or default_registry()
+        self._examiners = examiners or ExaminerPanel(streams)
+        self._identified: Optional[Dict[str, SensitiveDomain]] = None
+
+    # -- identification funnel ---------------------------------------------
+    def identify(
+        self, visited_domains: Iterable[str]
+    ) -> Dict[str, SensitiveDomain]:
+        """Run the two-stage funnel over the visited first parties."""
+        identified: Dict[str, SensitiveDomain] = {}
+        needs_review: List[Publisher] = []
+        for domain in sorted(set(visited_domains)):
+            publisher = self._publishers.get(domain)
+            if publisher is None:
+                continue
+            category = self._tagger_category(publisher)
+            if category is not None:
+                # The paper manually inspected every candidate domain,
+                # refining coarse tagger labels ("Health") into precise
+                # categories (pregnancy, cancer, death).
+                refined = self._examiners.review(publisher)
+                identified[domain] = SensitiveDomain(
+                    domain=domain,
+                    category=refined or category,
+                    identified_by="tagger",
+                )
+            else:
+                needs_review.append(publisher)
+        for publisher in needs_review:
+            category = self._examiners.review(publisher)
+            if category is not None:
+                identified[publisher.domain] = SensitiveDomain(
+                    domain=publisher.domain,
+                    category=category,
+                    identified_by="manual",
+                )
+        self._identified = identified
+        return identified
+
+    @staticmethod
+    def _tagger_category(publisher: Publisher) -> Optional[str]:
+        """Stage 1: does any AdWords topic name a sensitive term?"""
+        topic_set = {topic.lower() for topic in publisher.topics}
+        for category in sorted(SENSITIVE_CATEGORIES):
+            if category.lower() in topic_set:
+                return category
+        return None
+
+    def identified_domains(self) -> Dict[str, SensitiveDomain]:
+        if self._identified is None:
+            raise RuntimeError("identify() has not been run yet")
+        return dict(self._identified)
+
+    # -- flow analyses ---------------------------------------------------
+    def sensitive_requests(
+        self, tracking_requests: Sequence[ThirdPartyRequest]
+    ) -> List[ThirdPartyRequest]:
+        identified = self.identified_domains()
+        return [r for r in tracking_requests if r.first_party in identified]
+
+    def category_of(self, request: ThirdPartyRequest) -> Optional[str]:
+        identified = self.identified_domains()
+        record = identified.get(request.first_party)
+        return record.category if record is not None else None
+
+    def category_shares(
+        self, tracking_requests: Sequence[ThirdPartyRequest]
+    ) -> Dict[str, float]:
+        """Per-category share of sensitive tracking flows (Fig. 9)."""
+        counts: Dict[str, int] = defaultdict(int)
+        for request in self.sensitive_requests(tracking_requests):
+            category = self.category_of(request)
+            assert category is not None
+            counts[category] += 1
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {
+            category: 100.0 * count / total
+            for category, count in sorted(counts.items())
+        }
+
+    def sensitive_share_pct(
+        self, tracking_requests: Sequence[ThirdPartyRequest]
+    ) -> float:
+        """Sensitive flows as a share of all tracking flows (~3%)."""
+        if not tracking_requests:
+            return 0.0
+        sensitive = len(self.sensitive_requests(tracking_requests))
+        return 100.0 * sensitive / len(tracking_requests)
+
+    def category_destination_regions(
+        self,
+        tracking_requests: Sequence[ThirdPartyRequest],
+        locate: Locator,
+        origin_region: Region = Region.EU28,
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-category destination-region shares (Fig. 10)."""
+        analyzer = ConfinementAnalyzer(locate, self._registry)
+        per_category: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for request in self.sensitive_requests(tracking_requests):
+            if (
+                region_of_country(request.user_country, self._registry)
+                is not origin_region
+            ):
+                continue
+            category = self.category_of(request)
+            assert category is not None
+            destination_country = analyzer.destination_country(request.ip)
+            destination = (
+                region_of_country(destination_country, self._registry).value
+                if destination_country is not None
+                else Region.UNKNOWN.value
+            )
+            per_category[category][destination] += 1
+        out: Dict[str, Dict[str, float]] = {}
+        for category, counts in sorted(per_category.items()):
+            total = sum(counts.values())
+            out[category] = {
+                destination: 100.0 * count / total
+                for destination, count in sorted(counts.items())
+            }
+        return out
+
+    def per_country_leakage(
+        self,
+        tracking_requests: Sequence[ThirdPartyRequest],
+        locate: Locator,
+    ) -> Dict[str, Tuple[int, int]]:
+        """Per EU28 country: (flows leaving the country, total flows) for
+        sensitive sites (Fig. 11)."""
+        analyzer = ConfinementAnalyzer(locate, self._registry)
+        out: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+        for request in self.sensitive_requests(tracking_requests):
+            if (
+                region_of_country(request.user_country, self._registry)
+                is not Region.EU28
+            ):
+                continue
+            destination = analyzer.destination_country(request.ip)
+            entry = out[request.user_country]
+            entry[1] += 1
+            if destination != request.user_country:
+                entry[0] += 1
+        return {
+            country: (leaked, total)
+            for country, (leaked, total) in sorted(out.items())
+        }

@@ -1,0 +1,6 @@
+"""Dataset construction: the seeded world builder and the background
+resolution driver that feeds passive DNS beyond the panel's view."""
+
+from repro.datasets.builder import World, build_world, run_background_resolutions
+
+__all__ = ["World", "build_world", "run_background_resolutions"]

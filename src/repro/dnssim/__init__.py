@@ -1,0 +1,40 @@
+"""DNS simulation substrate: authoritative zones with geo-aware server
+selection, a recursive-resolver model (including the third-party public
+resolver effect), and a passive-DNS replication database (the paper's
+Robtex substitute, Sect. 3.3)."""
+
+from repro.dnssim.records import DNSAnswer, ResourceRecord, RRType
+from repro.dnssim.authority import (
+    AuthorityDirectory,
+    ClientSite,
+    FqdnService,
+    SelectionPolicy,
+    Zone,
+)
+from repro.dnssim.resolver import PublicResolver, RecursiveResolver
+from repro.dnssim.passive import PassiveDNSDatabase, PassiveRecord
+from repro.dnssim.cache import (
+    CacheStats,
+    CachingResolver,
+    propagation_profile,
+    redirection_propagation,
+)
+
+__all__ = [
+    "RRType",
+    "ResourceRecord",
+    "DNSAnswer",
+    "Zone",
+    "FqdnService",
+    "SelectionPolicy",
+    "ClientSite",
+    "AuthorityDirectory",
+    "RecursiveResolver",
+    "PublicResolver",
+    "PassiveDNSDatabase",
+    "PassiveRecord",
+    "CachingResolver",
+    "CacheStats",
+    "redirection_propagation",
+    "propagation_profile",
+]

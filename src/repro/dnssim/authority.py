@@ -1,0 +1,244 @@
+"""Authoritative DNS with geo-aware server selection.
+
+Each organization operates one :class:`Zone` covering its domains.  A
+zone maps every FQDN it serves to a :class:`FqdnService`: the set of
+server endpoints that can answer for the name plus a
+:class:`SelectionPolicy` describing how the authority maps a querying
+resolver to one of them.
+
+The selection policies model the strategies that produce the paper's
+confinement structure:
+
+* ``NEAREST`` — CDN-style latency mapping: answer with the endpoint
+  geographically closest to the querying resolver.  Dense-PoP
+  organizations confine EU users within EU28 this way.
+* ``HOME`` — always answer from the organization's home deployment,
+  wherever the client is (small trackers without a CDN).
+* ``WEIGHTED`` — random endpoint weighted by capacity (load balancing
+  without geo awareness).
+* ``ROUND_ROBIN`` — deterministic rotation over endpoints.
+
+Server endpoints are duck-typed: any object with ``ip`` (an
+:class:`~repro.netbase.addr.IPAddress`), ``country`` (ISO2 string) and
+``lat`` / ``lon`` floats works; ``repro.web.deployment`` provides the
+concrete type.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import DNSError, NXDomainError
+from repro.geodata.distance import great_circle_km
+from repro.netbase.addr import IPAddress
+
+
+class Endpoint(Protocol):
+    """Structural type for a server endpoint a zone can answer with."""
+
+    ip: IPAddress
+    country: str
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class ClientSite:
+    """Where a query (from the authority's point of view) comes from."""
+
+    country: str
+    lat: float
+    lon: float
+
+
+class SelectionPolicy(enum.Enum):
+    NEAREST = "nearest"
+    HOME = "home"
+    WEIGHTED = "weighted"
+    ROUND_ROBIN = "round_robin"
+
+
+def _continent_of(iso2: str) -> str:
+    """Continent code of a country (unknown codes form their own bucket)."""
+    from repro.geodata.countries import default_registry
+
+    country = default_registry().find(iso2)
+    return country.continent if country is not None else iso2
+
+
+@dataclass
+class FqdnService:
+    """The endpoints and mapping policy behind one FQDN."""
+
+    #: probability a WEIGHTED (load-balanced) answer stays on the
+    #: querying resolver's continent when same-continent endpoints
+    #: exist: real load balancers keep users on-continent for latency,
+    #: but configuration drift leaks a minority of answers overseas.
+    GEOFENCE_PROBABILITY = 0.60
+
+    fqdn: str
+    endpoints: List[Endpoint]
+    policy: SelectionPolicy = SelectionPolicy.NEAREST
+    ttl: int = 300
+    weights: Optional[List[float]] = None
+    _rr_cursor: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise DNSError(f"FQDN {self.fqdn} has no endpoints")
+        if self.weights is not None and len(self.weights) != len(self.endpoints):
+            raise DNSError(f"FQDN {self.fqdn}: weights/endpoints length mismatch")
+
+    def select(
+        self, client: ClientSite, rng: Optional[random.Random] = None
+    ) -> Endpoint:
+        """Pick the endpoint this authority answers with for ``client``."""
+        if self.policy is SelectionPolicy.NEAREST:
+            return min(
+                self.endpoints,
+                key=lambda e: (
+                    great_circle_km(client.lat, client.lon, e.lat, e.lon),
+                    int(e.ip),
+                ),
+            )
+        if self.policy is SelectionPolicy.HOME:
+            return self.endpoints[0]
+        if self.policy is SelectionPolicy.ROUND_ROBIN:
+            endpoint = self.endpoints[self._rr_cursor % len(self.endpoints)]
+            self._rr_cursor += 1
+            return endpoint
+        # WEIGHTED: continent-fenced load balancing.
+        if rng is None:
+            rng = random.Random(0)
+        candidates: Sequence[Endpoint] = self.endpoints
+        candidate_weights = self.weights or [1.0] * len(self.endpoints)
+        if rng.random() < self.GEOFENCE_PROBABILITY:
+            client_continent = _continent_of(client.country)
+            fenced = [
+                (endpoint, weight)
+                for endpoint, weight in zip(candidates, candidate_weights)
+                if _continent_of(endpoint.country) == client_continent
+            ]
+            if not fenced:
+                # No footprint on the client's continent: fence to the
+                # continent of the closest endpoint instead (e.g. South
+                # American clients ride the North American sites).
+                nearest = min(
+                    self.endpoints,
+                    key=lambda e: great_circle_km(
+                        client.lat, client.lon, e.lat, e.lon
+                    ),
+                )
+                nearest_continent = _continent_of(nearest.country)
+                fenced = [
+                    (endpoint, weight)
+                    for endpoint, weight in zip(candidates, candidate_weights)
+                    if _continent_of(endpoint.country) == nearest_continent
+                ]
+            if fenced:
+                candidates = [endpoint for endpoint, _ in fenced]
+                candidate_weights = [weight for _, weight in fenced]
+        total = sum(candidate_weights)
+        point = rng.random() * total
+        cumulative = 0.0
+        for endpoint, weight in zip(candidates, candidate_weights):
+            cumulative += weight
+            if point <= cumulative:
+                return endpoint
+        return candidates[-1]
+
+    def countries(self) -> List[str]:
+        """Distinct endpoint countries, sorted (used by what-if engines)."""
+        return sorted({e.country for e in self.endpoints})
+
+
+class Zone:
+    """An organization's authoritative zone."""
+
+    def __init__(self, apex: str, owner: str) -> None:
+        if not apex or apex != apex.lower():
+            raise DNSError(f"zone apex must be non-empty lowercase: {apex!r}")
+        self.apex = apex
+        self.owner = owner
+        self._services: Dict[str, FqdnService] = {}
+
+    def __contains__(self, fqdn: str) -> bool:
+        return fqdn in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def add_service(self, service: FqdnService) -> None:
+        name = service.fqdn
+        if not (name == self.apex or name.endswith("." + self.apex)):
+            raise DNSError(f"{name} is outside zone {self.apex}")
+        self._services[name] = service
+
+    def service(self, fqdn: str) -> FqdnService:
+        try:
+            return self._services[fqdn]
+        except KeyError:
+            raise NXDomainError(f"{fqdn} not found in zone {self.apex}") from None
+
+    def services(self) -> List[FqdnService]:
+        return [self._services[name] for name in sorted(self._services)]
+
+    def answer(
+        self, fqdn: str, client: ClientSite, rng: Optional[random.Random] = None
+    ) -> Tuple[Endpoint, int]:
+        """Authoritative answer: the selected endpoint and the TTL."""
+        service = self.service(fqdn)
+        return service.select(client, rng), service.ttl
+
+
+def zone_apex_of(fqdn: str) -> str:
+    """Derive the registrable domain (TLD+1) a name belongs to.
+
+    The simulation only generates two-label apexes (``name.tld``), so the
+    apex is simply the last two labels.
+    """
+    labels = fqdn.split(".")
+    if len(labels) < 2 or not all(labels):
+        raise DNSError(f"cannot derive zone apex of {fqdn!r}")
+    return ".".join(labels[-2:])
+
+
+class AuthorityDirectory:
+    """All authoritative zones of the simulated world, indexed by apex."""
+
+    def __init__(self, zones: Iterable[Zone] = ()) -> None:
+        self._zones: Dict[str, Zone] = {}
+        for zone in zones:
+            self.add(zone)
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def add(self, zone: Zone) -> None:
+        if zone.apex in self._zones:
+            raise DNSError(f"duplicate zone {zone.apex}")
+        self._zones[zone.apex] = zone
+
+    def zone_for(self, fqdn: str) -> Zone:
+        apex = zone_apex_of(fqdn)
+        zone = self._zones.get(apex)
+        if zone is None:
+            raise NXDomainError(f"no authority for {fqdn} (apex {apex})")
+        return zone
+
+    def zones(self) -> List[Zone]:
+        return [self._zones[apex] for apex in sorted(self._zones)]
+
+    def all_services(self) -> List[FqdnService]:
+        out: List[FqdnService] = []
+        for zone in self.zones():
+            out.extend(zone.services())
+        return out
+
+    def services_under_tld1(self, apex: str) -> List[FqdnService]:
+        """All services in the zone of a registrable domain, if known."""
+        zone = self._zones.get(apex)
+        return zone.services() if zone is not None else []

@@ -1,0 +1,58 @@
+"""DNS record and answer value types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DNSError
+from repro.netbase.addr import IPAddress
+
+
+class RRType(enum.Enum):
+    """The record types the simulation uses."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+
+    @staticmethod
+    def for_address(address: IPAddress) -> "RRType":
+        return RRType.A if address.version == 4 else RRType.AAAA
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS resource record (name, type, value, TTL seconds)."""
+
+    name: str
+    rtype: RRType
+    value: str
+    ttl: int
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise DNSError("TTL must be non-negative")
+        if not self.name or self.name != self.name.lower():
+            raise DNSError(f"record names must be non-empty lowercase: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class DNSAnswer:
+    """The outcome of one recursive resolution.
+
+    ``resolver_country`` records where the recursive resolver that asked
+    the authority was located — the location the authority's mapping
+    logic actually saw, which differs from the client's country when a
+    third-party public resolver was used.
+    """
+
+    name: str
+    address: IPAddress
+    ttl: int
+    server_country: str
+    resolver_country: str
+
+    @property
+    def rtype(self) -> RRType:
+        return RRType.for_address(self.address)

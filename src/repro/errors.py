@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subclasses are
+organized by subsystem, mirroring the package layout.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """Raised when an experiment configuration is inconsistent or invalid."""
+
+
+class AddressError(ReproError):
+    """Raised for malformed IP addresses or prefixes."""
+
+
+class AllocationError(AddressError):
+    """Raised when an address pool cannot satisfy an allocation request."""
+
+
+class GeoDataError(ReproError):
+    """Raised for unknown countries, regions, or malformed geo queries."""
+
+
+class DNSError(ReproError):
+    """Raised for DNS simulation failures (unknown zone, no answer, ...)."""
+
+
+class NXDomainError(DNSError):
+    """Raised when a queried name does not exist in any authoritative zone."""
+
+
+class GeolocationError(ReproError):
+    """Raised when a geolocation engine cannot produce an estimate."""
+
+
+class ClassificationError(ReproError):
+    """Raised for malformed request records or filter-list rules."""
+
+
+class NetFlowError(ReproError):
+    """Raised for malformed flow records or exporter misconfiguration."""
+
+
+class PipelineError(ReproError):
+    """Raised when a study pipeline stage is run out of order."""

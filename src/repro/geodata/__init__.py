@@ -1,0 +1,24 @@
+"""Geographic ground truth: country registry, region algebra (EU28,
+continents, GDPR jurisdiction), and the geodesic distance / latency model
+used by the active-geolocation substrate."""
+
+from repro.geodata.countries import Country, CountryRegistry, default_registry
+from repro.geodata.regions import (
+    CONTINENT_NAMES,
+    Region,
+    continent_label,
+    region_of_country,
+)
+from repro.geodata.distance import great_circle_km, min_rtt_ms
+
+__all__ = [
+    "Country",
+    "CountryRegistry",
+    "default_registry",
+    "Region",
+    "CONTINENT_NAMES",
+    "continent_label",
+    "region_of_country",
+    "great_circle_km",
+    "min_rtt_ms",
+]

@@ -1,0 +1,95 @@
+"""Great-circle distance and the geodesic latency model.
+
+The active-geolocation substrate (``repro.geoloc``) emulates RIPE
+IPmap-style measurements: probes ping a target and the shortest observed
+RTT constrains the target's location.  The physics here is the standard
+speed-of-light-in-fibre bound: light in glass covers roughly 200 km per
+millisecond, and real paths are longer than geodesics, so measured RTTs
+sit above ``2 * distance / 200`` with path-stretch and queueing noise on
+top.  :func:`min_rtt_ms` produces such an RTT sample.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+EARTH_RADIUS_KM = 6371.0
+#: kilometres light travels per millisecond in fibre (c / refractive index)
+FIBRE_KM_PER_MS = 200.0
+#: typical multiplicative path stretch of real routes over geodesics
+DEFAULT_PATH_STRETCH = 1.4
+#: fixed last-mile / serialization overhead added to every RTT sample
+BASE_OVERHEAD_MS = 0.4
+
+
+def great_circle_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance in kilometres between two lat/lon points.
+
+    Uses the haversine formula, which is numerically stable for the
+    distances this simulation needs.
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def propagation_floor_ms(distance_km: float) -> float:
+    """Hard lower bound on RTT for a given geodesic distance."""
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return 2.0 * distance_km / FIBRE_KM_PER_MS
+
+
+def min_rtt_ms(
+    distance_km: float,
+    rng: Optional[random.Random] = None,
+    path_stretch: float = DEFAULT_PATH_STRETCH,
+    base_overhead_ms: float = BASE_OVERHEAD_MS,
+) -> float:
+    """Sample a minimum-of-several-pings RTT for ``distance_km``.
+
+    The sample is the propagation floor multiplied by the path stretch,
+    plus a last-mile/serialization overhead and a small one-sided noise
+    term.  It is guaranteed to stay at or above the physical floor, the
+    property the multilateration engine relies on.
+    """
+    floor = propagation_floor_ms(distance_km)
+    stretch = max(1.0, path_stretch)
+    noise = 0.0
+    if rng is not None:
+        # One-sided: queueing and detours only ever add latency.  The
+        # magnitude models the residual spread of a minimum over many
+        # pings, so it is small relative to the propagation component.
+        noise = abs(rng.gauss(0.0, 0.06)) * (floor + 1.0) + rng.random() * 0.2
+    return floor * stretch + base_overhead_ms + noise
+
+
+def rtt_upper_bound_km(rtt_ms: float) -> float:
+    """Largest geodesic distance compatible with an observed RTT.
+
+    Inverts the physical floor only (no stretch), so the bound is always
+    conservative: the true target is never farther than this.
+    """
+    if rtt_ms < 0:
+        raise ValueError("rtt must be non-negative")
+    return rtt_ms * FIBRE_KM_PER_MS / 2.0
+
+
+def midpoint(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> Tuple[float, float]:
+    """Approximate geographic midpoint of two lat/lon points.
+
+    Good enough for the probe-mesh placement jitter; not used for any
+    measurement math.
+    """
+    return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)

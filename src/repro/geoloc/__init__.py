@@ -1,0 +1,22 @@
+"""Geolocation substrate: ground-truth oracle, RIPE-Atlas-like probe
+mesh, active-measurement geolocation (RIPE IPmap substitute), commercial
+databases with legal-entity bias (MaxMind / IP-API substitutes), and
+pairwise comparison tooling (Tables 3 and 4)."""
+
+from repro.geoloc.truth import GroundTruthOracle
+from repro.geoloc.probes import Probe, ProbeMesh
+from repro.geoloc.ipmap import GeolocationEstimate, IPmapEngine
+from repro.geoloc.commercial import CommercialGeoDatabase, derive_ip_api
+from repro.geoloc.compare import agreement_matrix, misgeolocation_report
+
+__all__ = [
+    "GroundTruthOracle",
+    "Probe",
+    "ProbeMesh",
+    "IPmapEngine",
+    "GeolocationEstimate",
+    "CommercialGeoDatabase",
+    "derive_ip_api",
+    "agreement_matrix",
+    "misgeolocation_report",
+]

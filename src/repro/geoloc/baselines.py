@@ -1,0 +1,124 @@
+"""Baseline active-geolocation algorithms.
+
+The paper's geolocation references ([31], [39]) build on two classic
+techniques that predate inference engines like RIPE IPmap:
+
+* **shortest ping** — the target is wherever the lowest-RTT landmark is
+  (`ShortestPingLocator`);
+* **constraint-based geolocation (CBG)** — every landmark's RTT defines
+  a speed-of-light disk; the target lies in the intersection, estimated
+  here as the candidate site satisfying every constraint with the
+  smallest total slack (`CBGLocator`).
+
+Both run against the same probe mesh and latency physics as the main
+engine, so the benchmark comparison isolates the *algorithm*:
+shortest-ping inherits the landmark's country (wrong whenever no probe
+shares the target's country), CBG fixes part of that, and the voting
+engine of :mod:`repro.geoloc.ipmap` adds the joint fit + majority vote
+the paper relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import GeolocationConfig
+from repro.errors import GeolocationError
+from repro.geodata.countries import CountryRegistry
+from repro.geodata.distance import great_circle_km, rtt_upper_bound_km
+from repro.geoloc.probes import ProbeMesh
+from repro.geoloc.truth import GroundTruthOracle
+from repro.netbase.addr import IPAddress
+from repro.util.rng import RngStreams
+
+
+class ShortestPingLocator:
+    """The target is where its lowest-RTT landmark is."""
+
+    def __init__(
+        self,
+        mesh: ProbeMesh,
+        oracle: GroundTruthOracle,
+        config: GeolocationConfig,
+        streams: RngStreams,
+    ) -> None:
+        self._mesh = mesh
+        self._oracle = oracle
+        self._config = config
+        self._rng = streams.get("shortest-ping")
+        self._cache: Dict[IPAddress, Optional[str]] = {}
+
+    def locate(self, address: IPAddress) -> Optional[str]:
+        if address in self._cache:
+            return self._cache[address]
+        target = self._oracle.coordinates(address)
+        if target is None:
+            raise GeolocationError(f"no physical location for {address}")
+        campaign_rng = random.Random((self._rng.getrandbits(32) << 1) | 1)
+        probes = self._mesh.sample(
+            campaign_rng, self._config.probes_per_campaign
+        )
+        best = min(
+            probes, key=lambda probe: probe.rtt_to(*target, campaign_rng)
+        )
+        self._cache[address] = best.country
+        return best.country
+
+
+class CBGLocator:
+    """Constraint-based geolocation over the country candidate sites."""
+
+    def __init__(
+        self,
+        mesh: ProbeMesh,
+        oracle: GroundTruthOracle,
+        registry: CountryRegistry,
+        config: GeolocationConfig,
+        streams: RngStreams,
+    ) -> None:
+        self._mesh = mesh
+        self._oracle = oracle
+        self._config = config
+        self._rng = streams.get("cbg")
+        self._cache: Dict[IPAddress, Optional[str]] = {}
+        self._sites: List[Tuple[str, float, float]] = [
+            (c.iso2, c.lat, c.lon) for c in registry
+        ]
+        self._sites.extend(
+            (c.iso2, *c.hosting_site)
+            for c in registry
+            if c.hosting_site != (c.lat, c.lon)
+        )
+
+    def locate(self, address: IPAddress) -> Optional[str]:
+        if address in self._cache:
+            return self._cache[address]
+        target = self._oracle.coordinates(address)
+        if target is None:
+            raise GeolocationError(f"no physical location for {address}")
+        campaign_rng = random.Random((self._rng.getrandbits(32) << 1) | 1)
+        probes = self._mesh.sample(
+            campaign_rng, self._config.probes_per_campaign
+        )
+        measurements = [
+            (probe, rtt_upper_bound_km(probe.rtt_to(*target, campaign_rng)))
+            for probe in probes
+        ]
+        best_country: Optional[str] = None
+        best_slack = float("inf")
+        for country, lat, lon in self._sites:
+            slack = 0.0
+            feasible = True
+            for probe, bound in measurements:
+                distance = great_circle_km(probe.lat, probe.lon, lat, lon)
+                overshoot = distance - (bound + 300.0)
+                if overshoot > 0:
+                    feasible = False
+                    break
+                slack += bound - distance
+            if feasible and slack < best_slack:
+                best_slack = slack
+                best_country = country
+        self._cache[address] = best_country
+        return best_country

@@ -1,0 +1,124 @@
+"""Commercial geolocation databases (MaxMind / IP-API substitutes).
+
+Commercial databases geolocate *eyeball* prefixes well — that is their
+market — but map *infrastructure* prefixes to the operating company's
+legal seat (the paper's example: every Google server "in Mountain
+View").  The emulation applies exactly that bias at prefix granularity:
+
+* eyeball prefixes → true country;
+* hosting / cloud prefixes → with probability ``legal_seat_bias`` the
+  owner's legal-seat country, otherwise the true country.
+
+A second database (the IP-API substitute) is *derived* from the first:
+it agrees with it on almost every prefix (paper Table 3: >96% country
+agreement between MaxMind and IP-API) because commercial providers share
+sources; the few disagreements flip back to the true country.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from repro.netbase.addr import IPAddress, Prefix
+from repro.netbase.allocator import AddressPlan, PrefixRecord
+from repro.util.rng import RngStreams, derive_seed
+
+
+class CommercialGeoDatabase:
+    """A prefix-granularity commercial geolocation database."""
+
+    def __init__(self, name: str, entries: Dict[Prefix, str]) -> None:
+        self.name = name
+        self._entries = dict(entries)
+        self._plan: Optional[AddressPlan] = None
+
+    def attach_plan(self, plan: AddressPlan) -> None:
+        """Attach the address plan used to find the covering prefix."""
+        self._plan = plan
+
+    def locate(self, address: IPAddress) -> Optional[str]:
+        """Country answer for ``address`` (None outside known space)."""
+        if self._plan is None:
+            raise RuntimeError(
+                f"{self.name}: attach_plan must be called before locate"
+            )
+        record = self._plan.lookup(address)
+        if record is None:
+            return None
+        return self._entries.get(record.prefix)
+
+    def prefix_country(self, prefix: Prefix) -> Optional[str]:
+        return self._entries.get(prefix)
+
+    def entries(self) -> Dict[Prefix, str]:
+        return dict(self._entries)
+
+    @classmethod
+    def build_maxmind_like(
+        cls,
+        plan: AddressPlan,
+        owner_seats: Mapping[str, str],
+        legal_seat_bias: float,
+        streams: RngStreams,
+        name: str = "maxmind",
+    ) -> "CommercialGeoDatabase":
+        """Build the primary commercial database against an address plan.
+
+        ``owner_seats`` maps prefix owners (organizations, cloud
+        providers, ISPs) to their legal-seat country; owners without an
+        entry fall back to the prefix's true country.
+        """
+        seed = derive_seed(streams.seed, f"commercial:{name}")
+        entries: Dict[Prefix, str] = {}
+        for record in plan.records():
+            entries[record.prefix] = cls._entry_for(
+                record, owner_seats, legal_seat_bias, seed
+            )
+        database = cls(name, entries)
+        database.attach_plan(plan)
+        return database
+
+    @staticmethod
+    def _entry_for(
+        record: PrefixRecord,
+        owner_seats: Mapping[str, str],
+        legal_seat_bias: float,
+        seed: int,
+    ) -> str:
+        if record.kind == "eyeball":
+            return record.country
+        seat = owner_seats.get(record.owner)
+        if seat is None:
+            return record.country
+        rng = random.Random(derive_seed(seed, str(record.prefix)))
+        if rng.random() < legal_seat_bias:
+            return seat
+        return record.country
+
+
+def derive_ip_api(
+    primary: CommercialGeoDatabase,
+    plan: AddressPlan,
+    agreement: float,
+    streams: RngStreams,
+    name: str = "ip-api",
+) -> CommercialGeoDatabase:
+    """Derive the second commercial database from the first.
+
+    With probability ``agreement`` a prefix copies the primary's answer;
+    otherwise it reverts to the true country (a provider that did its
+    own homework for that block).
+    """
+    seed = derive_seed(streams.seed, f"commercial:{name}")
+    entries: Dict[Prefix, str] = {}
+    for record in plan.records():
+        primary_answer = primary.prefix_country(record.prefix)
+        rng = random.Random(derive_seed(seed, str(record.prefix)))
+        if primary_answer is not None and rng.random() < agreement:
+            entries[record.prefix] = primary_answer
+        else:
+            entries[record.prefix] = record.country
+    database = CommercialGeoDatabase(name, entries)
+    database.attach_plan(plan)
+    return database

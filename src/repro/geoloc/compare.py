@@ -1,0 +1,142 @@
+"""Cross-tool geolocation comparison (Tables 3 and 4).
+
+Given a set of IPs and several locator functions (``ip → country or
+None``), compute the pairwise country- and region-level agreement
+matrix, and the per-organization mis-geolocation report against a
+reference locator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.geodata.regions import Region, region_of_country
+from repro.netbase.addr import IPAddress
+
+Locator = Callable[[IPAddress], Optional[str]]
+
+
+@dataclass(frozen=True)
+class AgreementCell:
+    """Country / region agreement between two locators."""
+
+    country_pct: float
+    region_pct: float
+
+
+def _region(country: Optional[str]) -> Optional[Region]:
+    if country is None:
+        return None
+    region = region_of_country(country)
+    return None if region is Region.UNKNOWN else region
+
+
+def agreement_matrix(
+    addresses: Sequence[IPAddress],
+    locators: Mapping[str, Locator],
+) -> Dict[Tuple[str, str], AgreementCell]:
+    """Pairwise agreement over ``addresses`` for every locator pair.
+
+    Agreement on a pair of tools counts addresses where both produced an
+    answer and the answers match; the denominator is addresses where
+    both produced an answer (mirroring the paper's pairwise table).
+    """
+    answers: Dict[str, List[Optional[str]]] = {
+        name: [locator(address) for address in addresses]
+        for name, locator in locators.items()
+    }
+    names = sorted(locators)
+    matrix: Dict[Tuple[str, str], AgreementCell] = {}
+    for first in names:
+        for second in names:
+            same_country = 0
+            same_region = 0
+            total = 0
+            for a, b in zip(answers[first], answers[second]):
+                if a is None or b is None:
+                    continue
+                total += 1
+                if a == b:
+                    same_country += 1
+                if _region(a) is not None and _region(a) == _region(b):
+                    same_region += 1
+            cell = AgreementCell(
+                country_pct=100.0 * same_country / total if total else 0.0,
+                region_pct=100.0 * same_region / total if total else 0.0,
+            )
+            matrix[(first, second)] = cell
+    return matrix
+
+
+@dataclass(frozen=True)
+class MisgeolocationRow:
+    """Per-organization mis-geolocation summary (one Table 4 row)."""
+
+    org_label: str
+    n_ips: int
+    wrong_country_ips: int
+    wrong_region_ips: int
+    n_requests: int
+    wrong_country_requests: int
+    wrong_region_requests: int
+
+    @property
+    def wrong_country_ip_pct(self) -> float:
+        return 100.0 * self.wrong_country_ips / self.n_ips if self.n_ips else 0.0
+
+    @property
+    def wrong_region_ip_pct(self) -> float:
+        return 100.0 * self.wrong_region_ips / self.n_ips if self.n_ips else 0.0
+
+    @property
+    def wrong_country_request_pct(self) -> float:
+        if not self.n_requests:
+            return 0.0
+        return 100.0 * self.wrong_country_requests / self.n_requests
+
+    @property
+    def wrong_region_request_pct(self) -> float:
+        if not self.n_requests:
+            return 0.0
+        return 100.0 * self.wrong_region_requests / self.n_requests
+
+
+def misgeolocation_report(
+    org_label: str,
+    addresses: Iterable[IPAddress],
+    request_counts: Mapping[IPAddress, int],
+    tested: Locator,
+    reference: Locator,
+) -> MisgeolocationRow:
+    """Compare a commercial locator against the reference for one org.
+
+    ``request_counts`` weights each IP by how many requests it served,
+    yielding the paper's request-level percentages alongside IP-level
+    ones.
+    """
+    n_ips = wrong_country = wrong_region = 0
+    n_requests = wrong_country_requests = wrong_region_requests = 0
+    for address in addresses:
+        reference_country = reference(address)
+        tested_country = tested(address)
+        if reference_country is None:
+            continue
+        n_ips += 1
+        weight = request_counts.get(address, 0)
+        n_requests += weight
+        if tested_country != reference_country:
+            wrong_country += 1
+            wrong_country_requests += weight
+        if _region(tested_country) != _region(reference_country):
+            wrong_region += 1
+            wrong_region_requests += weight
+    return MisgeolocationRow(
+        org_label=org_label,
+        n_ips=n_ips,
+        wrong_country_ips=wrong_country,
+        wrong_region_ips=wrong_region,
+        n_requests=n_requests,
+        wrong_country_requests=wrong_country_requests,
+        wrong_region_requests=wrong_region_requests,
+    )

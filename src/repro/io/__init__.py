@@ -1,0 +1,21 @@
+"""Dataset serialization: export the pipeline's products (request logs,
+tracker-IP inventories, analysis summaries) to portable JSON/JSONL/CSV
+files and load them back."""
+
+from repro.io.export import (
+    inventory_from_json,
+    inventory_to_json,
+    requests_from_jsonl,
+    requests_to_jsonl,
+    sankey_to_csv,
+    summary_to_json,
+)
+
+__all__ = [
+    "requests_to_jsonl",
+    "requests_from_jsonl",
+    "inventory_to_json",
+    "inventory_from_json",
+    "sankey_to_csv",
+    "summary_to_json",
+]

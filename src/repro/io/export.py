@@ -1,0 +1,165 @@
+"""Portable serialization of the pipeline's products.
+
+The real study's artifacts (the extension's request logs, the compiled
+tracker-IP list) are the hand-off points between teams: the panel
+operators produce the log, the ISP analysts consume the IP list.  These
+helpers serialize exactly those products:
+
+* **request logs** → JSON-lines, one record per third-party request
+  (round-trips losslessly, including the simulation-only truth fields);
+* **tracker-IP inventories** → a single JSON document with per-IP
+  FQDNs, request counts, validity windows and dedication sets — the
+  file an ISP-side join would load;
+* **sankeys** → CSV edge lists for external plotting;
+* **analysis summaries** → plain JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, Iterable, List, Union
+
+from repro.core.tracker_ips import TrackerIPInventory, TrackerIPRecord
+from repro.errors import ReproError
+from repro.netbase.addr import IPAddress
+from repro.util.sankey import Sankey
+from repro.web.organizations import ServiceRole
+from repro.web.requests import ThirdPartyRequest
+
+PathLike = Union[str, pathlib.Path]
+
+#: bumped when the on-disk format changes incompatibly
+FORMAT_VERSION = 1
+
+
+# -- request logs -----------------------------------------------------------
+def _request_to_dict(request: ThirdPartyRequest) -> Dict:
+    return {
+        "first_party": request.first_party,
+        "url": request.url,
+        "referrer": request.referrer,
+        "ip": str(request.ip),
+        "user_id": request.user_id,
+        "user_country": request.user_country,
+        "day": request.day,
+        "https": request.https,
+        "truth_role": request.truth_role.value,
+        "truth_org": request.truth_org,
+        "truth_country": request.truth_country,
+        "chain_depth": request.chain_depth,
+    }
+
+
+def _request_from_dict(payload: Dict) -> ThirdPartyRequest:
+    return ThirdPartyRequest(
+        first_party=payload["first_party"],
+        url=payload["url"],
+        referrer=payload["referrer"],
+        ip=IPAddress.parse(payload["ip"]),
+        user_id=int(payload["user_id"]),
+        user_country=payload["user_country"],
+        day=float(payload["day"]),
+        https=bool(payload["https"]),
+        truth_role=ServiceRole(payload["truth_role"]),
+        truth_org=payload["truth_org"],
+        truth_country=payload["truth_country"],
+        chain_depth=int(payload["chain_depth"]),
+    )
+
+
+def requests_to_jsonl(
+    requests: Iterable[ThirdPartyRequest], path: PathLike
+) -> int:
+    """Write a request log as JSON-lines; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(json.dumps(_request_to_dict(request)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def requests_from_jsonl(path: PathLike) -> List[ThirdPartyRequest]:
+    """Load a request log written by :func:`requests_to_jsonl`."""
+    out: List[ThirdPartyRequest] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(_request_from_dict(json.loads(line)))
+            except (KeyError, ValueError) as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: malformed request record: {exc}"
+                ) from exc
+    return out
+
+
+# -- tracker-IP inventories ----------------------------------------------------
+def inventory_to_json(
+    inventory: TrackerIPInventory, path: PathLike
+) -> None:
+    """Write a tracker-IP inventory as one JSON document."""
+    records = []
+    for record in inventory.records():
+        records.append(
+            {
+                "address": str(record.address),
+                "fqdns": sorted(record.fqdns),
+                "request_count": record.request_count,
+                "seen_by_panel": record.seen_by_panel,
+                "first_seen": record.first_seen,
+                "last_seen": record.last_seen,
+                "domains_behind": sorted(record.domains_behind),
+            }
+        )
+    payload = {"format_version": FORMAT_VERSION, "records": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def inventory_from_json(path: PathLike) -> TrackerIPInventory:
+    """Load an inventory written by :func:`inventory_to_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported inventory format "
+            f"{payload.get('format_version')!r}"
+        )
+    inventory = TrackerIPInventory()
+    for item in payload["records"]:
+        record = TrackerIPRecord(
+            address=IPAddress.parse(item["address"]),
+            fqdns=set(item["fqdns"]),
+            request_count=int(item["request_count"]),
+            seen_by_panel=bool(item["seen_by_panel"]),
+            first_seen=item["first_seen"],
+            last_seen=item["last_seen"],
+            domains_behind=set(item["domains_behind"]),
+        )
+        inventory._records[record.address] = record  # noqa: SLF001
+        inventory._tracking_fqdns.update(record.fqdns)  # noqa: SLF001
+    return inventory
+
+
+# -- sankeys / summaries --------------------------------------------------------
+def sankey_to_csv(sankey: Sankey, path: PathLike) -> int:
+    """Write a sankey's edge list as CSV; returns the edge count."""
+    rows = sankey.rows()
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["origin", "destination", "weight"])
+        for origin, destination, weight in rows:
+            writer.writerow([origin, destination, weight])
+    return len(rows)
+
+
+def summary_to_json(summary: Dict, path: PathLike) -> None:
+    """Write an analysis summary (plain dict of scalars) as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)

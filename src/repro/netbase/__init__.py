@@ -1,0 +1,18 @@
+"""Network addressing substrate: IPv4/IPv6 value types, prefix
+arithmetic, an RIR-style address-plan allocator, and an autonomous-system
+registry.  Everything above this layer (DNS, web, NetFlow, geolocation)
+speaks in these types."""
+
+from repro.netbase.addr import IPAddress, Prefix
+from repro.netbase.allocator import AddressPlan, PrefixPool, PrefixRecord
+from repro.netbase.asn import AutonomousSystem, ASRegistry
+
+__all__ = [
+    "IPAddress",
+    "Prefix",
+    "AddressPlan",
+    "PrefixPool",
+    "PrefixRecord",
+    "AutonomousSystem",
+    "ASRegistry",
+]

@@ -1,0 +1,281 @@
+"""IP address and prefix value types.
+
+Implemented from first principles (integer arithmetic over the 32- and
+128-bit address spaces) rather than on top of :mod:`ipaddress`, because
+the allocator and the NetFlow exporter need cheap, hashable, orderable
+value types and bulk prefix arithmetic.
+
+IPv4 parsing accepts dotted-quad; IPv6 parsing accepts full and
+``::``-compressed hextet forms (sufficient for the simulation, which
+generates all addresses itself).  Formatting always produces canonical
+text (IPv6 with the longest zero run compressed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import AddressError
+
+_MAX = {4: (1 << 32) - 1, 6: (1 << 128) - 1}
+_BITS = {4: 32, 6: 128}
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """An IPv4 or IPv6 address as an integer plus a version tag."""
+
+    version: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.version not in (4, 6):
+            raise AddressError(f"unknown IP version {self.version!r}")
+        if not 0 <= self.value <= _MAX[self.version]:
+            raise AddressError(
+                f"address value out of range for IPv{self.version}"
+            )
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse dotted-quad IPv4 or (possibly compressed) IPv6 text."""
+        if ":" in text:
+            return cls(6, _parse_v6(text))
+        return cls(4, _parse_v4(text))
+
+    @classmethod
+    def v4(cls, value: int) -> "IPAddress":
+        return cls(4, value)
+
+    @classmethod
+    def v6(cls, value: int) -> "IPAddress":
+        return cls(6, value)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, offset: int) -> "IPAddress":
+        return IPAddress(self.version, self.value + offset)
+
+    def __int__(self) -> int:
+        return self.value
+
+    # -- presentation ---------------------------------------------------------
+    def __str__(self) -> str:
+        if self.version == 4:
+            return _format_v4(self.value)
+        return _format_v6(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IPAddress({str(self)!r})"
+
+
+def _parse_v4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"malformed IPv4 octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_v4(value: int) -> str:
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def _parse_v6(text: str) -> int:
+    if text.count("::") > 1:
+        raise AddressError(f"malformed IPv6 address {text!r}")
+    if "::" in text:
+        head_text, tail_text = text.split("::", 1)
+        head = head_text.split(":") if head_text else []
+        tail = tail_text.split(":") if tail_text else []
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise AddressError(f"malformed IPv6 address {text!r}")
+        groups = head + ["0"] * missing + tail
+    else:
+        groups = text.split(":")
+        if len(groups) != 8:
+            raise AddressError(f"malformed IPv6 address {text!r}")
+    value = 0
+    for group in groups:
+        if not group or len(group) > 4:
+            raise AddressError(f"malformed IPv6 hextet {group!r} in {text!r}")
+        try:
+            hextet = int(group, 16)
+        except ValueError:
+            raise AddressError(
+                f"malformed IPv6 hextet {group!r} in {text!r}"
+            ) from None
+        value = (value << 16) | hextet
+    return value
+
+
+def _format_v6(value: int) -> str:
+    groups = [(value >> (16 * (7 - i))) & 0xFFFF for i in range(8)]
+    # Find the longest run of zero groups (length >= 2) to compress.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len >= 2:
+        head = ":".join(f"{g:x}" for g in groups[:best_start])
+        tail = ":".join(f"{g:x}" for g in groups[best_start + best_len :])
+        return f"{head}::{tail}"
+    return ":".join(f"{g:x}" for g in groups)
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix: a network address and a mask length."""
+
+    version: int
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.version not in (4, 6):
+            raise AddressError(f"unknown IP version {self.version!r}")
+        bits = _BITS[self.version]
+        if not 0 <= self.length <= bits:
+            raise AddressError(
+                f"prefix length {self.length} out of range for IPv{self.version}"
+            )
+        if not 0 <= self.network <= _MAX[self.version]:
+            raise AddressError("network value out of range")
+        if self.network & self.host_mask():
+            raise AddressError(
+                f"network {self.network:#x} has host bits set for /{self.length}"
+            )
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``address/length`` CIDR text."""
+        if "/" not in text:
+            raise AddressError(f"missing /length in prefix {text!r}")
+        addr_text, length_text = text.rsplit("/", 1)
+        if not length_text.isdigit():
+            raise AddressError(f"malformed prefix length in {text!r}")
+        address = IPAddress.parse(addr_text)
+        return cls(address.version, address.value, int(length_text))
+
+    @classmethod
+    def of(cls, address: IPAddress, length: int) -> "Prefix":
+        """Prefix containing ``address`` with the given mask length."""
+        bits = _BITS[address.version]
+        mask = _MAX[address.version] ^ ((1 << (bits - length)) - 1) if length else 0
+        return cls(address.version, address.value & mask, length)
+
+    # -- mask helpers -----------------------------------------------------
+    def host_bits(self) -> int:
+        return _BITS[self.version] - self.length
+
+    def host_mask(self) -> int:
+        return (1 << self.host_bits()) - 1
+
+    def netmask(self) -> int:
+        return _MAX[self.version] ^ self.host_mask()
+
+    # -- membership / size ----------------------------------------------------
+    @property
+    def num_addresses(self) -> int:
+        return 1 << self.host_bits()
+
+    def first(self) -> IPAddress:
+        return IPAddress(self.version, self.network)
+
+    def last(self) -> IPAddress:
+        return IPAddress(self.version, self.network | self.host_mask())
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, IPAddress):
+            return (
+                item.version == self.version
+                and item.value & self.netmask() == self.network
+            )
+        if isinstance(item, Prefix):
+            return (
+                item.version == self.version
+                and item.length >= self.length
+                and item.network & self.netmask() == self.network
+            )
+        return NotImplemented  # type: ignore[return-value]
+
+    def overlaps(self, other: "Prefix") -> bool:
+        if other.version != self.version:
+            return False
+        return other in self or self in other
+
+    # -- subdivision -----------------------------------------------------
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Yield the subdivision of this prefix into /new_length subnets."""
+        if new_length < self.length:
+            raise AddressError("new_length must not be shorter than length")
+        if new_length > _BITS[self.version]:
+            raise AddressError("new_length exceeds address width")
+        step = 1 << (_BITS[self.version] - new_length)
+        for network in range(
+            self.network, self.network + self.num_addresses, step
+        ):
+            yield Prefix(self.version, network, new_length)
+
+    def supernet(self, new_length: int) -> "Prefix":
+        """The enclosing prefix of mask length ``new_length``."""
+        if new_length > self.length:
+            raise AddressError("supernet must be shorter than prefix")
+        return Prefix.of(self.first(), new_length)
+
+    def addresses(self) -> Iterator[IPAddress]:
+        """Iterate every address in the prefix (use only on small ones)."""
+        for value in range(self.network, self.network + self.num_addresses):
+            yield IPAddress(self.version, value)
+
+    def nth(self, index: int) -> IPAddress:
+        """The ``index``-th address of the prefix (0-based)."""
+        if not 0 <= index < self.num_addresses:
+            raise AddressError(
+                f"address index {index} out of range for {self}"
+            )
+        return IPAddress(self.version, self.network + index)
+
+    # -- presentation ---------------------------------------------------------
+    def __str__(self) -> str:
+        return f"{self.first()}/{self.length}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Prefix({str(self)!r})"
+
+
+def summarize(prefixes: List[Prefix]) -> List[Prefix]:
+    """Collapse a prefix list: drop prefixes contained in another one.
+
+    This is containment-deduplication, not full CIDR aggregation of
+    adjacent prefixes; it is what the cloud-range matcher needs.
+    """
+    kept: List[Prefix] = []
+    for candidate in sorted(prefixes, key=lambda p: (p.version, p.length)):
+        if not any(candidate in existing for existing in kept):
+            kept.append(candidate)
+    return sorted(kept)
+
+
+def prefix_key(prefix: Prefix) -> Tuple[int, int, int]:
+    """Sort/lookup key for a prefix (version, network, length)."""
+    return (prefix.version, prefix.network, prefix.length)

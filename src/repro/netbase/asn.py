@@ -1,0 +1,88 @@
+"""Autonomous-system registry.
+
+ASes give endpoints an organizational identity independent of geography:
+an eyeball AS (an ISP's access network), a hosting AS (a datacenter
+operator or a tracker's own infrastructure), or a cloud AS.  The NetFlow
+exporter stamps flows with the AS of the external endpoint, and the
+commercial-geolocation emulation uses the AS registration country as its
+(wrong, legal-seat) answer for infrastructure addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ReproError
+
+AS_KINDS = ("eyeball", "hosting", "cloud", "transit")
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """A simulated AS: number, display name, kind, registration country."""
+
+    number: int
+    name: str
+    kind: str
+    registered_country: str
+
+    def __post_init__(self) -> None:
+        if self.number <= 0:
+            raise ReproError("AS number must be positive")
+        if self.kind not in AS_KINDS:
+            raise ReproError(f"unknown AS kind {self.kind!r}")
+
+
+class ASRegistry:
+    """Allocation and lookup of simulated AS numbers."""
+
+    #: private-use 32-bit ASN range start; keeps simulated numbers
+    #: visually distinct from well-known real ASNs.
+    FIRST_NUMBER = 4_200_000_000
+
+    def __init__(self) -> None:
+        self._by_number: Dict[int, AutonomousSystem] = {}
+        self._next = self.FIRST_NUMBER
+
+    def __len__(self) -> int:
+        return len(self._by_number)
+
+    def register(
+        self, name: str, kind: str, registered_country: str
+    ) -> AutonomousSystem:
+        """Allocate the next AS number and register the AS under it."""
+        asn = AutonomousSystem(
+            number=self._next,
+            name=name,
+            kind=kind,
+            registered_country=registered_country,
+        )
+        self._by_number[asn.number] = asn
+        self._next += 1
+        return asn
+
+    def get(self, number: int) -> AutonomousSystem:
+        try:
+            return self._by_number[number]
+        except KeyError:
+            raise ReproError(f"unknown AS number {number}") from None
+
+    def find(self, number: int) -> Optional[AutonomousSystem]:
+        return self._by_number.get(number)
+
+    def all(self) -> List[AutonomousSystem]:
+        return sorted(self._by_number.values(), key=lambda a: a.number)
+
+    def by_kind(self, kind: str) -> List[AutonomousSystem]:
+        if kind not in AS_KINDS:
+            raise ReproError(f"unknown AS kind {kind!r}")
+        return [a for a in self.all() if a.kind == kind]
+
+    def extend(self, ases: Iterable[AutonomousSystem]) -> None:
+        """Bulk-register externally constructed AS objects."""
+        for asn in ases:
+            if asn.number in self._by_number:
+                raise ReproError(f"duplicate AS number {asn.number}")
+            self._by_number[asn.number] = asn
+            self._next = max(self._next, asn.number + 1)

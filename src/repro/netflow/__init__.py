@@ -1,0 +1,22 @@
+"""ISP-scale substrate: NetFlow v9-style records, packet-sampled export,
+the four European ISP profiles of Sect. 7, per-subscriber traffic
+synthesis, and the privacy-preserving tracker-IP join."""
+
+from repro.netflow.records import FlowRecord, PROTO_TCP, PROTO_UDP
+from repro.netflow.isps import ISPProfile, default_isps
+from repro.netflow.exporter import FlowExporter, PacketSampler
+from repro.netflow.traffic import TrafficSynthesizer
+from repro.netflow.join import HashedIPMatcher, TrackerFlowJoin
+
+__all__ = [
+    "FlowRecord",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "ISPProfile",
+    "default_isps",
+    "FlowExporter",
+    "PacketSampler",
+    "TrafficSynthesizer",
+    "HashedIPMatcher",
+    "TrackerFlowJoin",
+]

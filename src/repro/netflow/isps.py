@@ -1,0 +1,92 @@
+"""The four European ISPs of the study (Table 7).
+
+Each :class:`ISPProfile` is an anonymized large ISP: its operating
+country, access type (broadband / mobile / mixed), subscriber scale, and
+traffic-synthesis parameters.  The access type drives the resolver mix
+— mobile subscribers use the ISP resolver almost exclusively, broadband
+subscribers increasingly use third-party resolvers — which the paper
+identifies as the cause of the mobile operators' higher confinement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class AccessType(enum.Enum):
+    BROADBAND = "broadband"
+    MOBILE = "mobile"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class ISPProfile:
+    """One ISP of the Sect. 7 study."""
+
+    name: str
+    country: str
+    access: AccessType
+    subscribers_m: float
+    demographics: str
+    #: relative daily web activity per subscriber (mobile browses less —
+    #: much of mobile traffic rides in apps, not browsers)
+    web_activity: float
+    #: where the ISP's own resolvers egress toward authorities — the
+    #: interconnection geography.  German ISPs peer at home (DE-CIX);
+    #: the Polish ISP hauls much of its transit to Amsterdam; the
+    #: Hungarian ISP interconnects at Vienna, the CEE hub.  Authorities
+    #: map clients by this vantage, which is what sends Polish traffic
+    #: to the Netherlands and Hungarian traffic to Austria (Fig. 12).
+    egress_mix: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_mobile(self) -> bool:
+        return self.access is AccessType.MOBILE
+
+    def resolved_egress_mix(self) -> Dict[str, float]:
+        """The egress mix, defaulting to the home country."""
+        return self.egress_mix or {self.country: 1.0}
+
+
+def default_isps() -> List[ISPProfile]:
+    """The Table 7 profiles."""
+    return [
+        ISPProfile(
+            name="DE-Broadband",
+            country="DE",
+            access=AccessType.BROADBAND,
+            subscribers_m=15.0,
+            demographics="15+ million broadband households",
+            web_activity=1.0,
+            egress_mix={"DE": 1.0},
+        ),
+        ISPProfile(
+            name="DE-Mobile",
+            country="DE",
+            access=AccessType.MOBILE,
+            subscribers_m=40.0,
+            demographics="40+ million mobile users",
+            web_activity=0.12,
+            egress_mix={"DE": 1.0},
+        ),
+        ISPProfile(
+            name="PL",
+            country="PL",
+            access=AccessType.MIXED,
+            subscribers_m=11.0,
+            demographics="11+ million mobile and broadband users",
+            web_activity=0.35,
+            egress_mix={"NL": 0.60, "PL": 0.17, "US": 0.23},
+        ),
+        ISPProfile(
+            name="HU",
+            country="HU",
+            access=AccessType.MOBILE,
+            subscribers_m=6.0,
+            demographics="6+ million mobile and broadband users",
+            web_activity=0.5,
+            egress_mix={"AT": 0.85, "HU": 0.15},
+        ),
+    ]

@@ -1,0 +1,9 @@
+"""Shared utilities: seeded RNG streams, empirical CDFs, table rendering,
+and sankey (origin→destination share) aggregation."""
+
+from repro.util.rng import RngStreams
+from repro.util.cdf import EmpiricalCDF
+from repro.util.sankey import Sankey
+from repro.util.tables import render_table
+
+__all__ = ["RngStreams", "EmpiricalCDF", "Sankey", "render_table"]

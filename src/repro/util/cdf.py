@@ -1,0 +1,123 @@
+"""Empirical distribution helpers used by the figure-regeneration code.
+
+The paper's Figures 2 and 4 are CDFs over per-website request counts and
+per-IP domain counts.  :class:`EmpiricalCDF` provides the exact,
+right-continuous empirical CDF with evaluation, quantiles, and a compact
+``points()`` export suitable for plotting or for the benchmark harness to
+print series.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class EmpiricalCDF:
+    """Right-continuous empirical CDF of a finite sample.
+
+    >>> cdf = EmpiricalCDF([1, 2, 2, 4])
+    >>> cdf.evaluate(2)
+    0.75
+    >>> cdf.quantile(0.5)
+    2
+    """
+
+    def __init__(self, sample: Iterable[float]) -> None:
+        values = sorted(float(v) for v in sample)
+        if not values:
+            raise ValueError("EmpiricalCDF requires a non-empty sample")
+        self._values = values
+        self._n = len(values)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def min(self) -> float:
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        return self._values[-1]
+
+    def mean(self) -> float:
+        return sum(self._values) / self._n
+
+    def evaluate(self, x: float) -> float:
+        """Return ``P(X <= x)``."""
+        return bisect.bisect_right(self._values, x) / self._n
+
+    def quantile(self, q: float) -> float:
+        """Return the smallest x with ``P(X <= x) >= q`` (inverse CDF)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile level must be within [0, 1]")
+        if q == 0.0:
+            return self._values[0]
+        index = max(0, min(self._n - 1, math.ceil(q * self._n) - 1))
+        return self._values[index]
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Return the (x, F(x)) step points at each distinct sample value."""
+        out: List[Tuple[float, float]] = []
+        previous = None
+        for index, value in enumerate(self._values):
+            if value != previous:
+                if out and previous is not None:
+                    out[-1] = (previous, index / self._n)
+                out.append((value, (index + 1) / self._n))
+                previous = value
+            else:
+                out[-1] = (value, (index + 1) / self._n)
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Return a compact numeric summary used by harness printouts."""
+        return {
+            "n": float(self._n),
+            "min": self.min,
+            "p25": self.quantile(0.25),
+            "median": self.median(),
+            "p75": self.quantile(0.75),
+            "p90": self.quantile(0.90),
+            "max": self.max,
+            "mean": self.mean(),
+        }
+
+
+def histogram(sample: Sequence[float], edges: Sequence[float]) -> List[int]:
+    """Count samples in half-open bins ``[edges[i], edges[i+1])``.
+
+    The final bin is closed on the right so ``max(sample)`` is counted.
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    if sorted(edges) != list(edges):
+        raise ValueError("bin edges must be sorted")
+    counts = [0] * (len(edges) - 1)
+    lo, hi = edges[0], edges[-1]
+    for value in sample:
+        if value < lo or value > hi:
+            continue
+        if value == hi:
+            counts[-1] += 1
+            continue
+        index = bisect.bisect_right(edges, value) - 1
+        counts[index] += 1
+    return counts
+
+
+def share_table(counts: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a mapping of label → count into label → percentage.
+
+    Returns an empty mapping when the total is zero rather than dividing
+    by zero; callers print "no data" in that case.
+    """
+    total = float(sum(counts.values()))
+    if total <= 0:
+        return {}
+    return {key: 100.0 * value / total for key, value in counts.items()}

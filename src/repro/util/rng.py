@@ -1,0 +1,164 @@
+"""Deterministic random-number streams for the simulated world.
+
+A single experiment seed fans out into independent named substreams, so
+that, for example, changing how many DNS resolutions the background
+population performs does not perturb the browsing behaviour of the panel
+users.  Substreams are derived by hashing the parent seed together with
+the stream name, which makes stream creation order-independent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import random
+from typing import Dict, Generic, Iterator, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(parent_seed: int, name: str) -> int:
+    """Derive a child seed from ``parent_seed`` and a stream ``name``.
+
+    The derivation uses BLAKE2b so it is stable across Python versions
+    and platforms (unlike ``hash()``).
+    """
+    digest = hashlib.blake2b(
+        f"{parent_seed}:{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RngStreams:
+    """A family of named, independently-seeded ``random.Random`` streams.
+
+    >>> streams = RngStreams(seed=42)
+    >>> a = streams.get("panel")
+    >>> b = streams.get("netflow")
+    >>> a is streams.get("panel")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Create a child family whose streams are independent of ours."""
+        return RngStreams(derive_seed(self.seed, f"spawn:{name}"))
+
+    def fork(self, name: str) -> random.Random:
+        """Return a fresh stream for ``name`` (never cached).
+
+        Useful when a loop needs per-item reproducibility regardless of
+        how many draws previous items consumed.
+        """
+        return random.Random(derive_seed(self.seed, f"fork:{name}"))
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one of ``items`` with probability proportional to ``weights``.
+
+    Raises ``ValueError`` on empty input or non-positive total weight.
+    """
+    if not items:
+        raise ValueError("weighted_choice on empty sequence")
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if point <= cumulative:
+            return item
+    return items[-1]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Return Zipf popularity weights ``1/rank**exponent`` for ``n`` ranks."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+def sample_without_replacement(
+    rng: random.Random, items: Sequence[T], k: int
+) -> List[T]:
+    """Sample ``min(k, len(items))`` distinct elements of ``items``."""
+    k = min(k, len(items))
+    return rng.sample(list(items), k)
+
+
+def poisson(rng: random.Random, lam: float, cap: Optional[int] = None) -> int:
+    """Draw from a Poisson distribution with mean ``lam``.
+
+    Uses Knuth's method for small means and a normal approximation for
+    large means (lam > 30), which is plenty for traffic synthesis.  An
+    optional ``cap`` bounds the result.
+    """
+    if lam < 0:
+        raise ValueError("lam must be non-negative")
+    if lam == 0:
+        return 0
+    if lam > 30:
+        value = max(0, int(round(rng.gauss(lam, lam ** 0.5))))
+    else:
+        threshold = pow(2.718281828459045, -lam)
+        k = 0
+        product = 1.0
+        while True:
+            product *= rng.random()
+            if product <= threshold:
+                break
+            k += 1
+        value = k
+    if cap is not None:
+        value = min(value, cap)
+    return value
+
+
+class WeightedSampler(Generic[T]):
+    """O(log n) repeated weighted sampling via precomputed cumulative sums.
+
+    Use this instead of :func:`weighted_choice` inside hot loops.
+    """
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float]) -> None:
+        if not items:
+            raise ValueError("WeightedSampler on empty sequence")
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        self._items = list(items)
+        self._cumulative = list(itertools.accumulate(weights))
+        if self._cumulative[-1] <= 0:
+            raise ValueError("total weight must be positive")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def sample(self, rng: random.Random) -> T:
+        point = rng.random() * self._cumulative[-1]
+        index = bisect.bisect_right(self._cumulative, point)
+        return self._items[min(index, len(self._items) - 1)]
+
+
+def chunked(seq: Sequence[T], size: int) -> Iterator[List[T]]:
+    """Yield consecutive chunks of ``seq`` of at most ``size`` elements."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    for start in range(0, len(seq), size):
+        yield list(seq[start : start + size])

@@ -1,0 +1,93 @@
+"""Sankey (origin → destination flow-share) aggregation.
+
+The paper's Figures 6, 7, 8, 10 and 12 are Sankey diagrams of tracking
+flows between regions.  :class:`Sankey` accumulates weighted origin →
+destination edges and exposes the per-origin destination shares that the
+figures display, plus conservation checks used by the property tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class Sankey:
+    """Weighted bipartite flow aggregation between labelled nodes."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    def add(self, origin: str, destination: str, weight: float = 1.0) -> None:
+        """Accumulate ``weight`` onto the ``origin → destination`` edge."""
+        if weight < 0:
+            raise ValueError("sankey weights must be non-negative")
+        self._edges[(origin, destination)] += weight
+
+    def merge(self, other: "Sankey") -> None:
+        """Accumulate all edges of ``other`` into this diagram."""
+        for (origin, destination), weight in other._edges.items():
+            self._edges[(origin, destination)] += weight
+
+    @property
+    def total(self) -> float:
+        return sum(self._edges.values())
+
+    def origins(self) -> List[str]:
+        return sorted({origin for origin, _ in self._edges})
+
+    def destinations(self) -> List[str]:
+        return sorted({destination for _, destination in self._edges})
+
+    def origin_total(self, origin: str) -> float:
+        return sum(
+            weight for (o, _), weight in self._edges.items() if o == origin
+        )
+
+    def destination_total(self, destination: str) -> float:
+        return sum(
+            weight for (_, d), weight in self._edges.items() if d == destination
+        )
+
+    def edge(self, origin: str, destination: str) -> float:
+        return self._edges.get((origin, destination), 0.0)
+
+    def origin_shares(self, origin: str) -> Dict[str, float]:
+        """Destination shares (percent) of flows leaving ``origin``."""
+        total = self.origin_total(origin)
+        if total <= 0:
+            return {}
+        return {
+            destination: 100.0 * weight / total
+            for (o, destination), weight in self._edges.items()
+            if o == origin
+        }
+
+    def destination_shares(self) -> Dict[str, float]:
+        """Share (percent) of all flow terminating at each destination."""
+        total = self.total
+        if total <= 0:
+            return {}
+        shares: Dict[str, float] = defaultdict(float)
+        for (_, destination), weight in self._edges.items():
+            shares[destination] += 100.0 * weight / total
+        return dict(shares)
+
+    def confinement(self, region: str) -> float:
+        """Percent of flow from ``region`` that also terminates there."""
+        total = self.origin_total(region)
+        if total <= 0:
+            return 0.0
+        return 100.0 * self.edge(region, region) / total
+
+    def top_destinations(self, origin: str, k: int) -> List[Tuple[str, float]]:
+        """Top-``k`` destination shares for ``origin``, descending."""
+        shares = self.origin_shares(origin)
+        return sorted(shares.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    def rows(self) -> List[Tuple[str, str, float]]:
+        """All (origin, destination, weight) edges, deterministically sorted."""
+        return sorted(
+            (origin, destination, weight)
+            for (origin, destination), weight in self._edges.items()
+        )

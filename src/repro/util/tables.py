@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+The harness regenerates each paper table and prints it in the same row
+layout; :func:`render_table` produces an aligned, pipe-delimited grid
+without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(cell: Cell) -> str:
+    """Format a cell: floats get two decimals, everything else ``str``."""
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:,.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    header_cells = [str(h) for h in headers]
+    body = [[format_cell(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: List[str]) -> str:
+        padded = [cell.ljust(width) for cell, width in zip(cells, widths)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(header_cells))
+    out.append(separator)
+    out.extend(line(row) for row in body)
+    return "\n".join(out)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a percentage value the way the paper prints them."""
+    return f"{value:.{digits}f}%"

@@ -1,0 +1,41 @@
+"""The simulated web ecosystem: advertising / tracking organizations and
+their server deployments, publisher websites, the RTB / cookie-sync
+request chains they trigger, panel users, a browser-extension simulator,
+and an AdBlockPlus-style filter-list engine."""
+
+from repro.web.organizations import (
+    DeploymentProfile,
+    Organization,
+    OrganizationFactory,
+    OrgKind,
+    ServiceRole,
+)
+from repro.web.deployment import DeployedFqdn, Fleet, FleetBuilder, Server
+from repro.web.publishers import Publisher, PublisherFactory
+from repro.web.requests import ThirdPartyRequest, tld1_of
+from repro.web.users import PanelUser, build_panel
+from repro.web.filterlists import FilterList, FilterRule, RuleAction
+from repro.web.browser import BrowserExtensionSimulator, VisitLog
+
+__all__ = [
+    "OrgKind",
+    "ServiceRole",
+    "DeploymentProfile",
+    "Organization",
+    "OrganizationFactory",
+    "Server",
+    "Fleet",
+    "FleetBuilder",
+    "DeployedFqdn",
+    "Publisher",
+    "PublisherFactory",
+    "ThirdPartyRequest",
+    "tld1_of",
+    "PanelUser",
+    "build_panel",
+    "FilterRule",
+    "FilterList",
+    "RuleAction",
+    "BrowserExtensionSimulator",
+    "VisitLog",
+]

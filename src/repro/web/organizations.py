@@ -1,0 +1,472 @@
+"""Advertising / tracking / clean-service organizations.
+
+An :class:`Organization` is the unit the paper reasons about implicitly:
+it owns domains, deploys servers, has a *legal seat* (the country a
+commercial geolocation database tends to report for its infrastructure)
+and a *deployment profile* (where its servers physically are).  The gap
+between those two is what flips Figure 7.
+
+Archetypes (see DESIGN.md §5 for the calibration story):
+
+* ``HYPERSCALER`` — US-seated, globally dense PoPs, latency-mapped DNS.
+  Serves EU users from EU datacenters.
+* ``AD_EXCHANGE`` / ``DSP`` / ``SSP`` / ``DMP`` / ``ANALYTICS`` — the RTB
+  middle tier; mixed US/EU seats, EU-hub deployments, and a large share
+  of non-geographic (weighted) DNS mapping, which creates the paper's
+  DNS-redirection localization potential (Table 5).
+* ``TRACKER`` — long-tail trackers serving from their home country only.
+* ``ADULT_NETWORK`` — US/offshore-seated, US-served; drives the higher
+  out-of-EU leakage of the porn sensitive category (Fig. 10).
+* ``CLEAN`` — chat / comments / fonts / CDN widgets; not tracking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import EcosystemConfig
+from repro.dnssim.authority import SelectionPolicy
+from repro.errors import ConfigError
+from repro.util.rng import RngStreams, weighted_choice
+
+
+class OrgKind(enum.Enum):
+    HYPERSCALER = "hyperscaler"
+    AD_EXCHANGE = "ad_exchange"
+    DSP = "dsp"
+    SSP = "ssp"
+    DMP = "dmp"
+    ANALYTICS = "analytics"
+    TRACKER = "tracker"
+    ADULT_NETWORK = "adult_network"
+    CLEAN = "clean"
+
+
+class ServiceRole(enum.Enum):
+    """What a given FQDN of an organization is for."""
+
+    AD_SERVING = "ad_serving"        # ad markup / creative delivery
+    RTB_BID = "rtb_bid"              # bid request endpoints
+    COOKIE_SYNC = "cookie_sync"      # user-matching redirects
+    TRACKING_PIXEL = "tracking_pixel"
+    ANALYTICS_TAG = "analytics_tag"
+    CDN = "cdn"                      # static assets of the ad org
+    CLEAN_WIDGET = "clean_widget"    # chat, comments, fonts, ...
+
+
+class DeploymentProfile(enum.Enum):
+    GLOBAL_DENSE = "global_dense"   # US + broad EU + Asia presence
+    EU_HUBS = "eu_hubs"             # 1-4 European hub datacenters
+    HOME_ONLY = "home_only"         # single home-country deployment
+    US_ONLY = "us_only"             # one or two US sites
+    REGIONAL = "regional"           # home + one or two hubs
+
+
+#: EU hub countries and how often a hub deployment picks each of them
+#: (used for REGIONAL deployments); Amsterdam first — the single most
+#: common European PoP location, which is what routes Polish traffic to
+#: NL in Fig. 12(c).
+EU_HUB_WEIGHTS: Dict[str, float] = {
+    "NL": 0.24, "DE": 0.20, "GB": 0.15, "IE": 0.12, "FR": 0.11,
+    "ES": 0.09, "IT": 0.05, "SE": 0.02, "AT": 0.013, "DK": 0.007,
+}
+
+#: probability an EU_HUBS (RTB middle tier) organization operates a PoP
+#: in each country — the dominant driver of national confinement for
+#: the middle tier.
+EU_HUB_PRESENCE: Dict[str, float] = {
+    "NL": 0.70, "DE": 0.72, "GB": 0.70, "IE": 0.38, "FR": 0.50,
+    "ES": 0.52, "IT": 0.45, "AT": 0.22, "SE": 0.14, "BE": 0.12,
+    "DK": 0.02, "CZ": 0.08, "FI": 0.06, "PL": 0.02, "PT": 0.08,
+    "GR": 0.10, "HU": 0.08, "RO": 0.06, "BG": 0.06, "CY": 0.015,
+}
+
+#: probability an EU_HUBS organization also runs a US site (US-seated
+#: organizations almost always do; EU-seated ones often enough).  The
+#: load-balanced sync path spilling onto these US sites is the main
+#: N. America leakage of EU flows — and, being redirectable to the same
+#: organization's EU sites, the main DNS-redirection potential.
+EU_HUBS_US_POP_PROB = {"US": 0.85, "EU": 0.45}
+
+#: probability a GLOBAL_DENSE organization operates a PoP in each EU28
+#: country — roughly monotone in the country's IT-infrastructure index.
+GLOBAL_DENSE_EU_POP_PROB: Dict[str, float] = {
+    "DE": 0.96, "GB": 0.96, "NL": 0.92, "IE": 0.90, "FR": 0.88,
+    "IT": 0.80, "ES": 0.85, "SE": 0.50, "BE": 0.42, "AT": 0.85,
+    "PL": 0.05, "DK": 0.04, "FI": 0.28, "CZ": 0.15, "PT": 0.15,
+    "HU": 0.12, "RO": 0.08, "GR": 0.05, "BG": 0.08, "HR": 0.03,
+    "SK": 0.01, "SI": 0.01, "LT": 0.04, "LV": 0.03, "EE": 0.04,
+    "LU": 0.10, "MT": 0.01, "CY": 0.01,
+}
+
+#: non-EU PoP probabilities for GLOBAL_DENSE organizations
+GLOBAL_DENSE_OTHER_POP_PROB: Dict[str, float] = {
+    "US": 1.0, "CA": 0.35, "SG": 0.45, "JP": 0.40, "HK": 0.20,
+    "TW": 0.15, "AU": 0.3, "BR": 0.12, "IN": 0.12, "CH": 0.25,
+    "RU": 0.10, "ZA": 0.08,
+}
+
+#: where EU-seated long-tail trackers are homed (panel-country heavy)
+EU_TRACKER_HOME_WEIGHTS: Dict[str, float] = {
+    "DE": 0.26, "GB": 0.28, "FR": 0.12, "NL": 0.09, "ES": 0.07,
+    "IT": 0.05, "SE": 0.03, "CZ": 0.025, "DK": 0.015, "AT": 0.025,
+    "BE": 0.018, "GR": 0.012, "RO": 0.02, "HU": 0.008, "PL": 0.002,
+}
+# (DK deliberately small and PL near-zero: Fig. 8 / Fig. 12 show both
+# countries' tracking flows almost entirely served abroad.)
+
+#: legal seats of rest-of-Europe and Asia trackers
+RESTEU_HOME_WEIGHTS: Dict[str, float] = {"CH": 0.55, "RU": 0.35, "NO": 0.10}
+ASIA_HOME_WEIGHTS: Dict[str, float] = {
+    "JP": 0.3, "SG": 0.25, "CN": 0.2, "HK": 0.15, "KR": 0.1,
+}
+
+#: cloud providers organizations may rent from (names must match
+#: :mod:`repro.cloud.providers`)
+CLOUD_TENANCY_WEIGHTS: Dict[str, float] = {
+    "aws": 0.30, "azure": 0.16, "google-cloud": 0.16, "ibm-cloud": 0.07,
+    "cloudflare": 0.08, "digital-ocean": 0.08, "equinix": 0.06,
+    "oracle-cloud": 0.05, "rackspace": 0.04,
+}
+
+
+@dataclass(frozen=True)
+class Organization:
+    """One organization of the simulated ecosystem."""
+
+    name: str
+    kind: OrgKind
+    legal_country: str
+    deployment: DeploymentProfile
+    market_weight: float
+    dns_policy: SelectionPolicy
+    cloud_provider: Optional[str] = None
+    #: registrable domains (TLD+1) the organization owns, in creation order
+    domains: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_tracking(self) -> bool:
+        return self.kind is not OrgKind.CLEAN
+
+    @property
+    def primary_domain(self) -> str:
+        if not self.domains:
+            raise ConfigError(f"organization {self.name} has no domains")
+        return self.domains[0]
+
+
+#: market weight per archetype instance; hyperscalers dominate the mix —
+#: calibrated so EU-origin flows split ≈62/33/3/1 across US/EU/rest-EU/
+#: Asia *legal seats* while ≈85% are *physically served* inside EU28.
+_KIND_WEIGHT: Dict[OrgKind, float] = {
+    OrgKind.HYPERSCALER: 150.0,
+    OrgKind.AD_EXCHANGE: 11.0,
+    OrgKind.DSP: 4.4,
+    OrgKind.SSP: 5.2,
+    OrgKind.DMP: 3.4,
+    OrgKind.ANALYTICS: 5.2,
+    OrgKind.TRACKER: 1.6,
+    OrgKind.ADULT_NETWORK: 3.0,
+    OrgKind.CLEAN: 6.0,
+}
+
+#: number of registrable domains per archetype instance (min, max)
+_KIND_DOMAINS: Dict[OrgKind, Tuple[int, int]] = {
+    OrgKind.HYPERSCALER: (4, 6),
+    OrgKind.AD_EXCHANGE: (2, 4),
+    OrgKind.DSP: (1, 3),
+    OrgKind.SSP: (1, 3),
+    OrgKind.DMP: (1, 3),
+    OrgKind.ANALYTICS: (1, 2),
+    OrgKind.TRACKER: (1, 2),
+    OrgKind.ADULT_NETWORK: (1, 3),
+    OrgKind.CLEAN: (1, 2),
+}
+
+_NAME_STEMS: Dict[OrgKind, str] = {
+    OrgKind.HYPERSCALER: "megacorp",
+    OrgKind.AD_EXCHANGE: "exchange",
+    OrgKind.DSP: "dsp",
+    OrgKind.SSP: "ssp",
+    OrgKind.DMP: "dmp",
+    OrgKind.ANALYTICS: "metrics",
+    OrgKind.TRACKER: "tracker",
+    OrgKind.ADULT_NETWORK: "adultads",
+    OrgKind.CLEAN: "widget",
+}
+
+_TLDS = ("com", "net", "io", "co", "media", "eu", "de", "info")
+
+
+class OrganizationFactory:
+    """Builds the organization population from an :class:`EcosystemConfig`."""
+
+    def __init__(self, config: EcosystemConfig, streams: RngStreams) -> None:
+        self._config = config
+        self._rng = streams.get("organizations")
+        self._used_domains: set = set()
+
+    # -- public API ---------------------------------------------------------
+    def build(self) -> List[Organization]:
+        """Create every organization of the world, deterministically."""
+        cfg = self._config
+        orgs: List[Organization] = []
+        orgs.extend(self._hyperscalers(cfg.n_hyperscalers))
+        orgs.extend(self._middle_tier(OrgKind.AD_EXCHANGE, cfg.n_ad_exchanges))
+        orgs.extend(self._middle_tier(OrgKind.DSP, cfg.n_dsps))
+        orgs.extend(self._middle_tier(OrgKind.SSP, cfg.n_ssps))
+        orgs.extend(self._middle_tier(OrgKind.DMP, cfg.n_dmps))
+        orgs.extend(self._middle_tier(OrgKind.ANALYTICS, cfg.n_analytics))
+        orgs.extend(self._trackers("EU", cfg.n_eu_trackers))
+        orgs.extend(self._trackers("US", cfg.n_us_trackers))
+        orgs.extend(self._trackers("RESTEU", cfg.n_resteu_trackers))
+        orgs.extend(self._trackers("ASIA", cfg.n_asia_trackers))
+        orgs.extend(self._adult_networks(cfg.n_adult_networks))
+        orgs.extend(self._clean_orgs(cfg.n_clean_orgs))
+        return orgs
+
+    # -- archetype builders -----------------------------------------------
+    def _hyperscalers(self, count: int) -> List[Organization]:
+        out = []
+        for index in range(count):
+            out.append(
+                self._make(
+                    kind=OrgKind.HYPERSCALER,
+                    index=index,
+                    legal_country="US",
+                    deployment=DeploymentProfile.GLOBAL_DENSE,
+                    policy=SelectionPolicy.NEAREST,
+                    cloud=None,
+                )
+            )
+        return out
+
+    def _middle_tier(self, kind: OrgKind, count: int) -> List[Organization]:
+        """RTB middle tier: mixed seats, hub deployments, mixed policies."""
+        out = []
+        for index in range(count):
+            seat_roll = self._rng.random()
+            if seat_roll < 0.62:
+                legal = "US"
+                deployment = (
+                    DeploymentProfile.EU_HUBS
+                    if self._rng.random() < 0.90
+                    else DeploymentProfile.US_ONLY
+                )
+            else:
+                legal = self._pick(EU_TRACKER_HOME_WEIGHTS)
+                deployment = (
+                    DeploymentProfile.EU_HUBS
+                    if self._rng.random() < 0.6
+                    else DeploymentProfile.REGIONAL
+                )
+            policy = (
+                SelectionPolicy.NEAREST
+                if self._rng.random() < 0.35
+                else SelectionPolicy.WEIGHTED
+            )
+            out.append(
+                self._make(
+                    kind=kind,
+                    index=index,
+                    legal_country=legal,
+                    deployment=deployment,
+                    policy=policy,
+                    cloud=self._maybe_cloud(0.45),
+                )
+            )
+        return out
+
+    #: relative market-weight scale of long-tail trackers per home region
+    #: — calibrates the N. America / Rest-of-Europe / Asia leakage slices
+    #: of Fig. 7(b).
+    _TRACKER_WEIGHT_SCALE = {"EU": 2.0, "US": 0.8, "RESTEU": 9.0, "ASIA": 0.5}
+
+    @staticmethod
+    def _proportional_quota(weights: Dict[str, float], count: int) -> List[str]:
+        """Allocate ``count`` slots proportionally to ``weights``.
+
+        Uses largest-remainder rounding, so every country with a
+        non-negligible weight is guaranteed representation once the
+        population is large enough — the national ad-tech scenes of the
+        smaller panel countries must exist for Fig. 8's small-country
+        confinements to be non-zero.
+        """
+        total = sum(weights.values())
+        shares = {
+            country: count * weight / total
+            for country, weight in weights.items()
+        }
+        allocation = {country: int(share) for country, share in shares.items()}
+        remaining = count - sum(allocation.values())
+        by_remainder = sorted(
+            shares, key=lambda c: (-(shares[c] - allocation[c]), c)
+        )
+        for country in by_remainder[:remaining]:
+            allocation[country] += 1
+        out: List[str] = []
+        for country in sorted(allocation):
+            out.extend([country] * allocation[country])
+        return out
+
+    def _trackers(self, region: str, count: int) -> List[Organization]:
+        eu_homes = (
+            self._proportional_quota(EU_TRACKER_HOME_WEIGHTS, count)
+            if region == "EU"
+            else []
+        )
+        out = []
+        for index in range(count):
+            if region == "EU":
+                legal = eu_homes[index]
+                deployment = (
+                    DeploymentProfile.HOME_ONLY
+                    if self._rng.random() < 0.75
+                    else DeploymentProfile.REGIONAL
+                )
+            elif region == "US":
+                legal = "US"
+                # Many US trackers keep a European replica (typically
+                # Amsterdam) even though they serve everyone from home --
+                # the replica is what DNS redirection could use (Table 5).
+                deployment = (
+                    DeploymentProfile.REGIONAL
+                    if self._rng.random() < 0.45
+                    else DeploymentProfile.US_ONLY
+                )
+            elif region == "RESTEU":
+                legal = self._pick(RESTEU_HOME_WEIGHTS)
+                deployment = (
+                    DeploymentProfile.REGIONAL
+                    if self._rng.random() < 0.6
+                    else DeploymentProfile.HOME_ONLY
+                )
+            elif region == "ASIA":
+                legal = self._pick(ASIA_HOME_WEIGHTS)
+                deployment = (
+                    DeploymentProfile.REGIONAL
+                    if self._rng.random() < 0.35
+                    else DeploymentProfile.HOME_ONLY
+                )
+            else:
+                raise ConfigError(f"unknown tracker region {region!r}")
+            out.append(
+                self._make(
+                    kind=OrgKind.TRACKER,
+                    index=index,
+                    name_suffix=region.lower(),
+                    legal_country=legal,
+                    deployment=deployment,
+                    policy=SelectionPolicy.HOME,
+                    cloud=self._maybe_cloud(0.25),
+                    weight_scale=self._TRACKER_WEIGHT_SCALE[region],
+                )
+            )
+        return out
+
+    def _adult_networks(self, count: int) -> List[Organization]:
+        out = []
+        for index in range(count):
+            # Adult ad networks are US/offshore seated and mostly US-served;
+            # a minority operate an NL hub.
+            us_served = self._rng.random() < 0.72
+            out.append(
+                self._make(
+                    kind=OrgKind.ADULT_NETWORK,
+                    index=index,
+                    legal_country="US",
+                    deployment=(
+                        DeploymentProfile.US_ONLY
+                        if us_served
+                        else DeploymentProfile.EU_HUBS
+                    ),
+                    policy=SelectionPolicy.HOME
+                    if us_served
+                    else SelectionPolicy.WEIGHTED,
+                    cloud=self._maybe_cloud(0.2),
+                )
+            )
+        return out
+
+    def _clean_orgs(self, count: int) -> List[Organization]:
+        out = []
+        for index in range(count):
+            seat_roll = self._rng.random()
+            if seat_roll < 0.5:
+                legal = "US"
+                deployment = (
+                    DeploymentProfile.GLOBAL_DENSE
+                    if self._rng.random() < 0.25
+                    else DeploymentProfile.EU_HUBS
+                )
+            else:
+                legal = self._pick(EU_TRACKER_HOME_WEIGHTS)
+                deployment = DeploymentProfile.REGIONAL
+            out.append(
+                self._make(
+                    kind=OrgKind.CLEAN,
+                    index=index,
+                    legal_country=legal,
+                    deployment=deployment,
+                    policy=SelectionPolicy.NEAREST,
+                    cloud=self._maybe_cloud(0.3),
+                )
+            )
+        return out
+
+    # -- helpers ---------------------------------------------------------
+    def _maybe_cloud(self, probability: float) -> Optional[str]:
+        if self._rng.random() >= probability:
+            return None
+        return self._pick(CLOUD_TENANCY_WEIGHTS)
+
+    def _pick(self, weights: Dict[str, float]) -> str:
+        keys = sorted(weights)
+        return weighted_choice(self._rng, keys, [weights[k] for k in keys])
+
+    def _domain_names(self, kind: OrgKind, base: str) -> Tuple[str, ...]:
+        low, high = _KIND_DOMAINS[kind]
+        count = self._rng.randint(low, high)
+        names: List[str] = []
+        for index in range(count):
+            tld = _TLDS[self._rng.randrange(len(_TLDS))]
+            if index == 0:
+                candidate = f"{base}.{tld}"
+            else:
+                qualifier = self._rng.choice(
+                    ("ads", "sync", "data", "pix", "serv", "tag", "cdn")
+                )
+                candidate = f"{base}-{qualifier}.{tld}"
+            while candidate in self._used_domains:
+                candidate = f"{base}{self._rng.randrange(10)}.{tld}"
+            self._used_domains.add(candidate)
+            names.append(candidate)
+        return tuple(names)
+
+    def _make(
+        self,
+        kind: OrgKind,
+        index: int,
+        legal_country: str,
+        deployment: DeploymentProfile,
+        policy: SelectionPolicy,
+        cloud: Optional[str],
+        name_suffix: str = "",
+        weight_scale: float = 1.0,
+    ) -> Organization:
+        stem = _NAME_STEMS[kind]
+        suffix = f"-{name_suffix}" if name_suffix else ""
+        name = f"{stem}{suffix}-{index:03d}"
+        weight = _KIND_WEIGHT[kind] * weight_scale * self._rng.uniform(0.5, 1.5)
+        return Organization(
+            name=name,
+            kind=kind,
+            legal_country=legal_country,
+            deployment=deployment,
+            market_weight=weight,
+            dns_policy=policy,
+            cloud_provider=cloud,
+            domains=self._domain_names(kind, name.replace("_", "-")),
+        )

@@ -1,0 +1,276 @@
+"""Publisher websites and their embedded third parties.
+
+A :class:`Publisher` is a first-party site: it has a country, a Zipf
+popularity rank, a set of content topics (possibly including one of the
+twelve GDPR-sensitive categories of Sect. 6), and stable partnerships —
+which SSP / ad-network FQDNs own its ad slots, which analytics tags it
+embeds, and which clean widgets (chat, comments, fonts) it loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import EcosystemConfig
+from repro.errors import ConfigError
+from repro.util.rng import (
+    RngStreams,
+    WeightedSampler,
+    weighted_choice,
+    zipf_weights,
+)
+from repro.web.deployment import DeployedFqdn, Fleet
+from repro.web.organizations import OrgKind, ServiceRole
+
+#: the twelve sensitive categories of Fig. 9, with calibration weights
+#: shaping their share of sensitive tracking flows (health 38%,
+#: gambling 22%, sexual orientation ≈ pregnancy ≈ 11%, ...).
+SENSITIVE_CATEGORIES: Dict[str, float] = {
+    "health": 0.22,
+    "gambling": 0.21,
+    "sexual orientation": 0.15,
+    "pregnancy": 0.20,
+    "politics": 0.10,
+    "porn": 0.07,
+    "religion": 0.02,
+    "ethnicity": 0.015,
+    "guns": 0.008,
+    "alcohol": 0.012,
+    "cancer": 0.01,
+    "death": 0.005,
+}
+
+#: sensitive sites live in the popularity tail: they hold ~19% of the
+#: domain population but only a few percent of the visits (the paper
+#: finds 2.89% of tracking flows on sensitive sites).
+SENSITIVE_POPULARITY_FACTOR = 0.35
+
+#: the benign AdWords-style interest topic each sensitive category tends
+#: to be tagged as by an automated tagger (Sect. 6.1's masking problem):
+#: ``None`` means the tagger emits the sensitive term itself.
+SENSITIVE_TOPIC_MASK: Dict[str, Optional[str]] = {
+    "health": None,
+    "gambling": "Games",
+    "sexual orientation": "Lifestyle",
+    "pregnancy": "Health",
+    "politics": "News",
+    "porn": "Men's Interests",
+    "religion": None,
+    "ethnicity": "Culture",
+    "guns": "Hobbies & Leisure",
+    "alcohol": "Food & Drinks",
+    "cancer": "Health",
+    "death": "Health",
+}
+
+GENERAL_TOPICS = (
+    "News", "Sports", "Technology", "Travel", "Food & Drinks", "Finance",
+    "Shopping", "Entertainment", "Science", "Autos", "Real Estate",
+    "Education", "Music", "Movies", "Games", "Lifestyle", "Business",
+    "Weather", "Books", "Photography",
+)
+
+#: publisher-country mix: heavy on the panel's EU countries, with a
+#: global tail (users also browse foreign sites).
+PUBLISHER_COUNTRY_WEIGHTS: Dict[str, float] = {
+    "US": 0.24, "ES": 0.10, "GB": 0.09, "DE": 0.08, "FR": 0.05,
+    "IT": 0.05, "NL": 0.03, "PL": 0.03, "GR": 0.03, "RO": 0.02,
+    "DK": 0.02, "BE": 0.02, "CY": 0.01, "HU": 0.015, "PT": 0.01,
+    "CZ": 0.01, "SE": 0.015, "BR": 0.06, "AR": 0.02, "RU": 0.02,
+    "CH": 0.01, "JP": 0.02, "IN": 0.02, "CA": 0.02, "ZA": 0.01,
+    "AU": 0.01, "MX": 0.01, "SG": 0.005, "TR": 0.005,
+}
+
+
+@dataclass(frozen=True)
+class Publisher:
+    """A first-party website."""
+
+    domain: str
+    country: str
+    popularity: float
+    topics: Tuple[str, ...]
+    sensitive_category: Optional[str]
+    #: FQDNs of the SSP / ad-network partners owning the ad slots
+    ad_partners: Tuple[str, ...]
+    #: analytics-tag FQDNs embedded on every page
+    analytics_partners: Tuple[str, ...]
+    #: clean widget FQDNs (chat, comments, fonts, ...)
+    clean_partners: Tuple[str, ...]
+
+    @property
+    def is_sensitive(self) -> bool:
+        return self.sensitive_category is not None
+
+
+class PublisherFactory:
+    """Generates the publisher population against a deployed fleet."""
+
+    def __init__(
+        self,
+        config: EcosystemConfig,
+        fleet: Fleet,
+        streams: RngStreams,
+    ) -> None:
+        self._config = config
+        self._fleet = fleet
+        self._rng = streams.get("publishers")
+        self._prepare_partner_pools()
+
+    def _prepare_partner_pools(self) -> None:
+        fleet = self._fleet
+
+        def initial_ad_fqdns(kinds: Sequence[OrgKind]) -> List[DeployedFqdn]:
+            out = []
+            for deployed in fleet.fqdns_by_role(ServiceRole.AD_SERVING):
+                if fleet.org(deployed.org_name).kind in kinds:
+                    out.append(deployed)
+            return out
+
+        self._mainstream_ads = initial_ad_fqdns(
+            (OrgKind.HYPERSCALER, OrgKind.SSP, OrgKind.AD_EXCHANGE)
+        )
+        self._adult_ads = initial_ad_fqdns((OrgKind.ADULT_NETWORK,))
+        self._analytics = [
+            d
+            for d in fleet.fqdns_by_role(ServiceRole.ANALYTICS_TAG)
+            if fleet.org(d.org_name).kind
+            in (OrgKind.ANALYTICS, OrgKind.HYPERSCALER)
+        ]
+        self._clean = fleet.fqdns_by_role(ServiceRole.CLEAN_WIDGET)
+        if not self._mainstream_ads or not self._analytics or not self._clean:
+            raise ConfigError(
+                "fleet lacks ad / analytics / clean FQDNs for publishers"
+            )
+        if not self._adult_ads:
+            # Tiny worlds may have no adult networks; fall back gracefully.
+            self._adult_ads = self._mainstream_ads
+
+        def sampler(pool: Sequence[DeployedFqdn]) -> WeightedSampler:
+            return WeightedSampler(
+                pool, [fleet.org(d.org_name).market_weight for d in pool]
+            )
+
+        self._mainstream_sampler = sampler(self._mainstream_ads)
+        self._adult_sampler = sampler(self._adult_ads)
+        self._analytics_sampler = sampler(self._analytics)
+
+    def _pick_partners(
+        self, sampler: WeightedSampler, pool_size: int, count: int
+    ) -> Tuple[str, ...]:
+        """Draw ``count`` distinct partner FQDNs, market-share weighted."""
+        count = min(count, pool_size)
+        chosen: List[str] = []
+        attempts = 0
+        while len(chosen) < count and attempts < 20 * count:
+            candidate = sampler.sample(self._rng).fqdn
+            attempts += 1
+            if candidate not in chosen:
+                chosen.append(candidate)
+        return tuple(chosen)
+
+    # -- public API ---------------------------------------------------------
+    def build(self) -> List[Publisher]:
+        count = self._config.n_publishers
+        popularity = zipf_weights(count, exponent=0.85)
+        self._sensitive_popularity_cap = popularity[
+            min(count - 1, max(0, count // 5))
+        ]
+        sensitive_count = round(count * self._config.sensitive_publisher_share)
+        # Deterministically choose which ranks are sensitive: spread over
+        # the popularity range, skewed to mid-tail (sensitive sites are
+        # rarely the global top sites).
+        sensitive_ranks = set(
+            self._rng.sample(range(count // 20, count), k=sensitive_count)
+            if count >= 40
+            else range(sensitive_count)
+        )
+        categories = self._category_sequence(sensitive_count)
+        publishers: List[Publisher] = []
+        category_cursor = 0
+        for rank in range(count):
+            sensitive: Optional[str] = None
+            if rank in sensitive_ranks:
+                sensitive = categories[category_cursor]
+                category_cursor += 1
+            publishers.append(
+                self._make_publisher(rank, popularity[rank], sensitive)
+            )
+        return publishers
+
+    # -- internals -----------------------------------------------------
+    def _category_sequence(self, count: int) -> List[str]:
+        names = sorted(SENSITIVE_CATEGORIES)
+        weights = [SENSITIVE_CATEGORIES[n] for n in names]
+        return [
+            weighted_choice(self._rng, names, weights) for _ in range(count)
+        ]
+
+    def _make_publisher(
+        self, rank: int, popularity: float, sensitive: Optional[str]
+    ) -> Publisher:
+        rng = self._rng
+        if sensitive is not None:
+            # Cap at a deep-tail popularity before scaling so that no
+            # single sensitive site dominates its category's flow share.
+            popularity = min(popularity, self._sensitive_popularity_cap)
+            popularity *= SENSITIVE_POPULARITY_FACTOR
+        countries = sorted(PUBLISHER_COUNTRY_WEIGHTS)
+        country = weighted_choice(
+            rng, countries, [PUBLISHER_COUNTRY_WEIGHTS[c] for c in countries]
+        )
+        stem = sensitive.replace(" ", "") if sensitive else rng.choice(
+            ("news", "blog", "shop", "portal", "mag", "daily", "hub", "zone")
+        )
+        domain = f"{stem}-site-{rank:05d}.example"
+        topics = self._topics_for(sensitive)
+        if sensitive == "porn":
+            ad_sampler, ad_pool_size = self._adult_sampler, len(self._adult_ads)
+        else:
+            ad_sampler, ad_pool_size = (
+                self._mainstream_sampler,
+                len(self._mainstream_ads),
+            )
+        ad_partners = self._pick_partners(
+            ad_sampler, ad_pool_size, rng.randint(1, 3)
+        )
+        analytics_partners = self._pick_partners(
+            self._analytics_sampler, len(self._analytics), rng.randint(1, 3)
+        )
+        n_clean = rng.randint(1, min(4, len(self._clean)))
+        clean_partners = tuple(
+            d.fqdn for d in rng.sample(self._clean, n_clean)
+        )
+        return Publisher(
+            domain=domain,
+            country=country,
+            popularity=popularity,
+            topics=topics,
+            sensitive_category=sensitive,
+            ad_partners=ad_partners,
+            analytics_partners=analytics_partners,
+            clean_partners=clean_partners,
+        )
+
+    def _topics_for(self, sensitive: Optional[str]) -> Tuple[str, ...]:
+        """AdWords-style interest topics (5-15 per domain, Sect. 6.1).
+
+        Sensitive sites get either their sensitive term (when the
+        tagger does not mask it) or the benign masking topic; the
+        sensitive pipeline's manual-review stage exists to recover the
+        masked ones.
+        """
+        rng = self._rng
+        count = rng.randint(5, 15)
+        topics = list(
+            rng.sample(GENERAL_TOPICS, min(count, len(GENERAL_TOPICS)))
+        )
+        if sensitive is not None:
+            mask = SENSITIVE_TOPIC_MASK[sensitive]
+            # Even maskable categories slip through the tagger sometimes.
+            if mask is None or rng.random() < 0.35:
+                topics.insert(0, sensitive)
+            else:
+                topics.insert(0, mask)
+        return tuple(topics[:15])

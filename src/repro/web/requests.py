@@ -1,0 +1,123 @@
+"""Third-party request records — the unit of observation of the study.
+
+The browser extension (Sect. 3.1) logs, for every outgoing third-party
+request: the first-party domain being visited, the third-party URL, the
+referrer, and the server IP that ultimately answered.  We keep exactly
+those fields, plus simulation-only ground truth (the true serving
+country, organization, and service role) that the *evaluation* uses but
+the measurement pipeline itself never reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ClassificationError
+from repro.netbase.addr import IPAddress
+from repro.web.organizations import ServiceRole
+
+
+def tld1_of(fqdn: str) -> str:
+    """The registrable domain (TLD+1) of an FQDN.
+
+    The simulated namespace only mints two-label registrable domains, so
+    this is the last two labels.  Mirrors the paper's use of "TLD" for
+    aggregation in Table 2 and Fig. 3.
+    """
+    labels = fqdn.split(".")
+    if len(labels) < 2 or not all(labels):
+        raise ClassificationError(f"cannot derive TLD+1 of {fqdn!r}")
+    return ".".join(labels[-2:])
+
+
+def build_url(
+    fqdn: str,
+    path: str,
+    args: Optional[Dict[str, str]] = None,
+    https: bool = True,
+) -> str:
+    """Assemble a URL from components (deterministic arg order)."""
+    scheme = "https" if https else "http"
+    if not path.startswith("/"):
+        path = "/" + path
+    query = ""
+    if args:
+        query = "?" + "&".join(
+            f"{key}={value}" for key, value in sorted(args.items())
+        )
+    return f"{scheme}://{fqdn}{path}{query}"
+
+
+def url_fqdn(url: str) -> str:
+    """Extract the host of a URL."""
+    host = urlsplit(url).hostname
+    if not host:
+        raise ClassificationError(f"URL has no host: {url!r}")
+    return host
+
+
+def url_has_args(url: str) -> bool:
+    """True when the URL carries a non-empty query string."""
+    return bool(urlsplit(url).query)
+
+
+def url_path(url: str) -> str:
+    return urlsplit(url).path
+
+
+def url_args(url: str) -> Dict[str, str]:
+    return dict(parse_qsl(urlsplit(url).query))
+
+
+@dataclass(frozen=True)
+class ThirdPartyRequest:
+    """One observed third-party request.
+
+    Measurement-visible fields (what the real extension logged):
+    ``first_party``, ``url``, ``referrer``, ``ip``, ``user_country``,
+    ``day``, ``https``.  The remaining fields are simulation ground
+    truth used only for evaluation and calibration.
+    """
+
+    # -- measurement-visible ------------------------------------------------
+    first_party: str
+    url: str
+    referrer: str
+    ip: IPAddress
+    user_id: int
+    user_country: str
+    day: float
+    https: bool
+    # -- ground truth (evaluation only) ----------------------------------
+    truth_role: ServiceRole
+    truth_org: str
+    truth_country: str
+    chain_depth: int
+
+    @property
+    def fqdn(self) -> str:
+        return url_fqdn(self.url)
+
+    @property
+    def tld1(self) -> str:
+        return tld1_of(self.fqdn)
+
+    @property
+    def has_args(self) -> bool:
+        return url_has_args(self.url)
+
+    @property
+    def is_tracking_truth(self) -> bool:
+        return self.truth_role is not ServiceRole.CLEAN_WIDGET
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One first-party page visit by a panel user."""
+
+    user_id: int
+    user_country: str
+    publisher_domain: str
+    day: float

@@ -1,0 +1,112 @@
+"""Panel users: the 350 CrowdFlower participants (Sect. 3.1).
+
+Each :class:`PanelUser` has a country (drawn from the paper's recruitment
+skew: EU28-heavy with a large South-American secondary base), a location
+jittered around the country centroid, an activity weight, a
+home-country browsing bias, and a resolver choice — desktop users use
+third-party public resolvers with non-trivial probability, which is one
+of the drivers of cross-border DNS mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.config import PanelConfig
+from repro.errors import ConfigError
+from repro.geodata.countries import CountryRegistry
+from repro.util.rng import RngStreams, weighted_choice
+
+#: how non-EU28 panel regions decompose into countries
+REGION_COUNTRY_WEIGHTS: Dict[str, Dict[str, float]] = {
+    "SA": {"BR": 0.55, "AR": 0.20, "CL": 0.10, "CO": 0.10, "PE": 0.05},
+    "REST_EU": {"CH": 0.30, "RU": 0.30, "RS": 0.12, "UA": 0.13, "NO": 0.08,
+                "TR": 0.07},
+    "AF": {"ZA": 0.35, "EG": 0.20, "NG": 0.18, "KE": 0.12, "TN": 0.08,
+           "MA": 0.07},
+    "AS": {"JP": 0.22, "SG": 0.14, "IN": 0.22, "MY": 0.14, "TH": 0.10,
+           "TW": 0.10, "HK": 0.08},
+    "NA": {"US": 0.70, "CA": 0.20, "MX": 0.10},
+    "OC": {"AU": 0.8, "NZ": 0.2},
+}
+
+
+@dataclass(frozen=True)
+class PanelUser:
+    """One browser-extension panel participant."""
+
+    user_id: int
+    country: str
+    lat: float
+    lon: float
+    activity: float
+    uses_public_resolver: bool
+    #: index into the public-resolver list when ``uses_public_resolver``
+    public_resolver_index: int
+    #: whether the public resolver forwards EDNS-Client-Subnet for this
+    #: user's queries (authorities then see the user's country anyway)
+    resolver_ecs: bool
+    #: probability a visit goes to a home-country publisher
+    home_bias: float
+    #: appetite for sensitive-topic sites relative to the average user
+    sensitive_affinity: float
+
+
+def build_panel(
+    config: PanelConfig,
+    registry: CountryRegistry,
+    streams: RngStreams,
+    n_public_resolvers: int = 3,
+) -> List[PanelUser]:
+    """Create the user panel described by ``config``, deterministically."""
+    rng = streams.get("panel")
+    users: List[PanelUser] = []
+    user_id = 0
+
+    def add_user(country_code: str) -> None:
+        nonlocal user_id
+        country = registry.get(country_code)
+        radius = country.jitter_radius_deg
+        users.append(
+            PanelUser(
+                user_id=user_id,
+                country=country_code,
+                lat=country.lat + rng.uniform(-radius, radius),
+                lon=country.lon + rng.uniform(-1.3 * radius, 1.3 * radius),
+                activity=max(0.15, rng.lognormvariate(0.0, 0.5)),
+                uses_public_resolver=rng.random()
+                < config.public_resolver_share,
+                public_resolver_index=rng.randrange(n_public_resolvers),
+                resolver_ecs=rng.random() < 0.75,
+                home_bias=rng.uniform(0.45, 0.8),
+                sensitive_affinity=max(0.1, rng.lognormvariate(0.0, 0.6)),
+            )
+        )
+        user_id += 1
+
+    for country_code, count in sorted(config.eu28_user_counts.items()):
+        for _ in range(count):
+            add_user(country_code)
+
+    for region, total in sorted(config.users_per_region.items()):
+        if region == "EU28":
+            continue
+        weights = REGION_COUNTRY_WEIGHTS.get(region)
+        if weights is None:
+            raise ConfigError(f"unknown panel region {region!r}")
+        codes = sorted(weights)
+        for _ in range(total):
+            add_user(
+                weighted_choice(rng, codes, [weights[c] for c in codes])
+            )
+
+    return users
+
+
+def users_by_country(users: Sequence[PanelUser]) -> Dict[str, List[PanelUser]]:
+    """Group users per country code."""
+    out: Dict[str, List[PanelUser]] = {}
+    for user in users:
+        out.setdefault(user.country, []).append(user)
+    return out

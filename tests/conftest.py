@@ -1,0 +1,30 @@
+"""Shared fixtures.
+
+The small world / study are expensive enough (seconds) that they are
+built once per test session and shared read-only across test modules.
+Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, WorldConfig
+from repro.datasets.builder import World, build_world
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorldConfig:
+    return WorldConfig.small()
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config: WorldConfig) -> World:
+    return build_world(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_study(small_world: World) -> Study:
+    study = Study(world=small_world)
+    study.run_all()
+    return study

@@ -1,0 +1,164 @@
+"""Tests for the temporal analysis and the table/figure builders'
+internal consistency."""
+
+import pytest
+
+from repro.analysis.temporal import (
+    TrendPoint,
+    confinement_trend,
+    discovery_curve,
+    discovery_saturation_day,
+    trend_stability,
+)
+from repro.core.tracker_ips import TrackerIPInventory, TrackerIPRecord
+from repro.netbase.addr import IPAddress
+from repro.web.organizations import ServiceRole
+from repro.web.requests import ThirdPartyRequest
+
+
+def make_request(day, ip_text="1.0.0.1", user_country="DE"):
+    return ThirdPartyRequest(
+        first_party="s.example",
+        url="https://t.x.example/p?uid=1",
+        referrer="https://s.example/",
+        ip=IPAddress.parse(ip_text),
+        user_id=1,
+        user_country=user_country,
+        day=day,
+        https=True,
+        truth_role=ServiceRole.COOKIE_SYNC,
+        truth_org="o",
+        truth_country="DE",
+        chain_depth=0,
+    )
+
+
+class TestConfinementTrend:
+    def test_bucketing(self):
+        requests = [
+            make_request(5.0, "0.0.0.2"),    # bucket 0, DE (even → confined)
+            make_request(35.0, "0.0.0.3"),   # bucket 1, US
+            make_request(36.0, "0.0.0.2"),   # bucket 1, DE
+        ]
+        locate = lambda ip: "DE" if ip.value % 2 == 0 else "US"
+        points = confinement_trend(requests, locate, bucket_days=30.0)
+        assert len(points) == 2
+        assert points[0].n_flows == 1
+        assert points[0].confinement_pct == 100.0
+        assert points[1].confinement_pct == pytest.approx(50.0)
+
+    def test_non_region_origins_excluded(self):
+        requests = [make_request(1.0, user_country="BR")]
+        points = confinement_trend(requests, lambda ip: "DE")
+        assert points == []
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            confinement_trend([], lambda ip: None, bucket_days=0)
+
+    def test_stability_metric(self):
+        points = [
+            TrendPoint(0, 30, 10, 90.0),
+            TrendPoint(30, 60, 10, 84.0),
+        ]
+        assert trend_stability(points) == pytest.approx(6.0)
+        assert trend_stability([]) == 0.0
+
+    def test_on_study_stable_over_window(self, small_study):
+        """The paper's observation: confinement does not move
+        dramatically over the observation window."""
+        points = confinement_trend(
+            small_study.tracking_requests(),
+            small_study.geolocation.reference,
+            bucket_days=45.0,
+        )
+        assert len(points) >= 2
+        assert trend_stability(points) < 12.0
+        assert all(point.confinement_pct > 70.0 for point in points)
+
+
+class TestDiscoveryCurve:
+    def _inventory(self, first_seen_days):
+        inventory = TrackerIPInventory()
+        for index, day in enumerate(first_seen_days):
+            record = TrackerIPRecord(address=IPAddress.v4(index + 1))
+            record.widen_window(day, day + 1)
+            inventory._records[record.address] = record  # noqa: SLF001
+        return inventory
+
+    def test_cumulative_monotone(self):
+        curve = discovery_curve(self._inventory([1, 2, 20, 40, 41]), 15.0)
+        counts = [count for _, count in curve]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_empty_inventory(self):
+        assert discovery_curve(TrackerIPInventory()) == []
+        assert discovery_saturation_day(TrackerIPInventory()) is None
+
+    def test_saturation_day(self):
+        inventory = self._inventory([1.0] * 95 + [100.0] * 5)
+        assert discovery_saturation_day(
+            inventory, coverage=0.95, bucket_days=15.0
+        ) == 15.0
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            discovery_curve(TrackerIPInventory(), bucket_days=0)
+        with pytest.raises(ValueError):
+            discovery_saturation_day(TrackerIPInventory(), coverage=0.0)
+
+    def test_on_study_saturates_before_window_end(self, small_study):
+        """Most tracker IPs are known well before the panel window ends
+        — the justification for the paper's fixed observation period."""
+        day = discovery_saturation_day(small_study.inventory, coverage=0.9)
+        assert day is not None
+        from repro.datasets.builder import BACKGROUND_END_DAY
+
+        assert day < BACKGROUND_END_DAY
+
+
+class TestArtifactConsistency:
+    def test_table2_totals_are_sums(self, small_study):
+        from repro.analysis.tables import table2
+
+        artifact = table2(small_study)
+        assert artifact["total_requests"] == (
+            artifact["abp_requests"] + artifact["semi_requests"]
+        )
+
+    def test_figure6_shares_sum(self, small_study):
+        from repro.analysis.figures import figure6
+
+        artifact = figure6(small_study)
+        assert sum(
+            artifact["destination_shares"].values()
+        ) == pytest.approx(100.0)
+
+    def test_figure9_shares_sum(self, small_study):
+        from repro.analysis.figures import figure9
+
+        artifact = figure9(small_study)
+        if artifact["category_shares"]:
+            assert sum(
+                artifact["category_shares"].values()
+            ) == pytest.approx(100.0)
+
+    def test_table5_flow_counts_constant(self, small_study):
+        from repro.analysis.tables import table5
+
+        outcomes = table5(small_study)["outcomes"]
+        assert len({o.n_flows for o in outcomes}) == 1
+
+    def test_full_report_contains_every_artifact(self, small_study):
+        from repro.analysis.report import full_report
+
+        report = full_report(small_study)
+        for marker in (
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+            "Table 6", "Table 7", "Table 8", "Table 9",
+            "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+            "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+            "Figure 12", "Paper vs measured",
+        ):
+            assert marker in report

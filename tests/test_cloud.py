@@ -1,0 +1,87 @@
+"""Tests for repro.cloud.providers."""
+
+import pytest
+
+from repro.cloud.providers import CloudCatalog, CloudProvider, default_providers
+from repro.errors import ConfigError
+from repro.netbase.allocator import AddressPlan
+
+
+class TestCloudProvider:
+    def test_nine_default_providers(self):
+        assert len(default_providers()) == 9
+
+    def test_has_pop(self):
+        aws = next(p for p in default_providers() if p.name == "aws")
+        assert aws.has_pop("IE")
+        assert not aws.has_pop("CY")
+
+    def test_no_pops_rejected(self):
+        with pytest.raises(ConfigError):
+            CloudProvider("x", "X", "US", ())
+
+    def test_duplicate_pops_rejected(self):
+        with pytest.raises(ConfigError):
+            CloudProvider("x", "X", "US", ("DE", "DE"))
+
+
+class TestCloudCatalog:
+    def test_union_excludes_cyprus(self):
+        """Table 6's shape: no public-cloud PoP in Cyprus."""
+        union = CloudCatalog().union_pop_countries()
+        assert "CY" not in union
+        for covered in ("DK", "GR", "RO", "IT", "GB", "ES", "DE"):
+            assert covered in union
+
+    def test_providers_in(self):
+        catalog = CloudCatalog()
+        names = {p.name for p in catalog.providers_in("DK")}
+        assert names  # at least one provider covers Denmark
+        assert all(catalog.get(n).has_pop("DK") for n in names)
+
+    def test_unknown_provider(self):
+        with pytest.raises(ConfigError):
+            CloudCatalog().get("nimbus")
+
+    def test_duplicate_provider_rejected(self):
+        aws = default_providers()[0]
+        with pytest.raises(ConfigError):
+            CloudCatalog([aws, aws])
+
+    def test_allocation_requires_plan(self):
+        with pytest.raises(ConfigError):
+            CloudCatalog().allocate_address("aws", "IE")
+
+    def test_allocation_and_range_membership(self):
+        catalog = CloudCatalog()
+        plan = AddressPlan()
+        catalog.attach_plan(plan)
+        address = catalog.allocate_address("aws", "IE")
+        provider = catalog.provider_of_ip(address)
+        assert provider is not None and provider.name == "aws"
+        assert any(
+            address in prefix for prefix in catalog.published_ranges("aws")
+        )
+        # The plan knows the pool's true country.
+        assert plan.lookup(address).country == "IE"
+
+    def test_allocation_outside_footprint_rejected(self):
+        catalog = CloudCatalog()
+        catalog.attach_plan(AddressPlan())
+        with pytest.raises(ConfigError):
+            catalog.allocate_address("aws", "CY")
+
+    def test_provider_of_ip_non_cloud(self):
+        catalog = CloudCatalog()
+        plan = AddressPlan()
+        catalog.attach_plan(plan)
+        record = plan.create_pool("DE", "hosting", "acme", length=24)
+        own = plan.pool(record.prefix).allocate_address()
+        assert catalog.provider_of_ip(own) is None
+
+    def test_published_ranges_cover_every_pop(self):
+        catalog = CloudCatalog()
+        catalog.attach_plan(AddressPlan())
+        for provider in catalog.providers():
+            ranges = catalog.published_ranges(provider.name)
+            assert len(ranges) == len(provider.pop_countries)

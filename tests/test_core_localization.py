@@ -1,0 +1,136 @@
+"""Tests for the localization what-if analysis (Sect. 5, Tables 5/6)."""
+
+import pytest
+
+from repro.core.localization import LocalizationScenario
+
+
+@pytest.fixture(scope="module")
+def small_study_module(small_study):
+    return small_study
+
+
+@pytest.fixture(scope="module")
+def analyzer(small_study_module):
+    return small_study_module.localization
+
+
+@pytest.fixture(scope="module")
+def tracking(small_study_module):
+    return small_study_module.tracking_requests()
+
+
+class TestScenarioOrdering:
+    def test_scenarios_are_monotone(self, analyzer, tracking):
+        """Each scenario can only add reachable countries, so confinement
+        is non-decreasing along the paper's scenario chain."""
+        outcomes = {
+            scenario: analyzer.evaluate(tracking, scenario)
+            for scenario in LocalizationScenario
+        }
+        default = outcomes[LocalizationScenario.DEFAULT]
+        fqdn = outcomes[LocalizationScenario.REDIRECT_FQDN]
+        tld = outcomes[LocalizationScenario.REDIRECT_TLD]
+        mirror = outcomes[LocalizationScenario.POP_MIRRORING]
+        combined = outcomes[LocalizationScenario.REDIRECT_TLD_PLUS_MIRRORING]
+        migration = outcomes[LocalizationScenario.CLOUD_MIGRATION]
+        for metric in ("country_pct", "region_pct"):
+            assert getattr(fqdn, metric) >= getattr(default, metric)
+            assert getattr(tld, metric) >= getattr(fqdn, metric)
+            assert getattr(mirror, metric) >= getattr(default, metric)
+            assert getattr(combined, metric) >= getattr(tld, metric)
+            assert getattr(combined, metric) >= getattr(mirror, metric)
+            assert getattr(migration, metric) >= getattr(combined, metric)
+
+    def test_redirection_has_real_potential(self, analyzer, tracking):
+        """The paper's core what-if finding: TLD redirection adds
+        substantially to national confinement."""
+        default = analyzer.evaluate(tracking, LocalizationScenario.DEFAULT)
+        tld = analyzer.evaluate(tracking, LocalizationScenario.REDIRECT_TLD)
+        assert tld.country_pct - default.country_pct > 5.0
+
+    def test_scenario_table_order(self, analyzer, tracking):
+        outcomes = analyzer.scenario_table(tracking)
+        assert [o.scenario for o in outcomes] == [
+            LocalizationScenario.DEFAULT,
+            LocalizationScenario.REDIRECT_FQDN,
+            LocalizationScenario.REDIRECT_TLD,
+            LocalizationScenario.POP_MIRRORING,
+            LocalizationScenario.REDIRECT_TLD_PLUS_MIRRORING,
+        ]
+        assert all(o.n_flows == outcomes[0].n_flows for o in outcomes)
+
+    def test_improvement_over(self, analyzer, tracking):
+        outcomes = analyzer.scenario_table(tracking)
+        d_country, d_region = outcomes[2].improvement_over(outcomes[0])
+        assert d_country >= 0 and d_region >= 0
+
+
+class TestObservedMaps:
+    def test_fqdn_subset_of_tld(self, analyzer, small_study_module):
+        from repro.web.requests import tld1_of
+
+        for record in small_study_module.inventory.records()[:200]:
+            for fqdn in record.fqdns:
+                assert analyzer.observed_fqdn_countries(fqdn) <= (
+                    analyzer.observed_tld_countries(tld1_of(fqdn))
+                )
+
+    def test_unknown_fqdn_empty(self, analyzer):
+        assert analyzer.observed_fqdn_countries("nope.example") == set()
+
+    def test_mirrored_superset_of_observed(self, analyzer, small_study_module):
+        from repro.web.requests import tld1_of
+
+        tlds = {
+            tld1_of(f)
+            for r in small_study_module.inventory.records()[:100]
+            for f in r.fqdns
+        }
+        for tld in tlds:
+            assert analyzer.observed_tld_countries(tld) <= (
+                analyzer.mirrored_countries(tld)
+            )
+
+    def test_cloud_tenancy_detected(self, analyzer, small_study_module):
+        """At least some tracking TLDs are detected as cloud tenants via
+        their published-range IPs."""
+        from repro.web.requests import tld1_of
+
+        tlds = {
+            tld1_of(f)
+            for r in small_study_module.inventory.records()
+            for f in r.fqdns
+        }
+        assert any(analyzer.cloud_tenancy(tld) for tld in tlds)
+
+
+class TestPerCountry:
+    def test_rows_have_expected_fields(self, analyzer, tracking):
+        rows = analyzer.per_country_improvements(tracking)
+        assert rows
+        for row in rows:
+            assert 0 <= row["mirroring_improvement_pct"] <= 100
+            assert 0 <= row["migration_improvement_pct"] <= 100
+            assert isinstance(row["cloud_coverage"], bool)
+
+    def test_cyprus_gains_nothing_from_migration(self, analyzer, tracking):
+        """Table 6: no public cloud covers Cyprus."""
+        rows = {
+            row["country"]: row
+            for row in analyzer.per_country_improvements(tracking)
+        }
+        if "CY" in rows:
+            assert rows["CY"]["cloud_coverage"] is False
+            assert rows["CY"]["migration_improvement_pct"] == 0.0
+
+    def test_small_covered_countries_gain_most(self, analyzer, tracking):
+        """Table 6's shape: migration gains are largest where TLD
+        redirection achieves least (DK/GR/RO-like countries)."""
+        rows = analyzer.per_country_improvements(tracking)
+        covered = [r for r in rows if r["cloud_coverage"]]
+        assert covered
+        top = covered[0]
+        assert top["migration_improvement_pct"] >= (
+            covered[-1]["migration_improvement_pct"]
+        )

@@ -1,0 +1,109 @@
+"""Tests for the multi-regulation monitor."""
+
+import pytest
+
+from repro.core.regulations import (
+    Regulation,
+    RegulationMonitor,
+    builtin_regulations,
+)
+from repro.netbase.addr import IPAddress
+from repro.web.organizations import ServiceRole
+from repro.web.requests import ThirdPartyRequest
+
+
+def make_request(user_country, ip_text, first_party="site.example"):
+    return ThirdPartyRequest(
+        first_party=first_party,
+        url="https://t.x.example/p?uid=1",
+        referrer="https://site.example/",
+        ip=IPAddress.parse(ip_text),
+        user_id=1,
+        user_country=user_country,
+        day=1.0,
+        https=True,
+        truth_role=ServiceRole.COOKIE_SYNC,
+        truth_org="org",
+        truth_country="DE",
+        chain_depth=1,
+    )
+
+
+LOCATIONS = {"1.0.0.1": "DE", "1.0.0.2": "US", "1.0.0.3": None}
+
+
+def locate(ip):
+    return LOCATIONS.get(str(ip))
+
+
+class TestRegulation:
+    def test_protected_origins_default_to_jurisdiction(self):
+        regulation = Regulation("X", jurisdiction=frozenset({"DE"}))
+        assert regulation.protected_origins() == frozenset({"DE"})
+
+    def test_builtins_include_gdpr(self):
+        names = {r.name for r in builtin_regulations()}
+        assert "GDPR" in names
+        gdpr = next(r for r in builtin_regulations() if r.name == "GDPR")
+        assert len(gdpr.jurisdiction) == 28
+        assert "GB" in gdpr.jurisdiction
+
+
+class TestRegulationMonitor:
+    def test_jurisdiction_confinement(self):
+        monitor = RegulationMonitor(locate)
+        regulation = Regulation("DE-law", jurisdiction=frozenset({"DE"}))
+        requests = [
+            make_request("DE", "1.0.0.1"),   # in scope, inside
+            make_request("DE", "1.0.0.2"),   # in scope, outside
+            make_request("FR", "1.0.0.1"),   # out of scope (origin)
+        ]
+        report = monitor.evaluate(requests, regulation)
+        assert report.in_scope_flows == 2
+        assert report.inside_jurisdiction == 1
+        assert report.confinement_pct == pytest.approx(50.0)
+
+    def test_unknown_destinations_counted(self):
+        monitor = RegulationMonitor(locate)
+        regulation = Regulation("DE-law", jurisdiction=frozenset({"DE"}))
+        report = monitor.evaluate([make_request("DE", "1.0.0.3")], regulation)
+        assert report.unknown_destination == 1
+        assert report.confinement_pct == 0.0
+
+    def test_category_scope_requires_sensitive_study(self):
+        monitor = RegulationMonitor(locate, sensitive=None)
+        scoped = Regulation(
+            "scoped",
+            jurisdiction=frozenset({"DE"}),
+            category_scope=frozenset({"health"}),
+        )
+        report = monitor.evaluate([make_request("DE", "1.0.0.1")], scoped)
+        assert report.in_scope_flows == 0
+
+    def test_investigable_threshold(self):
+        monitor = RegulationMonitor(locate)
+        regulation = Regulation("DE-law", jurisdiction=frozenset({"DE"}))
+        confident = monitor.evaluate(
+            [make_request("DE", "1.0.0.1")] * 3, regulation
+        )
+        assert confident.investigable
+
+    def test_on_study(self, small_study):
+        monitor = RegulationMonitor(
+            small_study.geolocation.reference,
+            sensitive=small_study.sensitive,
+            registry=small_study.world.registry,
+        )
+        reports = monitor.evaluate_all(small_study.tracking_requests())
+        assert set(reports) == {
+            "GDPR", "BDSG (DE national scope)",
+            "COPPA-like (children, US)", "Health-records (EU28)",
+        }
+        gdpr = reports["GDPR"]
+        assert gdpr.in_scope_flows > 0
+        # The paper's headline: GDPR-scoped flows are largely confined.
+        assert gdpr.confinement_pct > 70.0
+        # The national scope is far narrower than the EU-wide one.
+        national = reports["BDSG (DE national scope)"]
+        if national.in_scope_flows:
+            assert national.confinement_pct < gdpr.confinement_pct

@@ -1,0 +1,96 @@
+"""Whole-system determinism: the same seed must reproduce the identical
+world and study products; a different seed must not."""
+
+import pytest
+
+from repro import Study, WorldConfig
+from repro.datasets.builder import build_world
+
+
+@pytest.fixture(scope="module")
+def twin_worlds():
+    config = WorldConfig.small(seed=4242)
+    return build_world(config), build_world(WorldConfig.small(seed=4242))
+
+
+class TestSameSeed:
+    def test_organizations_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert first.organizations == second.organizations
+
+    def test_server_addresses_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert [s.ip for s in first.fleet.servers()] == [
+            s.ip for s in second.fleet.servers()
+        ]
+
+    def test_publishers_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert first.publishers == second.publishers
+
+    def test_users_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert first.users == second.users
+
+    def test_filter_lists_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert (
+            first.easylist.anchor_domains()
+            == second.easylist.anchor_domains()
+        )
+        assert (
+            first.easyprivacy.anchor_domains()
+            == second.easyprivacy.anchor_domains()
+        )
+
+    def test_pdns_contents_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert len(first.pdns) == len(second.pdns)
+        assert list(first.pdns.names()) == list(second.pdns.names())
+
+    def test_probe_mesh_identical(self, twin_worlds):
+        first, second = twin_worlds
+        assert first.probes.probes() == second.probes.probes()
+
+    def test_study_products_identical(self, twin_worlds):
+        first, second = twin_worlds
+        study_a, study_b = Study(world=first), Study(world=second)
+        assert (
+            study_a.visit_log.third_party_requests()
+            == study_b.visit_log.third_party_requests()
+        )
+        assert study_a.classification.stages == study_b.classification.stages
+        assert (
+            study_a.inventory.addresses() == study_b.inventory.addresses()
+        )
+
+    def test_geolocation_identical(self, twin_worlds):
+        first, second = twin_worlds
+        sample = first.fleet.servers()[:30]
+        for server in sample:
+            assert first.ipmap.locate(server.ip) == second.ipmap.locate(
+                server.ip
+            )
+
+
+class TestDifferentSeed:
+    def test_worlds_differ(self):
+        first = build_world(WorldConfig.small(seed=1))
+        second = build_world(WorldConfig.small(seed=2))
+        assert [s.ip for s in first.fleet.servers()] != [
+            s.ip for s in second.fleet.servers()
+        ]
+        assert first.organizations != second.organizations
+
+    def test_headline_shape_stable_across_seeds(self):
+        """The calibrated shape must not be a single-seed artifact."""
+        from repro.geodata.regions import Region
+
+        for seed in (11, 22):
+            study = Study(WorldConfig.small(seed=seed))
+            ipmap = study.eu28_destination_regions("RIPE IPmap")
+            maxmind = study.eu28_destination_regions("MaxMind")
+            assert ipmap[Region.EU28.value] > 70.0
+            assert (
+                maxmind[Region.EU28.value] < ipmap[Region.EU28.value] - 15.0
+            )

@@ -1,0 +1,332 @@
+"""Tests for repro.dnssim: records, authority, resolver, passive DNS."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnssim.authority import (
+    AuthorityDirectory,
+    ClientSite,
+    FqdnService,
+    SelectionPolicy,
+    Zone,
+    zone_apex_of,
+)
+from repro.dnssim.passive import PassiveDNSDatabase, PassiveRecord
+from repro.dnssim.records import DNSAnswer, ResourceRecord, RRType
+from repro.dnssim.resolver import (
+    PublicResolver,
+    RecursiveResolver,
+    default_public_resolvers,
+)
+from repro.errors import DNSError, NXDomainError
+from repro.netbase.addr import IPAddress
+
+
+@dataclass(frozen=True)
+class FakeEndpoint:
+    ip: IPAddress
+    country: str
+    lat: float
+    lon: float
+
+
+def endpoint(ip_text: str, country: str, lat: float, lon: float):
+    return FakeEndpoint(IPAddress.parse(ip_text), country, lat, lon)
+
+
+BERLIN = ClientSite("DE", 52.52, 13.41)
+MADRID = ClientSite("ES", 40.42, -3.70)
+SAO_PAULO = ClientSite("BR", -23.55, -46.63)
+
+DE_SERVER = endpoint("1.0.0.1", "DE", 52.5, 13.4)
+ES_SERVER = endpoint("1.0.0.2", "ES", 40.4, -3.7)
+US_SERVER = endpoint("1.0.0.3", "US", 38.9, -77.0)
+
+
+class TestRecords:
+    def test_rrtype_for_address(self):
+        assert RRType.for_address(IPAddress.parse("1.2.3.4")) is RRType.A
+        assert RRType.for_address(IPAddress.parse("::1")) is RRType.AAAA
+
+    def test_resource_record_validation(self):
+        with pytest.raises(DNSError):
+            ResourceRecord("x.example", RRType.A, "1.2.3.4", -1)
+        with pytest.raises(DNSError):
+            ResourceRecord("UPPER.example", RRType.A, "1.2.3.4", 60)
+
+    def test_answer_rtype(self):
+        answer = DNSAnswer(
+            "a.example", IPAddress.parse("1.2.3.4"), 300, "DE", "DE"
+        )
+        assert answer.rtype is RRType.A
+
+
+class TestFqdnService:
+    def test_requires_endpoints(self):
+        with pytest.raises(DNSError):
+            FqdnService(fqdn="a.example", endpoints=[])
+
+    def test_weights_length_checked(self):
+        with pytest.raises(DNSError):
+            FqdnService(
+                fqdn="a.example", endpoints=[DE_SERVER], weights=[1.0, 2.0]
+            )
+
+    def test_nearest_picks_closest(self):
+        service = FqdnService(
+            fqdn="a.example",
+            endpoints=[DE_SERVER, ES_SERVER, US_SERVER],
+            policy=SelectionPolicy.NEAREST,
+        )
+        assert service.select(BERLIN) is DE_SERVER
+        assert service.select(MADRID) is ES_SERVER
+
+    def test_home_picks_first(self):
+        service = FqdnService(
+            fqdn="a.example",
+            endpoints=[ES_SERVER, DE_SERVER],
+            policy=SelectionPolicy.HOME,
+        )
+        assert service.select(BERLIN) is ES_SERVER
+
+    def test_round_robin_rotates(self):
+        service = FqdnService(
+            fqdn="a.example",
+            endpoints=[DE_SERVER, ES_SERVER],
+            policy=SelectionPolicy.ROUND_ROBIN,
+        )
+        picks = [service.select(BERLIN) for _ in range(4)]
+        assert picks == [DE_SERVER, ES_SERVER, DE_SERVER, ES_SERVER]
+
+    def test_weighted_geofence_keeps_continent(self):
+        service = FqdnService(
+            fqdn="a.example",
+            endpoints=[DE_SERVER, ES_SERVER, US_SERVER],
+            policy=SelectionPolicy.WEIGHTED,
+        )
+        rng = random.Random(0)
+        picks = [service.select(BERLIN, rng) for _ in range(300)]
+        us_share = sum(1 for p in picks if p is US_SERVER) / len(picks)
+        # The geofence keeps most (but not all) answers in Europe.
+        assert us_share < (1 - service.GEOFENCE_PROBABILITY) * 0.6 + 0.1
+
+    def test_weighted_uncovered_continent_fences_to_nearest(self):
+        service = FqdnService(
+            fqdn="a.example",
+            endpoints=[DE_SERVER, ES_SERVER, US_SERVER],
+            policy=SelectionPolicy.WEIGHTED,
+        )
+        rng = random.Random(1)
+        picks = [service.select(SAO_PAULO, rng) for _ in range(300)]
+        us_share = sum(1 for p in picks if p is US_SERVER) / len(picks)
+        # South America has no endpoint; fenced answers ride the nearest
+        # continent (North America).
+        assert us_share > 0.6
+
+    def test_countries_sorted_unique(self):
+        service = FqdnService(
+            fqdn="a.example", endpoints=[US_SERVER, DE_SERVER, DE_SERVER]
+        )
+        assert service.countries() == ["DE", "US"]
+
+
+class TestZone:
+    def _zone(self):
+        zone = Zone("example.com", owner="acme")
+        zone.add_service(
+            FqdnService(fqdn="ads.example.com", endpoints=[DE_SERVER])
+        )
+        return zone
+
+    def test_membership(self):
+        zone = self._zone()
+        assert "ads.example.com" in zone
+        assert len(zone) == 1
+
+    def test_outside_zone_rejected(self):
+        zone = self._zone()
+        with pytest.raises(DNSError):
+            zone.add_service(
+                FqdnService(fqdn="ads.other.com", endpoints=[DE_SERVER])
+            )
+
+    def test_missing_name(self):
+        with pytest.raises(NXDomainError):
+            self._zone().service("nope.example.com")
+
+    def test_answer(self):
+        server, ttl = self._zone().answer("ads.example.com", BERLIN)
+        assert server is DE_SERVER
+        assert ttl == 300
+
+    def test_apex_derivation(self):
+        assert zone_apex_of("a.b.example.com") == "example.com"
+        with pytest.raises(DNSError):
+            zone_apex_of("nodots")
+
+
+class TestAuthorityDirectory:
+    def test_routing_and_nxdomain(self):
+        zone = Zone("example.com", owner="acme")
+        zone.add_service(
+            FqdnService(fqdn="ads.example.com", endpoints=[DE_SERVER])
+        )
+        directory = AuthorityDirectory([zone])
+        assert directory.zone_for("ads.example.com") is zone
+        with pytest.raises(NXDomainError):
+            directory.zone_for("x.unknown.net")
+
+    def test_duplicate_zone_rejected(self):
+        zone = Zone("example.com", owner="acme")
+        directory = AuthorityDirectory([zone])
+        with pytest.raises(DNSError):
+            directory.add(Zone("example.com", owner="other"))
+
+
+class TestPublicResolver:
+    def test_site_for_picks_nearest(self):
+        resolver = PublicResolver(
+            "r", sites=(ClientSite("US", 38.9, -77.0),
+                        ClientSite("NL", 52.37, 4.9)),
+        )
+        assert resolver.site_for(BERLIN).country == "NL"
+        assert resolver.site_for(ClientSite("CA", 45.4, -75.7)).country == "US"
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(DNSError):
+            PublicResolver("r", sites=())
+
+    def test_defaults_exist(self):
+        resolvers = default_public_resolvers()
+        assert len(resolvers) == 3
+        assert all(r.sites for r in resolvers)
+
+
+class TestRecursiveResolver:
+    def _setup(self):
+        zone = Zone("example.com", owner="acme")
+        zone.add_service(
+            FqdnService(
+                fqdn="ads.example.com",
+                endpoints=[DE_SERVER, US_SERVER],
+                policy=SelectionPolicy.NEAREST,
+            )
+        )
+        directory = AuthorityDirectory([zone])
+        pdns = PassiveDNSDatabase()
+        return directory, pdns
+
+    def test_resolution_and_pdns_observation(self):
+        directory, pdns = self._setup()
+        resolver = RecursiveResolver(directory, [pdns])
+        answer = resolver.resolve("ads.example.com", BERLIN, at=3.0)
+        assert answer.server_country == "DE"
+        assert answer.resolver_country == "DE"
+        record = pdns.record("ads.example.com", answer.address)
+        assert record is not None and record.first_seen == 3.0
+
+    def test_public_resolver_changes_vantage(self):
+        directory, pdns = self._setup()
+        public = PublicResolver("r", sites=(ClientSite("US", 38.9, -77.0),))
+        resolver = RecursiveResolver(directory, [pdns], public_resolver=public)
+        answer = resolver.resolve("ads.example.com", BERLIN, at=0.0)
+        assert answer.resolver_country == "US"
+        assert answer.server_country == "US"
+
+    def test_nxdomain(self):
+        directory, _ = self._setup()
+        resolver = RecursiveResolver(directory)
+        with pytest.raises(NXDomainError):
+            resolver.resolve("x.unknown.net", BERLIN, 0.0)
+
+
+class TestPassiveDNS:
+    def test_windows_widen(self):
+        pdns = PassiveDNSDatabase()
+        ip = IPAddress.parse("1.0.0.1")
+        pdns.observe("a.example.com", ip, 5.0)
+        pdns.observe("a.example.com", ip, 2.0)
+        pdns.observe("a.example.com", ip, 9.0)
+        record = pdns.record("a.example.com", ip)
+        assert (record.first_seen, record.last_seen) == (2.0, 9.0)
+        assert record.observations == 3
+
+    def test_forward_and_reverse(self):
+        pdns = PassiveDNSDatabase()
+        a, b = IPAddress.parse("1.0.0.1"), IPAddress.parse("1.0.0.2")
+        pdns.observe("a.example.com", a, 1.0)
+        pdns.observe("a.example.com", b, 2.0)
+        pdns.observe("b.other.net", a, 3.0)
+        assert {r.address for r in pdns.forward("a.example.com")} == {a, b}
+        assert {r.name for r in pdns.reverse(a)} == {
+            "a.example.com", "b.other.net",
+        }
+
+    def test_window_filtering(self):
+        pdns = PassiveDNSDatabase()
+        ip = IPAddress.parse("1.0.0.1")
+        pdns.observe("a.example.com", ip, 10.0)
+        assert pdns.forward("a.example.com", window=(0.0, 5.0)) == []
+        assert len(pdns.forward("a.example.com", window=(5.0, 15.0))) == 1
+
+    def test_bad_window_raises(self):
+        record = PassiveRecord("a", IPAddress.parse("1.0.0.1"), 1, 2, 1)
+        with pytest.raises(DNSError):
+            record.active_during(5.0, 1.0)
+
+    def test_active_at(self):
+        record = PassiveRecord("a", IPAddress.parse("1.0.0.1"), 1.0, 2.0, 1)
+        assert record.active_at(1.5)
+        assert not record.active_at(3.0)
+
+    def test_domains_behind_uses_tld1(self):
+        pdns = PassiveDNSDatabase()
+        ip = IPAddress.parse("1.0.0.1")
+        pdns.observe("sync.a.example", ip, 1.0)
+        pdns.observe("px.a.example", ip, 1.0)
+        pdns.observe("x.b.example", ip, 1.0)
+        assert pdns.domains_behind(ip) == {"a.example", "b.example"}
+
+    def test_merge(self):
+        first, second = PassiveDNSDatabase(), PassiveDNSDatabase()
+        ip = IPAddress.parse("1.0.0.1")
+        first.observe("a.example.com", ip, 5.0)
+        second.observe("a.example.com", ip, 1.0)
+        second.observe("b.example.com", ip, 2.0)
+        first.merge(second)
+        record = first.record("a.example.com", ip)
+        assert (record.first_seen, record.last_seen) == (1.0, 5.0)
+        assert len(first.reverse(ip)) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DNSError):
+            PassiveDNSDatabase().observe("", IPAddress.parse("1.0.0.1"), 0.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a.x.com", "b.x.com", "c.y.net"]),
+            st.integers(min_value=0, max_value=3),
+            st.floats(min_value=0, max_value=300),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_pdns_window_consistency_property(observations):
+    """first_seen <= last_seen, and both are observed timestamps."""
+    pdns = PassiveDNSDatabase()
+    per_pair = {}
+    for name, ip_index, at in observations:
+        ip = IPAddress.v4(ip_index)
+        pdns.observe(name, ip, at)
+        per_pair.setdefault((name, ip), []).append(at)
+    for (name, ip), times in per_pair.items():
+        record = pdns.record(name, ip)
+        assert record.first_seen == min(times)
+        assert record.last_seen == max(times)
+        assert record.observations == len(times)

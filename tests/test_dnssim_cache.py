@@ -1,0 +1,145 @@
+"""Tests for the TTL-respecting resolver cache and the redirection
+propagation model."""
+
+import pytest
+
+from repro.dnssim.authority import ClientSite
+from repro.dnssim.cache import (
+    CachingResolver,
+    propagation_profile,
+    redirection_propagation,
+)
+from repro.errors import DNSError
+from repro.netbase.addr import IPAddress
+
+
+class FakeAuthority:
+    """Answer source that counts queries and can be repointed."""
+
+    def __init__(self, ttl=300):
+        self.ttl = ttl
+        self.queries = 0
+        self.current = self._endpoint("1.0.0.1", "DE")
+
+    @staticmethod
+    def _endpoint(ip_text, country):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class E:
+            ip: IPAddress
+            country: str
+            lat: float
+            lon: float
+
+        return E(IPAddress.parse(ip_text), country, 50.0, 8.0)
+
+    def __call__(self, fqdn, client):
+        self.queries += 1
+        return self.current, self.ttl
+
+    def redirect(self, ip_text, country):
+        self.current = self._endpoint(ip_text, country)
+
+
+SITE = ClientSite("DE", 50.11, 8.68)
+
+
+class TestCachingResolver:
+    def test_hit_within_ttl(self):
+        authority = FakeAuthority(ttl=300)
+        resolver = CachingResolver(authority)
+        first = resolver.resolve("t.example", SITE, now_seconds=0.0)
+        second = resolver.resolve("t.example", SITE, now_seconds=299.0)
+        assert first is second
+        assert authority.queries == 1
+        assert resolver.stats.hits == 1
+        assert resolver.stats.hit_rate == pytest.approx(0.5)
+
+    def test_expiry_refetches(self):
+        authority = FakeAuthority(ttl=300)
+        resolver = CachingResolver(authority)
+        resolver.resolve("t.example", SITE, now_seconds=0.0)
+        resolver.resolve("t.example", SITE, now_seconds=301.0)
+        assert authority.queries == 2
+        assert resolver.stats.expirations == 1
+
+    def test_redirection_visible_only_after_ttl(self):
+        """The paper's Sect. 5.1 mechanics: a redirection takes effect
+        once cached answers expire."""
+        authority = FakeAuthority(ttl=300)
+        resolver = CachingResolver(authority)
+        before = resolver.resolve("t.example", SITE, now_seconds=0.0)
+        authority.redirect("1.0.0.9", "FR")
+        still_cached = resolver.resolve("t.example", SITE, now_seconds=100.0)
+        after = resolver.resolve("t.example", SITE, now_seconds=400.0)
+        assert still_cached is before
+        assert after.country == "FR"
+
+    def test_per_country_keying(self):
+        authority = FakeAuthority()
+        resolver = CachingResolver(authority)
+        resolver.resolve("t.example", SITE, 0.0)
+        resolver.resolve("t.example", ClientSite("FR", 48.86, 2.35), 0.0)
+        assert authority.queries == 2
+
+    def test_negative_ttl_rejected(self):
+        authority = FakeAuthority(ttl=-1)
+        resolver = CachingResolver(authority)
+        with pytest.raises(DNSError):
+            resolver.resolve("t.example", SITE, 0.0)
+
+    def test_flush(self):
+        authority = FakeAuthority()
+        resolver = CachingResolver(authority)
+        resolver.resolve("t.example", SITE, 0.0)
+        resolver.flush()
+        resolver.resolve("t.example", SITE, 0.0)
+        assert authority.queries == 2
+
+
+class TestRedirectionPropagation:
+    def test_deadline_zero(self):
+        assert redirection_propagation([300], 0.0) == 0.0
+
+    def test_full_after_ttl(self):
+        assert redirection_propagation([300], 300.0) == 1.0
+        assert redirection_propagation([300], 10_000.0) == 1.0
+
+    def test_uniform_refresh_model(self):
+        assert redirection_propagation([300], 150.0) == pytest.approx(0.5)
+
+    def test_mixed_ttls_average(self):
+        # The paper's examples: 300s (google-like) and 7200s (facebook-like).
+        share = redirection_propagation([300, 7200], 300.0)
+        assert share == pytest.approx((1.0 + 300 / 7200) / 2)
+
+    def test_zero_ttl_immediate(self):
+        assert redirection_propagation([0], 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            redirection_propagation([300], -1.0)
+        with pytest.raises(ValueError):
+            redirection_propagation([-5], 1.0)
+        assert redirection_propagation([], 100.0) == 0.0
+
+    def test_profile_monotone(self, small_world):
+        services = [
+            d.service for d in small_world.fleet.tracking_fqdns()[:200]
+        ]
+        profile = propagation_profile(services)
+        shares = [share for _, share in profile]
+        assert shares == sorted(shares)
+        assert 0.0 <= shares[0] <= shares[-1] <= 1.0
+        # Within two hours most tracking FQDNs' clients are redirected
+        # ("from seconds to a few hours").
+        two_hours = dict(profile)[7200]
+        assert two_hours > 0.8
+
+
+class TestChainDepths:
+    def test_depths_recorded(self, small_study):
+        depths = [r.chain_depth for r in small_study.visit_log.requests]
+        assert min(depths) == 0
+        assert max(depths) >= 3  # sync cascades are multi-hop

@@ -1,0 +1,202 @@
+"""Tests for repro.geoloc: probes, IPmap engine, commercial databases,
+comparison tooling."""
+
+import random
+
+import pytest
+
+from repro.geodata.regions import region_of_country
+from repro.geoloc.commercial import CommercialGeoDatabase
+from repro.geoloc.compare import agreement_matrix, misgeolocation_report
+from repro.geoloc.ipmap import IPmapEngine
+from repro.geoloc.probes import Probe, ProbeMesh
+from repro.netbase.addr import IPAddress
+
+
+class TestProbeMesh:
+    def test_density_profile(self, small_world):
+        mesh = small_world.probes
+        europe = sum(
+            1
+            for p in mesh.probes()
+            if small_world.registry.get(p.country).continent == "EU"
+        )
+        us = len(mesh.in_country("US"))
+        # Paper: dense in Europe (5K+), substantial in the US (1K+).
+        assert europe > 2 * us > 0
+
+    def test_every_country_covered(self, small_world):
+        covered = set(small_world.probes.countries())
+        assert covered == set(small_world.registry.codes())
+
+    def test_probe_rtt_reflects_distance(self):
+        probe = Probe(0, "DE", 52.5, 13.4)
+        near = probe.rtt_to(52.5, 13.5)
+        far = probe.rtt_to(40.4, -3.7)
+        assert near < far
+
+    def test_sample_size_clamped(self, small_world):
+        mesh = small_world.probes
+        sample = mesh.sample(random.Random(0), 10 ** 6)
+        assert len(sample) == len(mesh)
+
+    def test_empty_mesh_rejected(self):
+        from repro.errors import GeolocationError
+
+        with pytest.raises(GeolocationError):
+            ProbeMesh([])
+
+
+class TestIPmapEngine:
+    def test_region_always_correct_for_servers(self, small_world):
+        oracle_ok = 0
+        servers = small_world.fleet.servers()[:150]
+        for server in servers:
+            estimate = small_world.ipmap.geolocate(server.ip)
+            if (
+                region_of_country(estimate.country)
+                is region_of_country(server.country)
+            ):
+                oracle_ok += 1
+        assert oracle_ok / len(servers) > 0.97
+
+    def test_country_mostly_correct(self, small_world):
+        servers = small_world.fleet.servers()[:200]
+        correct = sum(
+            1
+            for s in servers
+            if small_world.ipmap.locate(s.ip) == s.country
+        )
+        assert correct / len(servers) > 0.9
+
+    def test_votes_sum_to_voter_count(self, small_world):
+        server = small_world.fleet.servers()[0]
+        estimate = small_world.ipmap.geolocate(server.ip)
+        assert sum(count for _, count in estimate.votes) == IPmapEngine.N_VOTERS
+        assert 0 < estimate.country_agreement <= 1.0
+        assert estimate.region_agreement >= estimate.country_agreement
+
+    def test_caching(self, small_world):
+        server = small_world.fleet.servers()[1]
+        first = small_world.ipmap.geolocate(server.ip)
+        second = small_world.ipmap.geolocate(server.ip)
+        assert first is second
+
+    def test_unknown_address_raises(self, small_world):
+        from repro.errors import GeolocationError
+
+        with pytest.raises(GeolocationError):
+            small_world.ipmap.geolocate(IPAddress.parse("203.0.113.7"))
+
+    def test_cloud_range_validation_accuracy(self, small_study):
+        """Sect. 3.4's AWS/Azure check: near-perfect on cloud ranges."""
+        accuracy = small_study.geolocation.validate_ipmap_against_clouds(
+            small_study.world.clouds, per_pool_samples=2
+        )
+        assert accuracy["n"] > 0
+        assert accuracy["country_pct"] > 90.0
+        assert accuracy["region_pct"] > 97.0
+
+
+class TestCommercialDatabases:
+    def test_eyeball_prefixes_correct(self, small_world):
+        plan = small_world.plan
+        maxmind = small_world.maxmind
+        for record in plan.records_for(kind="eyeball"):
+            assert maxmind.prefix_country(record.prefix) == record.country
+
+    def test_infrastructure_biased_to_seat(self, small_world):
+        """Most hosting prefixes of US-seated organizations are mapped
+        to the US regardless of their true country."""
+        plan = small_world.plan
+        maxmind = small_world.maxmind
+        us_seat_orgs = {
+            o.name
+            for o in small_world.organizations
+            if o.legal_country == "US"
+        }
+        wrong = total = 0
+        for record in plan.records_for(kind="hosting"):
+            if record.owner in us_seat_orgs and record.country != "US":
+                total += 1
+                if maxmind.prefix_country(record.prefix) == "US":
+                    wrong += 1
+        assert total > 0
+        bias = small_world.config.geolocation.commercial_legal_seat_bias
+        assert abs(wrong / total - bias) < 0.12
+
+    def test_ip_api_mostly_agrees_with_maxmind(self, small_world):
+        plan = small_world.plan
+        agree = total = 0
+        for record in plan.records():
+            total += 1
+            if small_world.ip_api.prefix_country(
+                record.prefix
+            ) == small_world.maxmind.prefix_country(record.prefix):
+                agree += 1
+        assert agree / total > 0.9
+
+    def test_locate_requires_plan(self):
+        database = CommercialGeoDatabase("x", {})
+        with pytest.raises(RuntimeError):
+            database.locate(IPAddress.parse("1.2.3.4"))
+
+    def test_locate_unknown_space(self, small_world):
+        assert small_world.maxmind.locate(
+            IPAddress.parse("203.0.113.7")
+        ) is None
+
+
+class TestCompare:
+    def test_agreement_matrix_diagonal_is_100(self):
+        addresses = [IPAddress.v4(i) for i in range(10)]
+        locators = {
+            "a": lambda ip: "DE",
+            "b": lambda ip: "FR" if int(ip) % 2 else "DE",
+        }
+        matrix = agreement_matrix(addresses, locators)
+        assert matrix[("a", "a")].country_pct == 100.0
+        assert matrix[("a", "b")].country_pct == 50.0
+        # DE and FR share the EU28 region.
+        assert matrix[("a", "b")].region_pct == 100.0
+
+    def test_agreement_symmetric(self):
+        addresses = [IPAddress.v4(i) for i in range(10)]
+        locators = {
+            "a": lambda ip: "DE",
+            "b": lambda ip: "US" if int(ip) % 3 else "DE",
+        }
+        matrix = agreement_matrix(addresses, locators)
+        assert matrix[("a", "b")] == matrix[("b", "a")]
+
+    def test_agreement_skips_none(self):
+        addresses = [IPAddress.v4(i) for i in range(4)]
+        locators = {
+            "a": lambda ip: None if int(ip) == 0 else "DE",
+            "b": lambda ip: "DE",
+        }
+        matrix = agreement_matrix(addresses, locators)
+        assert matrix[("a", "b")].country_pct == 100.0
+
+    def test_misgeolocation_report(self):
+        addresses = [IPAddress.v4(i) for i in range(4)]
+        counts = {ip: 10 for ip in addresses}
+        row = misgeolocation_report(
+            org_label="acme",
+            addresses=addresses,
+            request_counts=counts,
+            tested=lambda ip: "US",
+            reference=lambda ip: "DE" if int(ip) < 2 else "US",
+        )
+        assert row.n_ips == 4
+        assert row.wrong_country_ips == 2
+        assert row.wrong_country_ip_pct == 50.0
+        assert row.wrong_country_requests == 20
+        assert row.wrong_region_ips == 2
+
+    def test_misgeolocation_empty(self):
+        row = misgeolocation_report(
+            "none", [], {}, lambda ip: None, lambda ip: None
+        )
+        assert row.n_ips == 0
+        assert row.wrong_country_ip_pct == 0.0

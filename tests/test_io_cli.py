@@ -1,0 +1,137 @@
+"""Tests for repro.io serialization and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ReproError
+from repro.io import (
+    inventory_from_json,
+    inventory_to_json,
+    requests_from_jsonl,
+    requests_to_jsonl,
+    sankey_to_csv,
+    summary_to_json,
+)
+from repro.util.sankey import Sankey
+
+
+class TestRequestLogRoundtrip:
+    def test_roundtrip_lossless(self, small_study, tmp_path):
+        requests = small_study.visit_log.requests[:200]
+        path = tmp_path / "requests.jsonl"
+        count = requests_to_jsonl(requests, path)
+        assert count == 200
+        loaded = requests_from_jsonl(path)
+        assert loaded == requests
+
+    def test_blank_lines_skipped(self, small_study, tmp_path):
+        requests = small_study.visit_log.requests[:3]
+        path = tmp_path / "requests.jsonl"
+        requests_to_jsonl(requests, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(requests_from_jsonl(path)) == 3
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"first_party": "x"}\n')
+        with pytest.raises(ReproError, match="bad.jsonl:1"):
+            requests_from_jsonl(path)
+
+
+class TestInventoryRoundtrip:
+    def test_roundtrip(self, small_study, tmp_path):
+        inventory = small_study.inventory
+        path = tmp_path / "inventory.json"
+        inventory_to_json(inventory, path)
+        loaded = inventory_from_json(path)
+        assert len(loaded) == len(inventory)
+        assert loaded.addresses() == inventory.addresses()
+        original = inventory.records()[0]
+        copy = loaded.record(original.address)
+        assert copy.fqdns == original.fqdns
+        assert copy.window == original.window
+        assert copy.domains_behind == original.domains_behind
+        assert loaded.additional_share_pct() == pytest.approx(
+            inventory.additional_share_pct()
+        )
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "inventory.json"
+        path.write_text(json.dumps({"format_version": 99, "records": []}))
+        with pytest.raises(ReproError, match="unsupported"):
+            inventory_from_json(path)
+
+
+class TestOtherWriters:
+    def test_sankey_csv(self, tmp_path):
+        sankey = Sankey()
+        sankey.add("EU 28", "EU 28", 9)
+        sankey.add("EU 28", "N. America", 1)
+        path = tmp_path / "sankey.csv"
+        assert sankey_to_csv(sankey, path) == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "origin,destination,weight"
+        assert len(lines) == 3
+
+    def test_summary_json(self, tmp_path):
+        path = tmp_path / "summary.json"
+        summary_to_json({"b": 2.0, "a": 1.0}, path)
+        assert json.loads(path.read_text()) == {"a": 1.0, "b": 2.0}
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_command(self, capsys):
+        assert main(["--preset", "small", "table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "350" not in out  # small preset has 40 users
+
+    def test_figure_command(self, capsys):
+        assert main(["--preset", "small", "figure", "7"]) == 0
+        assert "RIPE IPmap" in capsys.readouterr().out
+
+    def test_world_command(self, capsys):
+        assert main(["--preset", "small", "world"]) == 0
+        out = capsys.readouterr().out
+        assert "panel users:     40" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["--preset", "small", "--seed", "99", "world"]) == 0
+        assert "seed:            99" in capsys.readouterr().out
+
+    def test_export_command(self, tmp_path, capsys):
+        target = tmp_path / "out"
+        assert main(["--preset", "small", "export", str(target)]) == 0
+        assert (target / "requests.jsonl").exists()
+        assert (target / "tracker_ips.json").exists()
+        assert (target / "continent_sankey.csv").exists()
+        assert (target / "summary.json").exists()
+
+    def test_invalid_table_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "42"])
+
+
+class TestCLIReporting:
+    def test_summary_command_outputs_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["--preset", "small", "summary"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert "f7_ipmap_eu28_pct" in payload
+        # The human-readable comparison goes to stderr.
+        assert "paper" in captured.err
+
+    def test_report_command_contains_all_artifacts(self, capsys):
+        from repro.cli import main
+
+        assert main(["--preset", "small", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "Figure 12" in out

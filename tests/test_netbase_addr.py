@@ -1,0 +1,200 @@
+"""Tests for repro.netbase.addr (IP addresses and prefixes)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.netbase.addr import IPAddress, Prefix, prefix_key, summarize
+
+
+class TestIPv4Parsing:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "1.2.3.4", "255.255.255.255", "10.0.0.1"):
+            assert str(IPAddress.parse(text)) == text
+
+    def test_value(self):
+        assert IPAddress.parse("1.0.0.0").value == 1 << 24
+        assert IPAddress.parse("0.0.0.255").value == 255
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4", "", "1..2.3"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress.parse(bad)
+
+
+class TestIPv6Parsing:
+    def test_full_form(self):
+        address = IPAddress.parse("2001:db8:0:0:0:0:0:1")
+        assert address.version == 6
+        assert str(address) == "2001:db8::1"
+
+    def test_compressed_roundtrip(self):
+        for text in ("::", "::1", "2001:db8::", "2001:db8::1",
+                     "fe80::1:2:3:4"):
+            assert str(IPAddress.parse(text)) == text
+
+    def test_longest_zero_run_compressed(self):
+        address = IPAddress.parse("1:0:0:2:0:0:0:3")
+        assert str(address) == "1:0:0:2::3"
+
+    @pytest.mark.parametrize(
+        "bad", ["1::2::3", ":::", "12345::", "1:2:3:4:5:6:7:8:9", "g::1"]
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress.parse(bad)
+
+
+class TestIPAddress:
+    def test_version_validation(self):
+        with pytest.raises(AddressError):
+            IPAddress(5, 0)
+
+    def test_range_validation(self):
+        with pytest.raises(AddressError):
+            IPAddress(4, 1 << 32)
+        with pytest.raises(AddressError):
+            IPAddress(4, -1)
+
+    def test_ordering(self):
+        a = IPAddress.parse("1.2.3.4")
+        b = IPAddress.parse("1.2.3.5")
+        assert a < b
+
+    def test_add_offset(self):
+        assert str(IPAddress.parse("1.2.3.4") + 2) == "1.2.3.6"
+
+    def test_int_conversion(self):
+        assert int(IPAddress.v4(99)) == 99
+
+    def test_hashable(self):
+        assert len({IPAddress.v4(1), IPAddress.v4(1), IPAddress.v4(2)}) == 2
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert str(prefix) == "10.0.0.0/8"
+        assert prefix.num_addresses == 1 << 24
+
+    def test_host_bits_must_be_zero(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_of_masks_host_bits(self):
+        prefix = Prefix.of(IPAddress.parse("10.1.2.3"), 16)
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert IPAddress.parse("10.255.0.1") in prefix
+        assert IPAddress.parse("11.0.0.0") not in prefix
+
+    def test_contains_rejects_other_version(self):
+        assert IPAddress.parse("::1") not in Prefix.parse("0.0.0.0/0")
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.2.0.0/16")
+        assert inner in outer
+        assert outer not in inner
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.1.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_first_last(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        assert str(prefix.first()) == "10.0.0.0"
+        assert str(prefix.last()) == "10.0.0.3"
+
+    def test_subnets(self):
+        subnets = list(Prefix.parse("10.0.0.0/30").subnets(31))
+        assert [str(s) for s in subnets] == ["10.0.0.0/31", "10.0.0.2/31"]
+
+    def test_subnets_invalid_length(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(33))
+
+    def test_supernet(self):
+        assert str(Prefix.parse("10.1.0.0/16").supernet(8)) == "10.0.0.0/8"
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_addresses_iteration(self):
+        addresses = list(Prefix.parse("10.0.0.0/30").addresses())
+        assert len(addresses) == 4
+        assert str(addresses[-1]) == "10.0.0.3"
+
+    def test_nth(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert str(prefix.nth(255)) == "10.0.0.255"
+        with pytest.raises(AddressError):
+            prefix.nth(256)
+        with pytest.raises(AddressError):
+            prefix.nth(-1)
+
+    def test_ipv6_prefix(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert IPAddress.parse("2001:db8::1") in prefix
+        assert prefix.num_addresses == 1 << 96
+
+    def test_missing_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0")
+
+    def test_length_out_of_range(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/33")
+
+
+class TestHelpers:
+    def test_summarize_drops_contained(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.1.0.0/16"),
+            Prefix.parse("11.0.0.0/8"),
+        ]
+        kept = summarize(prefixes)
+        assert Prefix.parse("10.1.0.0/16") not in kept
+        assert len(kept) == 2
+
+    def test_prefix_key_sortable(self):
+        a = prefix_key(Prefix.parse("10.0.0.0/8"))
+        b = prefix_key(Prefix.parse("11.0.0.0/8"))
+        assert a < b
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_ipv4_text_roundtrip_property(value):
+    address = IPAddress.v4(value)
+    assert IPAddress.parse(str(address)) == address
+
+
+@given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+def test_ipv6_text_roundtrip_property(value):
+    address = IPAddress.v6(value)
+    assert IPAddress.parse(str(address)) == address
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+def test_prefix_contains_its_members_property(value, length):
+    prefix = Prefix.of(IPAddress.v4(value), length)
+    assert prefix.first() in prefix
+    assert prefix.last() in prefix
+    assert IPAddress.v4(value) in prefix
+    # Subnet division covers exactly the prefix.
+    if length <= 30:
+        halves = list(prefix.subnets(min(32, length + 1)))
+        assert sum(h.num_addresses for h in halves) == prefix.num_addresses

@@ -1,0 +1,139 @@
+"""Tests for repro.netbase.allocator and repro.netbase.asn."""
+
+import pytest
+
+from repro.errors import AllocationError, ReproError
+from repro.netbase.addr import IPAddress, Prefix
+from repro.netbase.allocator import AddressPlan, PrefixPool, PrefixRecord
+from repro.netbase.asn import ASRegistry, AutonomousSystem
+
+
+class TestPrefixPool:
+    def test_sequential_addresses(self):
+        pool = PrefixPool(Prefix.parse("10.0.0.0/30"))
+        addresses = [str(pool.allocate_address()) for _ in range(4)]
+        assert addresses == ["10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3"]
+        with pytest.raises(AllocationError):
+            pool.allocate_address()
+
+    def test_prefix_allocation_aligned(self):
+        pool = PrefixPool(Prefix.parse("10.0.0.0/24"))
+        pool.allocate_address()  # cursor now unaligned
+        sub = pool.allocate_prefix(26)
+        assert str(sub) == "10.0.0.64/26"
+
+    def test_prefix_allocation_shorter_than_pool_rejected(self):
+        pool = PrefixPool(Prefix.parse("10.0.0.0/24"))
+        with pytest.raises(AllocationError):
+            pool.allocate_prefix(16)
+
+    def test_exhaustion(self):
+        pool = PrefixPool(Prefix.parse("10.0.0.0/25"))
+        pool.allocate_prefix(25)
+        with pytest.raises(AllocationError):
+            pool.allocate_prefix(25)
+
+    def test_remaining(self):
+        pool = PrefixPool(Prefix.parse("10.0.0.0/24"))
+        assert pool.remaining == 256
+        pool.allocate_address()
+        assert pool.remaining == 255
+
+
+class TestAddressPlan:
+    def test_create_and_lookup(self):
+        plan = AddressPlan()
+        record = plan.create_pool("DE", "hosting", "acme", length=24)
+        address = plan.pool(record.prefix).allocate_address()
+        found = plan.lookup(address)
+        assert found is not None
+        assert found.country == "DE"
+        assert found.kind == "hosting"
+        assert found.owner == "acme"
+
+    def test_lookup_miss(self):
+        plan = AddressPlan()
+        assert plan.lookup(IPAddress.parse("200.0.0.1")) is None
+
+    def test_pools_disjoint(self):
+        plan = AddressPlan()
+        first = plan.create_pool("DE", "hosting", "a", length=24)
+        second = plan.create_pool("FR", "hosting", "b", length=24)
+        assert not first.prefix.overlaps(second.prefix)
+
+    def test_ipv6_pool(self):
+        plan = AddressPlan()
+        record = plan.create_pool("DE", "hosting", "a", length=112, version=6)
+        address = plan.pool(record.prefix).allocate_address()
+        assert address.version == 6
+        assert plan.lookup(address).owner == "a"
+
+    def test_records_filtering(self):
+        plan = AddressPlan()
+        plan.create_pool("DE", "hosting", "a", length=24)
+        plan.create_pool("DE", "eyeball", "isp", length=24)
+        plan.create_pool("FR", "hosting", "a", length=24)
+        assert len(plan.records_for(country="DE")) == 2
+        assert len(plan.records_for(kind="hosting")) == 2
+        assert len(plan.records_for(owner="a", country="FR")) == 1
+
+    def test_unknown_pool_prefix(self):
+        plan = AddressPlan()
+        with pytest.raises(AllocationError):
+            plan.pool(Prefix.parse("9.9.9.0/24"))
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(AllocationError):
+            PrefixRecord(Prefix.parse("1.0.0.0/24"), "DE", "weird", "x")
+
+
+class TestASRegistry:
+    def test_register_and_get(self):
+        registry = ASRegistry()
+        asn = registry.register("acme-net", "hosting", "DE")
+        assert registry.get(asn.number) is asn
+        assert asn.number >= ASRegistry.FIRST_NUMBER
+
+    def test_numbers_unique_and_increasing(self):
+        registry = ASRegistry()
+        first = registry.register("a", "hosting", "DE")
+        second = registry.register("b", "eyeball", "FR")
+        assert second.number == first.number + 1
+
+    def test_unknown_number_raises(self):
+        with pytest.raises(ReproError):
+            ASRegistry().get(1)
+
+    def test_find_returns_none(self):
+        assert ASRegistry().find(1) is None
+
+    def test_by_kind(self):
+        registry = ASRegistry()
+        registry.register("a", "hosting", "DE")
+        registry.register("b", "eyeball", "FR")
+        assert [a.name for a in registry.by_kind("eyeball")] == ["b"]
+        with pytest.raises(ReproError):
+            registry.by_kind("weird")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ReproError):
+            AutonomousSystem(1, "x", "weird", "DE")
+
+    def test_invalid_number(self):
+        with pytest.raises(ReproError):
+            AutonomousSystem(0, "x", "hosting", "DE")
+
+    def test_extend_rejects_duplicates(self):
+        registry = ASRegistry()
+        asn = registry.register("a", "hosting", "DE")
+        with pytest.raises(ReproError):
+            registry.extend([asn])
+
+    def test_extend_bumps_next_number(self):
+        registry = ASRegistry()
+        external = AutonomousSystem(
+            ASRegistry.FIRST_NUMBER + 10, "ext", "transit", "US"
+        )
+        registry.extend([external])
+        fresh = registry.register("after", "hosting", "DE")
+        assert fresh.number == external.number + 1

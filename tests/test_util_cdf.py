@@ -1,0 +1,111 @@
+"""Tests for repro.util.cdf."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.cdf import EmpiricalCDF, histogram, share_table
+
+
+class TestEmpiricalCDF:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_evaluate_exact_points(self):
+        cdf = EmpiricalCDF([1, 2, 2, 4])
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(1) == 0.25
+        assert cdf.evaluate(2) == 0.75
+        assert cdf.evaluate(3) == 0.75
+        assert cdf.evaluate(4) == 1.0
+        assert cdf.evaluate(100) == 1.0
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(0.25) == 1
+        assert cdf.quantile(0.5) == 2
+        assert cdf.quantile(1.0) == 4
+
+    def test_quantile_out_of_range(self):
+        cdf = EmpiricalCDF([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_median_of_singleton(self):
+        assert EmpiricalCDF([7]).median() == 7
+
+    def test_mean_min_max(self):
+        cdf = EmpiricalCDF([1, 3, 5])
+        assert cdf.mean() == 3
+        assert cdf.min == 1
+        assert cdf.max == 5
+
+    def test_points_step_structure(self):
+        cdf = EmpiricalCDF([1, 2, 2, 4])
+        assert cdf.points() == [(1.0, 0.25), (2.0, 0.75), (4.0, 1.0)]
+
+    def test_points_cover_full_probability(self):
+        cdf = EmpiricalCDF([5, 5, 5])
+        assert cdf.points() == [(5.0, 1.0)]
+
+    def test_summary_keys(self):
+        summary = EmpiricalCDF(range(1, 101)).summary()
+        assert summary["n"] == 100
+        assert summary["median"] == 50
+        assert summary["p90"] == 90
+        assert summary["max"] == 100
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        counts = histogram([1, 2, 3, 4, 5], [0, 2, 4, 6])
+        assert counts == [1, 2, 2]
+
+    def test_max_value_included_in_last_bin(self):
+        assert histogram([6], [0, 3, 6]) == [0, 1]
+
+    def test_out_of_range_ignored(self):
+        assert histogram([-1, 10], [0, 5]) == [0]
+
+    def test_too_few_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0])
+
+    def test_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], [5, 0])
+
+
+class TestShareTable:
+    def test_normalizes_to_100(self):
+        shares = share_table({"a": 1, "b": 3})
+        assert shares == {"a": 25.0, "b": 75.0}
+
+    def test_zero_total(self):
+        assert share_table({"a": 0}) == {}
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=200))
+def test_cdf_is_monotone_nondecreasing(sample):
+    cdf = EmpiricalCDF(sample)
+    points = cdf.points()
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == pytest.approx(1.0)
+
+
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=1,
+             max_size=100),
+    st.floats(min_value=0.001, max_value=1.0),
+)
+def test_quantile_inverts_cdf(sample, q):
+    cdf = EmpiricalCDF(sample)
+    x = cdf.quantile(q)
+    # By definition: F(quantile(q)) >= q, and quantile is a sample value.
+    assert cdf.evaluate(x) >= q - 1e-12
+    assert x in [float(v) for v in sample]

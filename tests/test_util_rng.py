@@ -1,0 +1,210 @@
+"""Tests for repro.util.rng."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import (
+    RngStreams,
+    WeightedSampler,
+    chunked,
+    derive_seed,
+    poisson,
+    sample_without_replacement,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "panel") == derive_seed(42, "panel")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "panel") != derive_seed(42, "netflow")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "panel") != derive_seed(2, "panel")
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RngStreams(7)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_are_independent(self):
+        first = RngStreams(7).get("a").random()
+        second = RngStreams(7).get("b").random()
+        assert first != second
+
+    def test_streams_reproducible_across_instances(self):
+        a = RngStreams(7).get("x").random()
+        b = RngStreams(7).get("x").random()
+        assert a == b
+
+    def test_creation_order_does_not_matter(self):
+        one = RngStreams(7)
+        one.get("a")
+        value_b_after_a = one.get("b").random()
+        two = RngStreams(7)
+        value_b_first = two.get("b").random()
+        assert value_b_after_a == value_b_first
+
+    def test_spawn_independent_of_parent(self):
+        parent = RngStreams(7)
+        child = parent.spawn("sub")
+        assert parent.get("a").random() != child.get("a").random()
+
+    def test_fork_is_fresh_each_time(self):
+        streams = RngStreams(7)
+        first = streams.fork("user-1")
+        first.random()
+        second = streams.fork("user-1")
+        # A fresh fork restarts the sequence.
+        assert second.random() == RngStreams(7).fork("user-1").random()
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, ["only"], [1.0]) == "only"
+
+    def test_zero_weight_item_never_chosen(self):
+        rng = random.Random(0)
+        picks = {
+            weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(200)
+        }
+        assert picks == {"b"}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), [], [])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), ["a"], [1.0, 2.0])
+
+    def test_nonpositive_total_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), ["a"], [0.0])
+
+    def test_roughly_proportional(self):
+        rng = random.Random(1)
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.3 < ratio < 3.9
+
+
+class TestWeightedSampler:
+    def test_matches_weighted_choice_distribution(self):
+        sampler = WeightedSampler(["a", "b", "c"], [1.0, 2.0, 7.0])
+        rng = random.Random(3)
+        counts = {"a": 0, "b": 0, "c": 0}
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts["c"] > counts["b"] > counts["a"]
+        assert 0.62 < counts["c"] / 5000 < 0.78
+
+    def test_zero_weight_entries_skipped(self):
+        sampler = WeightedSampler(["a", "b"], [0.0, 1.0])
+        rng = random.Random(0)
+        assert all(sampler.sample(rng) == "b" for _ in range(100))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedSampler([], [])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightedSampler(["a"], [-1.0])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            WeightedSampler(["a", "b"], [0.0, 0.0])
+
+    def test_len(self):
+        assert len(WeightedSampler(["a", "b"], [1, 1])) == 2
+
+
+class TestZipfWeights:
+    def test_first_rank_heaviest(self):
+        weights = zipf_weights(10)
+        assert weights[0] == max(weights)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_exponent_zero_uniform(self):
+        assert zipf_weights(5, exponent=0.0) == [1.0] * 5
+
+    def test_empty(self):
+        assert zipf_weights(0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            zipf_weights(-1)
+
+
+class TestPoisson:
+    def test_zero_mean(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -1.0)
+
+    def test_mean_small_lambda(self):
+        rng = random.Random(5)
+        draws = [poisson(rng, 3.0) for _ in range(4000)]
+        assert 2.8 < sum(draws) / len(draws) < 3.2
+
+    def test_mean_large_lambda(self):
+        rng = random.Random(5)
+        draws = [poisson(rng, 100.0) for _ in range(2000)]
+        assert 97 < sum(draws) / len(draws) < 103
+
+    def test_cap(self):
+        rng = random.Random(5)
+        assert all(poisson(rng, 50.0, cap=10) <= 10 for _ in range(100))
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        rng = random.Random(0)
+        sample = sample_without_replacement(rng, list(range(10)), 5)
+        assert len(sample) == len(set(sample)) == 5
+
+    def test_oversample_clamped(self):
+        rng = random.Random(0)
+        assert len(sample_without_replacement(rng, [1, 2], 10)) == 2
+
+
+class TestChunked:
+    def test_exact_division(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_remainder(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+@given(st.integers(), st.text(max_size=30))
+def test_derive_seed_is_stable_property(seed, name):
+    assert derive_seed(seed, name) == derive_seed(seed, name)
+    assert 0 <= derive_seed(seed, name) < (1 << 64)
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_weighted_sampler_always_returns_member(weights, seed):
+    items = list(range(len(weights)))
+    sampler = WeightedSampler(items, weights)
+    rng = random.Random(seed)
+    for _ in range(10):
+        assert sampler.sample(rng) in items

@@ -1,0 +1,102 @@
+"""Tests for repro.util.sankey."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.sankey import Sankey
+
+
+class TestSankey:
+    def test_empty(self):
+        sankey = Sankey()
+        assert sankey.total == 0
+        assert sankey.origins() == []
+        assert sankey.origin_shares("x") == {}
+        assert sankey.destination_shares() == {}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Sankey().add("a", "b", -1.0)
+
+    def test_accumulation(self):
+        sankey = Sankey()
+        sankey.add("EU", "EU", 3)
+        sankey.add("EU", "NA")
+        sankey.add("EU", "EU", 1)
+        assert sankey.edge("EU", "EU") == 4
+        assert sankey.origin_total("EU") == 5
+
+    def test_origin_shares_sum_to_100(self):
+        sankey = Sankey()
+        sankey.add("EU", "EU", 17)
+        sankey.add("EU", "NA", 3)
+        shares = sankey.origin_shares("EU")
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert shares["EU"] == pytest.approx(85.0)
+
+    def test_confinement(self):
+        sankey = Sankey()
+        sankey.add("EU", "EU", 9)
+        sankey.add("EU", "NA", 1)
+        assert sankey.confinement("EU") == pytest.approx(90.0)
+        assert sankey.confinement("NA") == 0.0
+
+    def test_destination_shares(self):
+        sankey = Sankey()
+        sankey.add("a", "x", 1)
+        sankey.add("b", "x", 1)
+        sankey.add("b", "y", 2)
+        shares = sankey.destination_shares()
+        assert shares["x"] == pytest.approx(50.0)
+        assert shares["y"] == pytest.approx(50.0)
+
+    def test_top_destinations_ordering(self):
+        sankey = Sankey()
+        sankey.add("o", "big", 10)
+        sankey.add("o", "small", 1)
+        sankey.add("o", "mid", 5)
+        top = sankey.top_destinations("o", 2)
+        assert [d for d, _ in top] == ["big", "mid"]
+
+    def test_top_destinations_tie_breaks_alphabetical(self):
+        sankey = Sankey()
+        sankey.add("o", "b", 1)
+        sankey.add("o", "a", 1)
+        assert [d for d, _ in sankey.top_destinations("o", 2)] == ["a", "b"]
+
+    def test_merge(self):
+        first = Sankey()
+        first.add("a", "b", 1)
+        second = Sankey()
+        second.add("a", "b", 2)
+        second.add("x", "y", 1)
+        first.merge(second)
+        assert first.edge("a", "b") == 3
+        assert first.edge("x", "y") == 1
+
+    def test_rows_sorted(self):
+        sankey = Sankey()
+        sankey.add("b", "z", 1)
+        sankey.add("a", "z", 1)
+        assert sankey.rows() == [("a", "z", 1.0), ("b", "z", 1.0)]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.sampled_from(["x", "y", "z"]),
+            st.floats(min_value=0, max_value=1000),
+        ),
+        max_size=60,
+    )
+)
+def test_flow_conservation_property(edges):
+    """Total inflow equals total outflow equals the grand total."""
+    sankey = Sankey()
+    for origin, destination, weight in edges:
+        sankey.add(origin, destination, weight)
+    out_total = sum(sankey.origin_total(o) for o in sankey.origins())
+    in_total = sum(sankey.destination_total(d) for d in sankey.destinations())
+    assert out_total == pytest.approx(sankey.total)
+    assert in_total == pytest.approx(sankey.total)

@@ -1,0 +1,45 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_cell, percent, render_table
+
+
+class TestFormatCell:
+    def test_int_thousands_separator(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert "| name" in lines[0]
+
+    def test_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "| a" in text
+
+
+def test_percent_formatting():
+    assert percent(12.3456) == "12.35%"
+    assert percent(12.3456, digits=1) == "12.3%"

@@ -1,0 +1,223 @@
+"""Tests for the web-ecosystem build: organizations, deployment,
+publishers, and panel users — run against the shared small world."""
+
+from collections import Counter
+
+import pytest
+
+from repro.dnssim.authority import SelectionPolicy
+from repro.errors import ConfigError
+from repro.web.organizations import (
+    DeploymentProfile,
+    EU_TRACKER_HOME_WEIGHTS,
+    OrganizationFactory,
+    OrgKind,
+    ServiceRole,
+)
+from repro.web.publishers import SENSITIVE_CATEGORIES
+from repro.web.users import users_by_country
+
+
+class TestOrganizationFactory:
+    def test_counts_match_config(self, small_world):
+        config = small_world.config.ecosystem
+        kinds = Counter(o.kind for o in small_world.organizations)
+        assert kinds[OrgKind.HYPERSCALER] == config.n_hyperscalers
+        assert kinds[OrgKind.AD_EXCHANGE] == config.n_ad_exchanges
+        assert kinds[OrgKind.DSP] == config.n_dsps
+        assert kinds[OrgKind.CLEAN] == config.n_clean_orgs
+        assert (
+            kinds[OrgKind.TRACKER]
+            == config.n_eu_trackers
+            + config.n_us_trackers
+            + config.n_resteu_trackers
+            + config.n_asia_trackers
+        )
+
+    def test_domains_globally_unique(self, small_world):
+        domains = [d for o in small_world.organizations for d in o.domains]
+        assert len(domains) == len(set(domains))
+
+    def test_every_org_has_domains(self, small_world):
+        assert all(o.domains for o in small_world.organizations)
+
+    def test_hyperscalers_are_us_seated_global(self, small_world):
+        for org in small_world.organizations:
+            if org.kind is OrgKind.HYPERSCALER:
+                assert org.legal_country == "US"
+                assert org.deployment is DeploymentProfile.GLOBAL_DENSE
+                assert org.dns_policy is SelectionPolicy.NEAREST
+
+    def test_clean_orgs_not_tracking(self, small_world):
+        for org in small_world.organizations:
+            assert org.is_tracking == (org.kind is not OrgKind.CLEAN)
+
+    def test_proportional_quota_guarantees_coverage(self):
+        homes = OrganizationFactory._proportional_quota(
+            EU_TRACKER_HOME_WEIGHTS, 60
+        )
+        assert len(homes) == 60
+        counts = Counter(homes)
+        # Large scenes get many orgs, small panel countries at least one.
+        assert counts["DE"] >= 10
+        assert counts["GR"] >= 1
+
+    def test_proportional_quota_exact_total(self):
+        for n in (1, 7, 13, 54):
+            homes = OrganizationFactory._proportional_quota(
+                EU_TRACKER_HOME_WEIGHTS, n
+            )
+            assert len(homes) == n
+
+
+class TestFleet:
+    def test_every_fqdn_has_endpoints(self, small_world):
+        for deployed in small_world.fleet.fqdns():
+            assert deployed.service.endpoints
+
+    def test_home_endpoint_first_for_home_policy(self, small_world):
+        fleet = small_world.fleet
+        for deployed in fleet.fqdns():
+            if deployed.service.policy is SelectionPolicy.HOME:
+                org = fleet.org(deployed.org_name)
+                endpoint_countries = {
+                    e.country for e in deployed.service.endpoints
+                }
+                if org.legal_country in endpoint_countries:
+                    assert (
+                        deployed.service.endpoints[0].country
+                        == org.legal_country
+                    )
+
+    def test_server_ips_unique_and_indexed(self, small_world):
+        fleet = small_world.fleet
+        servers = fleet.servers()
+        assert len({s.ip for s in servers}) == len(servers)
+        for server in servers[:50]:
+            assert fleet.server_for_ip(server.ip) is server
+
+    def test_zones_cover_all_fqdns(self, small_world):
+        fleet = small_world.fleet
+        for deployed in fleet.fqdns():
+            zone = fleet.authorities.zone_for(deployed.fqdn)
+            assert deployed.fqdn in zone
+
+    def test_address_plan_knows_every_server(self, small_world):
+        for server in small_world.fleet.servers()[:200]:
+            record = small_world.plan.lookup(server.ip)
+            assert record is not None
+            assert record.country == server.country
+            assert record.kind in ("hosting", "cloud")
+
+    def test_cloud_tenant_servers_in_published_ranges(self, small_world):
+        clouds = small_world.clouds
+        cloud_servers = [
+            s for s in small_world.fleet.servers() if s.cloud_provider
+        ]
+        assert cloud_servers, "some organizations should rent cloud servers"
+        for server in cloud_servers[:100]:
+            provider = clouds.provider_of_ip(server.ip)
+            assert provider is not None
+            assert provider.name == server.cloud_provider
+            assert provider.has_pop(server.country)
+
+    def test_roles_match_org_kind(self, small_world):
+        fleet = small_world.fleet
+        for deployed in fleet.fqdns():
+            org = fleet.org(deployed.org_name)
+            if org.kind is OrgKind.CLEAN:
+                assert deployed.role in (
+                    ServiceRole.CLEAN_WIDGET, ServiceRole.CDN,
+                )
+            else:
+                assert deployed.role is not ServiceRole.CLEAN_WIDGET
+
+    def test_sync_hubs_serve_many_domains(self, small_world):
+        """Fig. 4/5 mechanics: some IPs host cookie-sync FQDNs of many
+        registrable domains."""
+        fleet = small_world.fleet
+        domains_per_ip = Counter()
+        for deployed in fleet.fqdns_by_role(ServiceRole.COOKIE_SYNC):
+            for server in deployed.service.endpoints:
+                domains_per_ip[server.ip] = domains_per_ip[server.ip]
+        per_ip_domains = {}
+        for deployed in fleet.fqdns_by_role(ServiceRole.COOKIE_SYNC):
+            for server in deployed.service.endpoints:
+                per_ip_domains.setdefault(server.ip, set()).add(
+                    deployed.domain
+                )
+        assert max(len(v) for v in per_ip_domains.values()) >= 3
+
+    def test_unknown_lookups_raise(self, small_world):
+        with pytest.raises(ConfigError):
+            small_world.fleet.org("nope")
+        with pytest.raises(ConfigError):
+            small_world.fleet.fqdn("nope.example")
+
+
+class TestPublishers:
+    def test_count(self, small_world):
+        assert (
+            len(small_world.publishers)
+            == small_world.config.ecosystem.n_publishers
+        )
+
+    def test_sensitive_share_close_to_config(self, small_world):
+        share = sum(
+            1 for p in small_world.publishers if p.is_sensitive
+        ) / len(small_world.publishers)
+        target = small_world.config.ecosystem.sensitive_publisher_share
+        assert abs(share - target) < 0.05
+
+    def test_partners_exist_in_fleet(self, small_world):
+        fleet = small_world.fleet
+        for publisher in small_world.publishers[:100]:
+            for fqdn in (
+                publisher.ad_partners
+                + publisher.analytics_partners
+                + publisher.clean_partners
+            ):
+                assert fleet.find_fqdn(fqdn) is not None
+
+    def test_sensitive_categories_valid(self, small_world):
+        for publisher in small_world.publishers:
+            if publisher.sensitive_category is not None:
+                assert publisher.sensitive_category in SENSITIVE_CATEGORIES
+
+    def test_topics_within_bounds(self, small_world):
+        for publisher in small_world.publishers:
+            assert 1 <= len(publisher.topics) <= 15
+
+    def test_domains_unique(self, small_world):
+        domains = [p.domain for p in small_world.publishers]
+        assert len(domains) == len(set(domains))
+
+    def test_clean_partners_are_clean_orgs(self, small_world):
+        fleet = small_world.fleet
+        for publisher in small_world.publishers[:50]:
+            for fqdn in publisher.clean_partners:
+                org = fleet.org(fleet.fqdn(fqdn).org_name)
+                assert org.kind is OrgKind.CLEAN
+
+
+class TestPanelUsers:
+    def test_total_count(self, small_world):
+        assert len(small_world.users) == small_world.config.panel.n_users
+
+    def test_eu28_counts_exact(self, small_world):
+        by_country = users_by_country(small_world.users)
+        for country, expected in (
+            small_world.config.panel.eu28_user_counts.items()
+        ):
+            assert len(by_country.get(country, [])) == expected
+
+    def test_user_ids_unique(self, small_world):
+        ids = [u.user_id for u in small_world.users]
+        assert len(ids) == len(set(ids))
+
+    def test_users_in_registry_countries(self, small_world):
+        for user in small_world.users:
+            assert user.country in small_world.registry
+
+    def test_activity_positive(self, small_world):
+        assert all(u.activity > 0 for u in small_world.users)
