@@ -2,16 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report calibrate sweep clean
+.PHONY: install test lint bench report calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# Mirrors the tier-1 verify command exactly.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+
+# reprolint: determinism / error-discipline / layering invariants.
+# See docs/linting.md.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	@if $(PYTHON) -c "import pytest_benchmark" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only; \
+	else \
+		echo "pytest-benchmark is not installed; cannot run benchmarks" >&2; \
+		exit 1; \
+	fi
 
 report:
 	$(PYTHON) -m repro --preset medium report

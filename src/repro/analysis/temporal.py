@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.confinement import ConfinementAnalyzer, Locator
 from repro.core.tracker_ips import TrackerIPInventory
+from repro.errors import ValidationError
 from repro.geodata.countries import CountryRegistry, default_registry
 from repro.geodata.regions import Region, region_of_country
 from repro.web.requests import ThirdPartyRequest
@@ -54,7 +55,7 @@ def confinement_trend(
     stable throughout the observation period.
     """
     if bucket_days <= 0:
-        raise ValueError("bucket_days must be positive")
+        raise ValidationError("bucket_days must be positive")
     registry = registry or default_registry()
     analyzer = ConfinementAnalyzer(locate, registry)
     in_region = [
@@ -112,7 +113,7 @@ def discovery_curve(
     tracker-IP list stops growing?
     """
     if bucket_days <= 0:
-        raise ValueError("bucket_days must be positive")
+        raise ValidationError("bucket_days must be positive")
     first_seen = sorted(
         record.first_seen
         for record in inventory.records()
@@ -142,7 +143,7 @@ def discovery_saturation_day(
     """The first bucket end by which ``coverage`` of all eventually-known
     tracker IPs had already been discovered."""
     if not 0.0 < coverage <= 1.0:
-        raise ValueError("coverage must be in (0, 1]")
+        raise ValidationError("coverage must be in (0, 1]")
     curve = discovery_curve(inventory, bucket_days)
     if not curve:
         return None

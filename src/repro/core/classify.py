@@ -26,6 +26,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.errors import ValidationError
 from repro.web.filterlists import FilterList
 from repro.web.requests import ThirdPartyRequest
 from repro.web.rtb import TRACKING_KEYWORDS
@@ -84,7 +85,7 @@ class ClassificationResult:
 
     def __post_init__(self) -> None:
         if len(self.requests) != len(self.stages):
-            raise ValueError("requests/stages length mismatch")
+            raise ValidationError("requests/stages length mismatch")
 
     # -- views ---------------------------------------------------------
     def tracking_requests(self) -> List[ThirdPartyRequest]:
@@ -136,7 +137,7 @@ class ClassificationResult:
                 semi_counts[request.tld1] += 1
         totals = {
             tld: list_counts.get(tld, 0) + semi_counts.get(tld, 0)
-            for tld in set(list_counts) | set(semi_counts)
+            for tld in sorted(set(list_counts) | set(semi_counts))
         }
         ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
         return [

@@ -17,6 +17,7 @@ from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.providers import CloudCatalog
+from repro.errors import UnknownKeyError
 from repro.geoloc.commercial import CommercialGeoDatabase
 from repro.geoloc.compare import (
     AgreementCell,
@@ -59,7 +60,7 @@ class GeolocationSuite:
         try:
             locator = self.locators()[tool]
         except KeyError:
-            raise KeyError(f"unknown geolocation tool {tool!r}") from None
+            raise UnknownKeyError(f"unknown geolocation tool {tool!r}") from None
         return locator(address)
 
     @property

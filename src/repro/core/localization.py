@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.cloud.providers import CloudCatalog
 from repro.core.confinement import Locator
 from repro.core.tracker_ips import TrackerIPInventory
+from repro.errors import ValidationError
 from repro.geodata.countries import CountryRegistry, default_registry
 from repro.geodata.regions import Region, region_of_country
 from repro.netbase.addr import IPAddress
@@ -150,7 +151,7 @@ class LocalizationAnalyzer:
             return base | self.mirrored_countries(tld) | set(
                 self._migration_countries
             )
-        raise ValueError(f"unknown scenario {scenario}")
+        raise ValidationError(f"unknown scenario {scenario}")
 
     # -- scenario evaluation -----------------------------------------------
     def evaluate(

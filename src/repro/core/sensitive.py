@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.confinement import ConfinementAnalyzer, Locator
+from repro.errors import StateError, ValidationError
 from repro.geodata.countries import CountryRegistry, default_registry
 from repro.geodata.regions import Region, region_of_country
 from repro.util.rng import RngStreams
@@ -59,7 +60,7 @@ class ExaminerPanel:
         required_agreement: int = 2,
     ) -> None:
         if not 1 <= required_agreement <= n_examiners:
-            raise ValueError("required_agreement out of range")
+            raise ValidationError("required_agreement out of range")
         self._rng = streams.get("examiners")
         self.n_examiners = n_examiners
         self.sensitivity = sensitivity
@@ -148,7 +149,7 @@ class SensitiveStudy:
 
     def identified_domains(self) -> Dict[str, SensitiveDomain]:
         if self._identified is None:
-            raise RuntimeError("identify() has not been run yet")
+            raise StateError("identify() has not been run yet")
         return dict(self._identified)
 
     # -- flow analyses ---------------------------------------------------

@@ -118,7 +118,7 @@ class TrackerIPInventory:
     def annotate_windows(self, pdns: PassiveDNSDatabase) -> None:
         """Step 3: per-IP validity windows from the pDNS associations."""
         for record in self._records.values():
-            for fqdn in record.fqdns:
+            for fqdn in sorted(record.fqdns):
                 passive = pdns.record(fqdn, record.address)
                 if passive is not None:
                     record.widen_window(passive.first_seen, passive.last_seen)
@@ -132,7 +132,7 @@ class TrackerIPInventory:
         for record in self._records.values():
             behind = pdns.domains_behind(record.address, window)
             if not behind:
-                behind = {tld1_of(fqdn) for fqdn in record.fqdns}
+                behind = {tld1_of(fqdn) for fqdn in sorted(record.fqdns)}
             record.domains_behind = behind
 
     # -- queries ---------------------------------------------------------

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.errors import DNSError, NXDomainError
 from repro.geodata.distance import great_circle_km
+from repro.util.rng import fixed_rng
 from repro.netbase.addr import IPAddress
 
 
@@ -112,7 +113,7 @@ class FqdnService:
             return endpoint
         # WEIGHTED: continent-fenced load balancing.
         if rng is None:
-            rng = random.Random(0)
+            rng = fixed_rng()
         candidates: Sequence[Endpoint] = self.endpoints
         candidate_weights = self.weights or [1.0] * len(self.endpoints)
         if rng.random() < self.GEOFENCE_PROBABILITY:

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dnssim.authority import ClientSite, Endpoint, FqdnService
-from repro.errors import DNSError
+from repro.errors import DNSError, ValidationError
 
 
 @dataclass
@@ -92,13 +92,13 @@ def redirection_propagation(
     ``min(1, deadline / ttl)``; the result averages over the FQDNs.
     """
     if deadline_seconds < 0:
-        raise ValueError("deadline must be non-negative")
+        raise ValidationError("deadline must be non-negative")
     if not ttls_seconds:
         return 0.0
     shares = []
     for ttl in ttls_seconds:
         if ttl < 0:
-            raise ValueError("TTLs must be non-negative")
+            raise ValidationError("TTLs must be non-negative")
         shares.append(1.0 if ttl == 0 else min(1.0, deadline_seconds / ttl))
     return sum(shares) / len(shares)
 

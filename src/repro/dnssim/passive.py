@@ -99,7 +99,7 @@ class PassiveDNSDatabase:
     ) -> List[PassiveRecord]:
         """All addresses associated with ``fqdn`` (within ``window``)."""
         out = []
-        for address in self._forward.get(fqdn, ()):  # pragma: no branch
+        for address in sorted(self._forward.get(fqdn, ())):  # pragma: no branch
             record = self.record(fqdn, address)
             assert record is not None
             if window is None or record.active_during(*window):
@@ -113,7 +113,7 @@ class PassiveDNSDatabase:
     ) -> List[PassiveRecord]:
         """All names served by ``address`` (within ``window``)."""
         out = []
-        for fqdn in self._reverse.get(address, ()):  # pragma: no branch
+        for fqdn in sorted(self._reverse.get(address, ())):  # pragma: no branch
             record = self.record(fqdn, address)
             assert record is not None
             if window is None or record.active_during(*window):

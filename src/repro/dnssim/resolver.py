@@ -28,6 +28,7 @@ from repro.dnssim.authority import AuthorityDirectory, ClientSite
 from repro.dnssim.records import DNSAnswer
 from repro.dnssim.passive import PassiveDNSDatabase
 from repro.geodata.distance import great_circle_km
+from repro.util.rng import fixed_rng
 
 
 @dataclass(frozen=True)
@@ -76,7 +77,7 @@ class RecursiveResolver:
         self._authorities = authorities
         self._collectors: List[PassiveDNSDatabase] = list(collectors)
         self._public_resolver = public_resolver
-        self._rng = rng or random.Random(0)
+        self._rng = rng or fixed_rng()
 
     def attach_collector(self, collector: PassiveDNSDatabase) -> None:
         self._collectors.append(collector)

@@ -50,3 +50,32 @@ class NetFlowError(ReproError):
 
 class PipelineError(ReproError):
     """Raised when a study pipeline stage is run out of order."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when a caller passes an invalid argument.
+
+    Also a :class:`ValueError`, so call sites that predate the taxonomy
+    (and external callers following stdlib idiom) keep working.
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """Raised when an operation is invoked in an unusable object state
+    (e.g. querying results before the computation ran).
+
+    Also a :class:`RuntimeError` for stdlib-idiom compatibility.
+    """
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """Raised when a lookup by name/key has no match.
+
+    Also a :class:`KeyError` for stdlib-idiom compatibility; note the
+    usual ``KeyError`` quirk that ``str()`` quotes the message.
+    """
+
+
+class LintError(ReproError):
+    """Raised by :mod:`repro.lint` for malformed baselines or rule
+    registration conflicts."""

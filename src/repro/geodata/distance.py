@@ -15,6 +15,8 @@ import math
 import random
 from typing import Optional, Tuple
 
+from repro.errors import ValidationError
+
 EARTH_RADIUS_KM = 6371.0
 #: kilometres light travels per millisecond in fibre (c / refractive index)
 FIBRE_KM_PER_MS = 200.0
@@ -45,7 +47,7 @@ def great_circle_km(
 def propagation_floor_ms(distance_km: float) -> float:
     """Hard lower bound on RTT for a given geodesic distance."""
     if distance_km < 0:
-        raise ValueError("distance must be non-negative")
+        raise ValidationError("distance must be non-negative")
     return 2.0 * distance_km / FIBRE_KM_PER_MS
 
 
@@ -80,7 +82,7 @@ def rtt_upper_bound_km(rtt_ms: float) -> float:
     conservative: the true target is never farther than this.
     """
     if rtt_ms < 0:
-        raise ValueError("rtt must be non-negative")
+        raise ValidationError("rtt must be non-negative")
     return rtt_ms * FIBRE_KM_PER_MS / 2.0
 
 

@@ -20,7 +20,6 @@ the paper relies on.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import GeolocationConfig
@@ -30,7 +29,7 @@ from repro.geodata.distance import great_circle_km, rtt_upper_bound_km
 from repro.geoloc.probes import ProbeMesh
 from repro.geoloc.truth import GroundTruthOracle
 from repro.netbase.addr import IPAddress
-from repro.util.rng import RngStreams
+from repro.util.rng import RngStreams, spawn_rng
 
 
 class ShortestPingLocator:
@@ -55,7 +54,7 @@ class ShortestPingLocator:
         target = self._oracle.coordinates(address)
         if target is None:
             raise GeolocationError(f"no physical location for {address}")
-        campaign_rng = random.Random((self._rng.getrandbits(32) << 1) | 1)
+        campaign_rng = spawn_rng(self._rng)
         probes = self._mesh.sample(
             campaign_rng, self._config.probes_per_campaign
         )
@@ -97,7 +96,7 @@ class CBGLocator:
         target = self._oracle.coordinates(address)
         if target is None:
             raise GeolocationError(f"no physical location for {address}")
-        campaign_rng = random.Random((self._rng.getrandbits(32) << 1) | 1)
+        campaign_rng = spawn_rng(self._rng)
         probes = self._mesh.sample(
             campaign_rng, self._config.probes_per_campaign
         )

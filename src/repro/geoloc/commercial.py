@@ -17,12 +17,12 @@ sources; the few disagreements flip back to the true country.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Mapping, Optional
 
+from repro.errors import StateError
 from repro.netbase.addr import IPAddress, Prefix
 from repro.netbase.allocator import AddressPlan, PrefixRecord
-from repro.util.rng import RngStreams, derive_seed
+from repro.util.rng import RngStreams, derive_seed, seeded_rng
 
 
 class CommercialGeoDatabase:
@@ -40,7 +40,7 @@ class CommercialGeoDatabase:
     def locate(self, address: IPAddress) -> Optional[str]:
         """Country answer for ``address`` (None outside known space)."""
         if self._plan is None:
-            raise RuntimeError(
+            raise StateError(
                 f"{self.name}: attach_plan must be called before locate"
             )
         record = self._plan.lookup(address)
@@ -91,7 +91,7 @@ class CommercialGeoDatabase:
         seat = owner_seats.get(record.owner)
         if seat is None:
             return record.country
-        rng = random.Random(derive_seed(seed, str(record.prefix)))
+        rng = seeded_rng(seed, str(record.prefix))
         if rng.random() < legal_seat_bias:
             return seat
         return record.country
@@ -114,7 +114,7 @@ def derive_ip_api(
     entries: Dict[Prefix, str] = {}
     for record in plan.records():
         primary_answer = primary.prefix_country(record.prefix)
-        rng = random.Random(derive_seed(seed, str(record.prefix)))
+        rng = seeded_rng(seed, str(record.prefix))
         if primary_answer is not None and rng.random() < agreement:
             entries[record.prefix] = primary_answer
         else:

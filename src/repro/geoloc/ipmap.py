@@ -25,7 +25,6 @@ from physics against the ground-truth coordinates.
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,7 +42,7 @@ from repro.geodata.regions import Region, region_of_country
 from repro.geoloc.probes import Probe, ProbeMesh
 from repro.geoloc.truth import GroundTruthOracle
 from repro.netbase.addr import IPAddress
-from repro.util.rng import RngStreams
+from repro.util.rng import RngStreams, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -147,7 +146,7 @@ class IPmapEngine:
         if target is None:
             raise GeolocationError(f"no physical location for {address}")
         lat, lon = target
-        campaign_rng = random.Random((self._rng.getrandbits(32) << 1) | 1)
+        campaign_rng = spawn_rng(self._rng)
         probes = self._mesh.sample(
             campaign_rng, self._config.probes_per_campaign
         )

@@ -1,0 +1,44 @@
+"""reprolint — AST-based invariant checks for the reproduction.
+
+Three rule families guard the properties the paper's tables depend on:
+
+* **D-rules** (determinism): no shared/ad-hoc RNG state, no wall-clock
+  or environment reads in simulation layers, no ``hash()`` seeding, no
+  unsorted set iteration;
+* **E-rules** (error discipline): every raise inside the ReproError
+  taxonomy, no bare excepts, no assert-based input validation;
+* **A-rules** (layering): the package import DAG points strictly down,
+  with no cycles.
+
+Run ``python -m repro.lint src/repro`` (or ``make lint``); see
+``docs/linting.md`` for pragmas, the baseline workflow, and how to add
+a rule.
+"""
+
+from repro.lint.baseline import load_baseline, partition, write_baseline
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    FileContext,
+    LintResult,
+    ProjectContext,
+    Rule,
+    all_rules,
+    register,
+    run_lint,
+    select_rules,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "run_lint",
+    "select_rules",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]

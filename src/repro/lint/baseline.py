@@ -1,0 +1,83 @@
+"""Baseline files: grandfathering findings without silencing rules.
+
+A baseline is a committed JSON multiset of finding fingerprints
+``(rule, path, snippet)``.  Counts matter: if a file had two baselined
+violations and a third appears, exactly one is reported as new.  The
+snippet-based fingerprint survives pure line-number drift, so editing
+unrelated code above a grandfathered finding does not resurface it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a fingerprint multiset.
+
+    A missing file is an empty baseline, so fresh checkouts and new
+    projects need no setup step.
+    """
+    if not path.exists():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise LintError(f"malformed baseline {path}: missing 'entries'")
+    baseline: Counter = Counter()
+    for entry in payload["entries"]:
+        fingerprint = (
+            str(entry.get("rule", "")),
+            str(entry.get("path", "")),
+            str(entry.get("snippet", "")),
+        )
+        baseline[fingerprint] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline."""
+    counts: Counter = Counter(finding.fingerprint() for finding in findings)
+    entries = [
+        {"rule": rule, "path": rel_path, "snippet": snippet, "count": count}
+        for (rule, rel_path, snippet), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], List[Fingerprint]]:
+    """Split findings into (new, grandfathered) and list stale entries.
+
+    Stale entries — baseline fingerprints no match consumed — signal
+    fixed violations whose baseline entry should be dropped.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(
+        fingerprint for fingerprint, count in remaining.items() if count > 0
+    )
+    return new, grandfathered, stale

@@ -1,0 +1,118 @@
+"""Command-line entry point: ``python -m repro.lint [paths]``.
+
+Exit status: 0 when every finding is baselined (or none exist), 1 when
+new findings are reported, 2 on usage errors (unknown rule selector,
+malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import LintError
+from repro.lint import baseline as baseline_mod
+from repro.lint.framework import all_rules, run_lint, select_rules
+from repro.lint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: AST-based invariant checks for determinism "
+            "(D-rules), error discipline (E-rules) and layering (A-rules)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=baseline_mod.DEFAULT_BASELINE_NAME,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {baseline_mod.DEFAULT_BASELINE_NAME}; missing file "
+            "= empty baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule codes or family prefixes (e.g. D,E201)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:28s} {rule.description}")
+        return 0
+
+    selectors = [token for token in args.select.split(",") if token.strip()]
+    rules = select_rules(selectors) if selectors else all_rules()
+    if selectors and not rules:
+        print(f"error: no rules match selector {args.select!r}", file=sys.stderr)
+        return 2
+
+    paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"error: path does not exist: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    result = run_lint(paths, rules=rules)
+    baseline_path = Path(args.baseline)
+
+    if args.write_baseline:
+        baseline_mod.write_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+        )
+        return 0
+
+    try:
+        baseline = (
+            Counter() if args.no_baseline else baseline_mod.load_baseline(baseline_path)
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    new, grandfathered, stale = baseline_mod.partition(result.findings, baseline)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(new, grandfathered, stale, result.files_checked))
+    return 1 if new else 0

@@ -1,0 +1,306 @@
+"""reprolint core: file contexts, the rule registry, and the runner.
+
+The framework is deliberately small.  A :class:`Rule` sees one parsed
+file at a time through :class:`FileContext` (AST, source lines, module
+name, import table) and may run a whole-project pass in
+:meth:`Rule.finalize` through :class:`ProjectContext` (used by the
+import-cycle rule).  Suppression happens in exactly two places, both
+owned by the framework, never by rules:
+
+* inline pragmas — ``# reprolint: disable=D101`` on the offending line
+  (or ``disable=all``), and ``# reprolint: disable-file=E201`` anywhere
+  in the file;
+* the committed baseline (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+PARSE_ERROR_RULE = "P001"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Return (line -> codes, file-level codes).  Codes are upper-case;
+    the special token ``ALL`` suppresses every rule."""
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group(2).split(",")
+            if code.strip()
+        }
+        if match.group(1) == "disable-file":
+            per_file |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, per_file
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, derived from the ``__init__.py`` chain.
+
+    Climbs parent directories for as long as they are packages, so
+    ``src/repro/web/browser.py`` maps to ``repro.web.browser`` no matter
+    where the tree is checked out.
+    """
+    path = path.resolve()
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+class FileContext:
+    """Everything a rule may want to know about one source file."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.module = module_name_for(path)
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[Finding] = None
+        try:
+            self.tree = ast.parse(source, filename=rel_path)
+        except SyntaxError as exc:
+            self.parse_error = Finding(
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"syntax error: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        self._line_pragmas, self._file_pragmas = _parse_pragmas(self.lines)
+        #: local name -> fully-qualified origin, e.g. ``Random`` ->
+        #: ``random.Random`` for ``from random import Random`` and
+        #: ``np`` -> ``numpy`` for ``import numpy as np``.
+        self.imported_names: Dict[str, str] = {}
+        if self.tree is not None:
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        origin = alias.name if alias.asname else alias.name.split(".")[0]
+                        self.imported_names[local] = origin
+                elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        self.imported_names[local] = f"{node.module}.{alias.name}"
+
+    @property
+    def package(self) -> str:
+        """First package segment below ``repro`` (``web`` for
+        ``repro.web.browser``).  Outside a ``repro`` tree (e.g. lint
+        fixtures) the first dotted segment, or the bare module name."""
+        parts = self.module.split(".")
+        if parts[0] == "repro" and len(parts) > 1:
+            return parts[1]
+        return parts[0]
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Render ``a.b.c`` chains, resolving the root through the file's
+        import table (so ``dt.now`` becomes ``datetime.datetime.now``
+        after ``from datetime import datetime as dt``)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imported_names.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            path=self.rel_path,
+            line=line,
+            col=col,
+            rule=rule.code,
+            message=message,
+            snippet=snippet,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if "ALL" in self._file_pragmas or finding.rule in self._file_pragmas:
+            return True
+        codes = self._line_pragmas.get(finding.line, ())
+        return "ALL" in codes or finding.rule in codes
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file state made available to :meth:`Rule.finalize`."""
+
+    files: Dict[str, FileContext] = field(default_factory=dict)
+
+    def add(self, ctx: FileContext) -> None:
+        self.files[ctx.rel_path] = ctx
+
+    @property
+    def modules(self) -> Dict[str, FileContext]:
+        return {ctx.module: ctx for ctx in self.files.values()}
+
+    def context_for_module(self, module: str) -> Optional[FileContext]:
+        return self.modules.get(module)
+
+
+class Rule:
+    """Base class for reprolint rules.  Subclasses set ``code`` (e.g.
+    ``D101``), ``name`` (kebab-case slug) and ``description``, and
+    implement :meth:`check_file` and/or :meth:`finalize`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.code:
+        raise LintError(f"rule {rule_cls.__name__} has no code")
+    existing = _REGISTRY.get(rule_cls.code)
+    if existing is not None and existing is not rule_cls:
+        raise LintError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def load_builtin_rules() -> None:
+    """Import the rule modules for their registration side effects."""
+    from repro.lint import rules_determinism, rules_errors, rules_layering  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    load_builtin_rules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def select_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate registered rules, optionally filtered by code or by
+    family prefix (``D``, ``E201``, ...)."""
+    rules = all_rules()
+    if not select:
+        return rules
+    wanted = [token.strip().upper() for token in select if token.strip()]
+    return [
+        rule
+        for rule in rules
+        if any(rule.code == token or rule.code.startswith(token) for token in wanted)
+    ]
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted order, skipping
+    caches and hidden directories."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            # Only judge components *below* the search root, so a repo
+            # checked out under a hidden directory still lints.
+            try:
+                relative_parts = candidate.relative_to(path).parts
+            except ValueError:
+                relative_parts = candidate.parts
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in relative_parts
+            ):
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and return the findings.
+
+    ``root`` anchors the relative paths used in reports and baselines;
+    it defaults to the current working directory.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    root = (root or Path.cwd()).resolve()
+    project = ProjectContext()
+    findings: List[Finding] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        resolved = path.resolve()
+        try:
+            rel = resolved.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        ctx = FileContext(resolved, rel, resolved.read_text(encoding="utf-8"))
+        project.add(ctx)
+        if ctx.parse_error is not None:
+            findings.append(ctx.parse_error)
+            continue
+        for rule in active:
+            for finding in rule.check_file(ctx):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
+    for rule in active:
+        for finding in rule.finalize(project):
+            ctx = project.files.get(finding.path)
+            if ctx is None or not ctx.is_suppressed(finding):
+                findings.append(finding)
+    # Finding equality is (path, line, col, rule): collapse duplicates a
+    # rule may emit when scopes overlap.
+    findings = sorted(set(findings))
+    return LintResult(findings=findings, files_checked=files_checked)

@@ -1,0 +1,53 @@
+"""Rendering lint results as text (for humans/CI logs) or JSON (for
+tooling).  Reporters are pure: they take the partitioned findings and
+return the full report string."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.baseline import Fingerprint
+from repro.lint.findings import Finding
+
+
+def render_text(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[Fingerprint],
+    files_checked: int,
+) -> str:
+    lines: List[str] = []
+    for finding in new:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+    for rule, path, snippet in stale:
+        lines.append(
+            f"note: stale baseline entry {rule} for {path} "
+            f"({snippet!r} no longer found) — regenerate with --write-baseline"
+        )
+    summary = (
+        f"{files_checked} file(s) checked: "
+        f"{len(new)} finding(s), {len(grandfathered)} baselined, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[Fingerprint],
+    files_checked: int,
+) -> str:
+    payload = {
+        "files_checked": files_checked,
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in grandfathered],
+        "stale_baseline_entries": [
+            {"rule": rule, "path": path, "snippet": snippet}
+            for rule, path, snippet in stale
+        ],
+        "ok": not new,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,479 @@
+"""D-rules: bit-for-bit determinism.
+
+The reproduction's credibility rests on the same seed producing the same
+tables on every machine.  These rules ban the three classic ways that
+property rots: shared/ad-hoc RNG state, ambient wall-clock or
+environment reads inside the simulation layers, and iteration over
+unordered sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileContext, Rule, register
+
+#: File allowed to construct ``random.Random`` directly: the one place
+#: the seed-derivation discipline is implemented.
+RNG_MODULE_SUFFIX = ("util", "rng.py")
+
+#: Packages that must stay free of wall-clock and environment reads.
+DETERMINISTIC_PACKAGES = {"core", "web", "dnssim", "netflow"}
+
+#: Dotted-suffix matches for ambient nondeterminism sources.
+WALL_CLOCK_SUFFIXES = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "getenv"),
+    ("os", "environ"),
+}
+
+SET_TYPE_NAMES = {"Set", "MutableSet", "AbstractSet", "FrozenSet", "set", "frozenset"}
+DICT_TYPE_NAMES = {
+    "Dict",
+    "DefaultDict",
+    "Mapping",
+    "MutableMapping",
+    "dict",
+    "defaultdict",
+}
+WRAPPER_TYPE_NAMES = {"Optional", "Union", "Final", "ClassVar", "Annotated"}
+#: set methods that return another (unordered) set
+SET_COMBINATORS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+#: calls that preserve the (nondeterministic) order of a set argument
+ORDER_PRESERVING_CALLS = {"list", "tuple", "iter", "reversed"}
+
+
+def _is_rng_module(ctx: FileContext) -> bool:
+    return ctx.path.parts[-2:] == RNG_MODULE_SUFFIX
+
+
+@register
+class GlobalRandomRule(Rule):
+    """D101 — the module-level ``random.*`` functions share one hidden
+    global stream; any draw from them couples unrelated subsystems."""
+
+    code = "D101"
+    name = "global-random-state"
+    description = (
+        "use of the shared module-level random.* API; draw from an "
+        "injected random.Random / RngStreams substream instead"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = ctx.dotted_name(node.func)
+                if (
+                    name is not None
+                    and name.startswith("random.")
+                    and name != "random.Random"
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{name}() draws from the process-global RNG; use an "
+                        "injected random.Random / RngStreams substream",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                banned = sorted(
+                    alias.name for alias in node.names if alias.name != "Random"
+                )
+                if banned:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "importing module-level random functions "
+                        f"({', '.join(banned)}) binds code to the global RNG",
+                    )
+
+
+@register
+class RawRngConstructionRule(Rule):
+    """D102 — every stream must come from ``repro.util.rng`` so its seed
+    is derived (BLAKE2b) from the experiment seed, not improvised."""
+
+    code = "D102"
+    name = "raw-rng-construction"
+    description = (
+        "random.Random(...) constructed outside util/rng.py; use "
+        "RngStreams / seeded_rng / spawn_rng / fixed_rng"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if _is_rng_module(ctx):
+            return
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = ctx.dotted_name(node.func)
+                if name == "random.Random":
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "construct RNG streams via repro.util.rng "
+                        "(RngStreams.get/fork, seeded_rng, spawn_rng, "
+                        "fixed_rng), not random.Random(...)",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """D103 — the simulation layers must take time and configuration as
+    inputs; reading the wall clock or the environment makes two runs of
+    the same seed diverge."""
+
+    code = "D103"
+    name = "wall-clock-or-env"
+    description = (
+        "wall-clock/environment read (time.time, datetime.now, "
+        "os.environ, ...) inside a deterministic package"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.package not in DETERMINISTIC_PACKAGES:
+            return
+        assert ctx.tree is not None
+        reported: Set[Tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            name = ctx.dotted_name(node)
+            if name is None:
+                continue
+            parts = tuple(name.split("."))
+            if len(parts) < 2 or parts[-2:] not in WALL_CLOCK_SUFFIXES:
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield ctx.finding(
+                self,
+                node,
+                f"{name} is nondeterministic ambient state; thread simulated "
+                "time / explicit config through the call instead",
+            )
+
+
+@register
+class HashSeedRule(Rule):
+    """D104 — ``hash()`` is salted per process (PYTHONHASHSEED), so any
+    value derived from it differs between runs."""
+
+    code = "D104"
+    name = "hash-for-seeding"
+    description = (
+        "builtin hash() outside __hash__/__eq__; use "
+        "repro.util.rng.derive_seed for stable seed derivation"
+    )
+
+    _EXEMPT_DEFS = {"__hash__", "__eq__"}
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        yield from self._visit(ctx, ctx.tree, in_exempt_def=False)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, in_exempt_def: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            exempt = in_exempt_def
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                exempt = exempt or child.name in self._EXEMPT_DEFS
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "hash"
+                and not in_exempt_def
+            ):
+                yield ctx.finding(
+                    self,
+                    child,
+                    "hash() is salted per process; use "
+                    "repro.util.rng.derive_seed (BLAKE2b) instead",
+                )
+            yield from self._visit(ctx, child, exempt)
+
+
+class _SetTaint:
+    """Classification of an expression / variable for D105."""
+
+    SET = "set"
+    DICT_OF_SET = "dict-of-set"
+
+
+def _annotation_taint(ann: Optional[ast.AST]) -> Optional[str]:
+    """Classify a type annotation as set-like, dict-of-set, or neither."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Name):
+        return _SetTaint.SET if ann.id in SET_TYPE_NAMES else None
+    if isinstance(ann, ast.Attribute):
+        return _SetTaint.SET if ann.attr in SET_TYPE_NAMES else None
+    if isinstance(ann, ast.Subscript):
+        base: Optional[str] = None
+        if isinstance(ann.value, ast.Name):
+            base = ann.value.id
+        elif isinstance(ann.value, ast.Attribute):
+            base = ann.value.attr
+        if base in SET_TYPE_NAMES:
+            return _SetTaint.SET
+        slice_node = ann.slice
+        if isinstance(slice_node, ast.Index):  # pragma: no cover (py<3.9)
+            slice_node = slice_node.value
+        if base in DICT_TYPE_NAMES:
+            if (
+                isinstance(slice_node, ast.Tuple)
+                and len(slice_node.elts) == 2
+                and _annotation_taint(slice_node.elts[1]) == _SetTaint.SET
+            ):
+                return _SetTaint.DICT_OF_SET
+            return None
+        if base in WRAPPER_TYPE_NAMES:
+            args = (
+                slice_node.elts if isinstance(slice_node, ast.Tuple) else [slice_node]
+            )
+            for arg in args:
+                taint = _annotation_taint(arg)
+                if taint is not None:
+                    return taint
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            return _annotation_taint(ast.parse(ann.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    return None
+
+
+class _SetIterVisitor(ast.NodeVisitor):
+    """Single-file flow-insensitive-ish tracker for set-typed values.
+
+    Scopes are a stack of ``name -> taint`` maps; class bodies
+    additionally record ``self.<attr>`` annotations (collected in a
+    pre-pass over the whole class, so methods defined before
+    ``__init__`` still see the attribute types).
+    """
+
+    def __init__(self, rule: Rule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self.scopes: List[Dict[str, Optional[str]]] = [{}]
+        self.class_attrs: List[Dict[str, Optional[str]]] = []
+        # File-wide attribute fallback: any attribute annotated set-like
+        # in *some* class of this file taints obj.<attr> reads, so
+        # iterating a dataclass's Set field through a local variable
+        # (``for f in record.fqdns``) is still caught.
+        self.file_attrs: Dict[str, Optional[str]] = {}
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                self.file_attrs.update(self._collect_class_attrs(node))
+
+    # -- taint resolution ------------------------------------------------
+    def lookup(self, name: str) -> Optional[str]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def expr_taint(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return _SetTaint.SET
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in ("self", "cls")
+                and self.class_attrs
+            ):
+                taint = self.class_attrs[-1].get(node.attr)
+                if taint is not None:
+                    return taint
+            return self.file_attrs.get(node.attr)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            left = self.expr_taint(node.left)
+            right = self.expr_taint(node.right)
+            if _SetTaint.SET in (left, right):
+                return _SetTaint.SET
+            return None
+        if isinstance(node, ast.IfExp):
+            taints = {self.expr_taint(node.body), self.expr_taint(node.orelse)}
+            taints.discard(None)
+            return next(iter(taints), None)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return _SetTaint.SET
+                if func.id == "sorted":
+                    return None
+                if func.id in ORDER_PRESERVING_CALLS and node.args:
+                    return self.expr_taint(node.args[0])
+                return None
+            if isinstance(func, ast.Attribute):
+                base_taint = self.expr_taint(func.value)
+                if func.attr in SET_COMBINATORS and base_taint == _SetTaint.SET:
+                    return _SetTaint.SET
+                if func.attr == "get" and base_taint == _SetTaint.DICT_OF_SET:
+                    return _SetTaint.SET
+                if func.attr == "values" and base_taint == _SetTaint.DICT_OF_SET:
+                    # iterating the values themselves is dict-ordered
+                    # (fine); each *element* is a set, which we cannot
+                    # track through the loop variable — leave untainted.
+                    return None
+                if func.attr == "setdefault" and base_taint == _SetTaint.DICT_OF_SET:
+                    return _SetTaint.SET
+            return None
+        if isinstance(node, ast.Subscript):
+            if self.expr_taint(node.value) == _SetTaint.DICT_OF_SET:
+                return _SetTaint.SET
+            return None
+        return None
+
+    # -- scope bookkeeping ----------------------------------------------
+    def _bind(self, target: ast.AST, taint: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.scopes[-1][target.id] = taint
+        elif isinstance(target, ast.Attribute):
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+                and self.class_attrs
+                and taint is not None
+            ):
+                self.class_attrs[-1][target.attr] = taint
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taint = self.expr_taint(node.value)
+        for target in node.targets:
+            self._bind(target, taint)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        taint = _annotation_taint(node.annotation)
+        if taint is None and node.value is not None:
+            taint = self.expr_taint(node.value)
+        self._bind(node.target, taint)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+
+    def _collect_class_attrs(self, node: ast.ClassDef) -> Dict[str, Optional[str]]:
+        attrs: Dict[str, Optional[str]] = {}
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.AnnAssign):
+                taint = _annotation_taint(stmt.annotation)
+                if taint is None:
+                    continue
+                if isinstance(stmt.target, ast.Name):
+                    attrs[stmt.target.id] = taint
+                elif isinstance(stmt.target, ast.Attribute) and isinstance(
+                    stmt.target.value, ast.Name
+                ):
+                    if stmt.target.value.id in ("self", "cls"):
+                        attrs[stmt.target.attr] = taint
+        return attrs
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_attrs.append(self._collect_class_attrs(node))
+        self.scopes.append({})
+        self.generic_visit(node)
+        self.scopes.pop()
+        self.class_attrs.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        scope: Dict[str, Optional[str]] = {}
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                taint = _annotation_taint(arg.annotation)
+                if taint is not None:
+                    scope[arg.arg] = taint
+        self.scopes.append(scope)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    # -- iteration checks ------------------------------------------------
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self.expr_taint(iter_node) == _SetTaint.SET:
+            self.findings.append(
+                self.ctx.finding(
+                    self.rule,
+                    iter_node,
+                    "iteration over a set has no stable order; wrap the "
+                    "iterable in sorted(...)",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self._bind(node.target, None)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self._bind(node.target, None)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        self.scopes.append({})
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+            self._bind(gen.target, None)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+@register
+class UnsortedSetIterationRule(Rule):
+    """D105 — iterating a set yields a platform/hash-seed dependent
+    order; every loop or comprehension over a set-typed value must go
+    through ``sorted(...)``."""
+
+    code = "D105"
+    name = "unsorted-set-iteration"
+    description = (
+        "for-loop or comprehension over a set()/Set[...]-typed value "
+        "without sorted(...)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        visitor = _SetIterVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings

@@ -13,6 +13,8 @@ import bisect
 import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.errors import ValidationError
+
 
 class EmpiricalCDF:
     """Right-continuous empirical CDF of a finite sample.
@@ -27,7 +29,7 @@ class EmpiricalCDF:
     def __init__(self, sample: Iterable[float]) -> None:
         values = sorted(float(v) for v in sample)
         if not values:
-            raise ValueError("EmpiricalCDF requires a non-empty sample")
+            raise ValidationError("EmpiricalCDF requires a non-empty sample")
         self._values = values
         self._n = len(values)
 
@@ -52,7 +54,7 @@ class EmpiricalCDF:
     def quantile(self, q: float) -> float:
         """Return the smallest x with ``P(X <= x) >= q`` (inverse CDF)."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile level must be within [0, 1]")
+            raise ValidationError("quantile level must be within [0, 1]")
         if q == 0.0:
             return self._values[0]
         index = max(0, min(self._n - 1, math.ceil(q * self._n) - 1))
@@ -95,9 +97,9 @@ def histogram(sample: Sequence[float], edges: Sequence[float]) -> List[int]:
     The final bin is closed on the right so ``max(sample)`` is counted.
     """
     if len(edges) < 2:
-        raise ValueError("need at least two bin edges")
+        raise ValidationError("need at least two bin edges")
     if sorted(edges) != list(edges):
-        raise ValueError("bin edges must be sorted")
+        raise ValidationError("bin edges must be sorted")
     counts = [0] * (len(edges) - 1)
     lo, hi = edges[0], edges[-1]
     for value in sample:

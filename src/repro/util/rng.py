@@ -15,6 +15,8 @@ import itertools
 import random
 from typing import Dict, Generic, Iterator, List, Optional, Sequence, TypeVar
 
+from repro.errors import ValidationError
+
 T = TypeVar("T")
 
 
@@ -28,6 +30,32 @@ def derive_seed(parent_seed: int, name: str) -> int:
         f"{parent_seed}:{name}".encode("utf-8"), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big")
+
+
+def seeded_rng(seed: int, name: str) -> random.Random:
+    """A stream keyed on ``(seed, name)`` via :func:`derive_seed`.
+
+    The module-approved way to make a one-off stream outside
+    :class:`RngStreams` (reprolint rule D102 bans raw ``random.Random``
+    construction elsewhere).
+    """
+    return random.Random(derive_seed(seed, name))
+
+
+def spawn_rng(rng: random.Random) -> random.Random:
+    """A child stream drawn from ``rng``'s own sequence.
+
+    Unlike :func:`seeded_rng` the child depends on how many draws the
+    parent has consumed — use it when each call site should get a fresh,
+    parent-advancing stream (e.g. one per measurement campaign).
+    """
+    return random.Random((rng.getrandbits(32) << 1) | 1)
+
+
+def fixed_rng(seed: int = 0) -> random.Random:
+    """A stream with a fixed, documented seed — the sanctioned default
+    for components whose caller did not inject one."""
+    return random.Random(seed)
 
 
 class RngStreams:
@@ -71,12 +99,12 @@ def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[fl
     Raises ``ValueError`` on empty input or non-positive total weight.
     """
     if not items:
-        raise ValueError("weighted_choice on empty sequence")
+        raise ValidationError("weighted_choice on empty sequence")
     if len(items) != len(weights):
-        raise ValueError("items and weights must have the same length")
+        raise ValidationError("items and weights must have the same length")
     total = float(sum(weights))
     if total <= 0:
-        raise ValueError("total weight must be positive")
+        raise ValidationError("total weight must be positive")
     point = rng.random() * total
     cumulative = 0.0
     for item, weight in zip(items, weights):
@@ -89,7 +117,7 @@ def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[fl
 def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
     """Return Zipf popularity weights ``1/rank**exponent`` for ``n`` ranks."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise ValidationError("n must be non-negative")
     return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
 
 
@@ -109,7 +137,7 @@ def poisson(rng: random.Random, lam: float, cap: Optional[int] = None) -> int:
     optional ``cap`` bounds the result.
     """
     if lam < 0:
-        raise ValueError("lam must be non-negative")
+        raise ValidationError("lam must be non-negative")
     if lam == 0:
         return 0
     if lam > 30:
@@ -137,15 +165,15 @@ class WeightedSampler(Generic[T]):
 
     def __init__(self, items: Sequence[T], weights: Sequence[float]) -> None:
         if not items:
-            raise ValueError("WeightedSampler on empty sequence")
+            raise ValidationError("WeightedSampler on empty sequence")
         if len(items) != len(weights):
-            raise ValueError("items and weights must have the same length")
+            raise ValidationError("items and weights must have the same length")
         if any(w < 0 for w in weights):
-            raise ValueError("weights must be non-negative")
+            raise ValidationError("weights must be non-negative")
         self._items = list(items)
         self._cumulative = list(itertools.accumulate(weights))
         if self._cumulative[-1] <= 0:
-            raise ValueError("total weight must be positive")
+            raise ValidationError("total weight must be positive")
 
     def __len__(self) -> int:
         return len(self._items)
@@ -159,6 +187,6 @@ class WeightedSampler(Generic[T]):
 def chunked(seq: Sequence[T], size: int) -> Iterator[List[T]]:
     """Yield consecutive chunks of ``seq`` of at most ``size`` elements."""
     if size <= 0:
-        raise ValueError("size must be positive")
+        raise ValidationError("size must be positive")
     for start in range(0, len(seq), size):
         yield list(seq[start : start + size])

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
+from repro.errors import ValidationError
+
 
 class Sankey:
     """Weighted bipartite flow aggregation between labelled nodes."""
@@ -21,7 +23,7 @@ class Sankey:
     def add(self, origin: str, destination: str, weight: float = 1.0) -> None:
         """Accumulate ``weight`` onto the ``origin → destination`` edge."""
         if weight < 0:
-            raise ValueError("sankey weights must be non-negative")
+            raise ValidationError("sankey weights must be non-negative")
         self._edges[(origin, destination)] += weight
 
     def merge(self, other: "Sankey") -> None:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Union
 
+from repro.errors import ValidationError
+
 Cell = Union[str, int, float]
 
 
@@ -31,7 +33,7 @@ def render_table(
     body = [[format_cell(cell) for cell in row] for row in rows]
     for row in body:
         if len(row) != len(header_cells):
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells, expected {len(header_cells)}"
             )
     widths = [len(h) for h in header_cells]
