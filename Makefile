@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report calibrate sweep clean
+.PHONY: install test lint bench report run-smoke calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,11 @@ bench:
 
 report:
 	$(PYTHON) -m repro --preset medium report
+
+# Tiny end-to-end engine run: cold fill + warm replay of the artifact
+# cache must produce identical headline numbers (see docs/runtime.md).
+run-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/run_smoke.py
 
 calibrate:
 	$(PYTHON) scripts/calibrate.py medium

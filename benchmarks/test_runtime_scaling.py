@@ -1,0 +1,60 @@
+"""Runtime engine — serial vs sharded execution of the stage graph.
+
+Times the full medium-scale pipeline through ``repro.runtime`` with one
+worker (the engine's inline serial path) and with a process fan-out,
+asserting that sharding changes the wall clock but not one bit of the
+results.  The per-stage metrics tables land in ``benchmarks/output`` so
+a run leaves the scaling evidence behind.  (On a single-core box the
+fan-out shows pure fork/IPC overhead — the invariance assertions are
+the point; read the speedup off a multi-core run's artifact.)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import WorldConfig
+from repro.runtime import run_study
+
+WORKERS = max(2, min(4, os.cpu_count() or 2))
+
+
+def _headline(run):
+    return (
+        run.table2_counts(),
+        run.eu28_destination_regions("RIPE IPmap"),
+        run.eu28_destination_regions("MaxMind"),
+        {
+            key: (report.sampled_tracking_flows, report.region_shares)
+            for key, report in run.isp_reports().items()
+        },
+    )
+
+
+def test_runtime_scaling(benchmark, save_artifact):
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "20180825"))
+    config = WorldConfig.medium(seed=seed)
+
+    serial = run_study(config, workers=1)
+    sharded = benchmark.pedantic(
+        run_study,
+        args=(config,),
+        kwargs={"workers": WORKERS},
+        rounds=1,
+        iterations=1,
+    )
+
+    save_artifact(
+        "runtime_scaling",
+        "serial (workers=1):\n"
+        + serial.metrics_report()
+        + f"\n\nsharded (workers={WORKERS}):\n"
+        + sharded.metrics_report(),
+    )
+
+    # The whole point of the engine: the shard fan-out must not change
+    # a single headline number.
+    assert _headline(serial) == _headline(sharded)
+    # Without a cache directory every shard executes in both runs.
+    assert serial.cache_hits == 0 and sharded.cache_hits == 0
+    assert sharded.cache_misses == serial.cache_misses > 0

@@ -3,33 +3,71 @@
 
 Usage::
 
-    python scripts/run_paper_scale.py [output_dir]
+    python scripts/run_paper_scale.py [output_dir] [--workers N]
+                                      [--cache-dir DIR]
 
 Builds the ``paper_scale`` world (7M+ third-party requests — expect
-minutes and a few GB of RAM), runs every pipeline stage, writes the full
-report plus the exported datasets to ``output_dir`` (default:
+minutes and a few GB of RAM) and executes every pipeline stage through
+the :mod:`repro.runtime` engine: ``--workers`` fans the stage shards
+over that many processes, ``--cache-dir`` persists stage artifacts so a
+re-run (after an interruption, or after editing one stage) replays the
+unchanged stages from disk.  Writes the full report, the exported
+datasets and the per-stage runtime metrics to ``output_dir`` (default:
 ``paper_scale_run/``).
 """
 
+import argparse
 import pathlib
-import sys
 import time
 
-from repro import Study, WorldConfig
-from repro.analysis.report import full_report
-from repro.io import inventory_to_json, summary_to_json
-from repro.analysis.report import experiment_summary
+from repro import WorldConfig
+from repro.analysis.report import experiment_summary, full_report
+from repro.io import inventory_to_json, run_metrics_to_json, summary_to_json
+from repro.runtime import run_study
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "output_dir", nargs="?", default="paper_scale_run",
+        type=pathlib.Path,
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process workers for shard fan-out (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None,
+        help="artifact cache directory (default: no cache)",
+    )
+    return parser.parse_args()
 
 
 def main() -> None:
-    target = pathlib.Path(
-        sys.argv[1] if len(sys.argv) > 1 else "paper_scale_run"
-    )
+    args = parse_args()
+    target = args.output_dir
     target.mkdir(parents=True, exist_ok=True)
     started = time.time()
 
-    print("Building the paper-scale world… (this takes a while)")
-    study = Study(WorldConfig.paper_scale())
+    print(
+        f"Building the paper-scale world and running the engine "
+        f"(workers={args.workers})… (this takes a while)"
+    )
+    run = run_study(
+        WorldConfig.paper_scale(),
+        workers=args.workers,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+    )
+    print(run.metrics_report())
+    run_metrics_to_json(
+        run.metrics_rows(),
+        target / "runtime_metrics.json",
+        workers=args.workers,
+        cache_hits=run.cache_hits,
+        cache_misses=run.cache_misses,
+    )
+
+    study = run.study()
     log = study.visit_log
     print(
         f"[{time.time()-started:7.1f}s] panel: "

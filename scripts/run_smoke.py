@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the runtime engine.
+
+Usage::
+
+    python scripts/run_smoke.py [cache_dir]
+
+Runs the full stage graph twice on the tiny ``small`` preset through
+the sharded engine (2 workers): the first run populates the artifact
+cache, the second must replay every stage from it.  Exits non-zero if
+the two runs disagree on the headline numbers or if the warm run
+executed any shard at all.  ``make run-smoke`` wires this into CI.
+"""
+
+import sys
+import tempfile
+
+from repro import WorldConfig
+from repro.runtime import run_study
+
+
+def headline(run):
+    return (
+        run.table2_counts(),
+        run.eu28_destination_regions(),
+        run.sensitive_summary(),
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as fallback:
+        cache_dir = sys.argv[1] if len(sys.argv) > 1 else fallback
+        config = WorldConfig.small()
+
+        cold = run_study(config, workers=2, cache_dir=cache_dir)
+        print("cold run:")
+        print(cold.metrics_report())
+        warm = run_study(config, workers=2, cache_dir=cache_dir)
+        print("warm run:")
+        print(warm.metrics_report())
+
+        if warm.cache_hits < 1:
+            print("FAIL: warm run had no cache hits", file=sys.stderr)
+            return 1
+        if warm.cache_misses != 0:
+            print(
+                f"FAIL: warm run executed {warm.cache_misses} shard(s) "
+                "instead of replaying from cache",
+                file=sys.stderr,
+            )
+            return 1
+        if headline(cold) != headline(warm):
+            print(
+                "FAIL: warm replay changed the headline numbers",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"OK: warm run replayed all {warm.cache_hits} shards from cache "
+        "with identical headline numbers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,24 @@
 
 Usage::
 
-    python scripts/seed_sweep.py [n_seeds] [preset]
+    python scripts/seed_sweep.py [n_seeds] [preset] [--workers N]
+                                 [--cache-dir DIR]
 
 Rebuilds the world under ``n_seeds`` different seeds (default 5, preset
 ``small``) and reports mean / min / max for every headline metric — the
 check that the calibrated shape is a property of the model, not of one
-lucky seed.
+lucky seed.  Each seed's pipeline executes through the
+:mod:`repro.runtime` engine; ``--workers`` parallelizes the stage
+shards and ``--cache-dir`` lets an interrupted sweep resume where it
+stopped (each seed has its own cache keys, so seeds never collide).
 """
 
+import argparse
 import statistics
-import sys
 
-from repro import Study, WorldConfig
+from repro import WorldConfig
 from repro.analysis.report import PAPER_VALUES, experiment_summary
+from repro.runtime import run_study
 
 PRESETS = {
     "small": WorldConfig.small,
@@ -23,16 +28,37 @@ PRESETS = {
 }
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("n_seeds", nargs="?", type=int, default=5)
+    parser.add_argument(
+        "preset", nargs="?", choices=sorted(PRESETS), default="small"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process workers for shard fan-out (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: no cache)",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
-    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 5
-    preset = sys.argv[2] if len(sys.argv) > 2 else "small"
-    factory = PRESETS[preset]
+    args = parse_args()
+    factory = PRESETS[args.preset]
 
     runs = []
-    for index in range(n_seeds):
+    for index in range(args.n_seeds):
         seed = 1000 + index
-        print(f"running seed {seed} ({index + 1}/{n_seeds})…")
-        runs.append(experiment_summary(Study(factory(seed=seed))))
+        print(f"running seed {seed} ({index + 1}/{args.n_seeds})…")
+        run = run_study(
+            factory(seed=seed),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        runs.append(experiment_summary(run.study()))
 
     print(
         f"\n{'metric':<42} {'paper':>8} {'mean':>8} {'min':>8} {'max':>8}"

@@ -14,6 +14,11 @@ Commands
 ``export``
     Run the pipeline and export its products (request log JSONL,
     tracker-IP inventory JSON, continent sankey CSV) into a directory.
+``run``
+    Execute the pipeline through the :mod:`repro.runtime` engine —
+    sharded across ``--workers`` processes, replayed from ``--cache-dir``
+    when warm — and print headline numbers plus per-stage wall-time and
+    cache-hit counters.
 
 Every command accepts ``--preset small|medium|paper`` and ``--seed N``.
 """
@@ -83,13 +88,78 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="export pipeline products to a directory"
     )
     export_command.add_argument("directory", type=pathlib.Path)
+
+    run_command = commands.add_parser(
+        "run", help="execute the pipeline through the runtime engine"
+    )
+    run_command.add_argument(
+        "--workers", type=int, default=1,
+        help="process workers for shard fan-out (default: 1, inline)",
+    )
+    run_command.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None,
+        help="artifact cache directory (default: no cache)",
+    )
+    run_command.add_argument(
+        "--json", action="store_true",
+        help="emit headline numbers and metrics as JSON",
+    )
+    run_command.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None,
+        help="also write the per-stage metrics to this JSON file",
+    )
     return parser
 
 
-def _make_study(args: argparse.Namespace) -> Study:
+def _make_config(args: argparse.Namespace) -> WorldConfig:
     factory = _PRESETS[args.preset]
-    config = factory(seed=args.seed) if args.seed is not None else factory()
-    return Study(config)
+    return factory(seed=args.seed) if args.seed is not None else factory()
+
+
+def _make_study(args: argparse.Namespace) -> Study:
+    return Study(_make_config(args))
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    from repro.io import run_metrics_to_json
+    from repro.runtime import run_study
+
+    cache_dir = str(args.cache_dir) if args.cache_dir is not None else None
+    run = run_study(
+        _make_config(args), workers=args.workers, cache_dir=cache_dir
+    )
+    if args.metrics_out is not None:
+        run_metrics_to_json(
+            run.metrics_rows(),
+            args.metrics_out,
+            workers=args.workers,
+            preset=args.preset,
+            cache_hits=run.cache_hits,
+            cache_misses=run.cache_misses,
+        )
+    if args.json:
+        return json.dumps(
+            {
+                "table2": run.table2_counts(),
+                "eu28_destination_regions": run.eu28_destination_regions(),
+                "sensitive": run.sensitive_summary(),
+                "metrics": run.metrics_rows(),
+                "cache_hits": run.cache_hits,
+                "cache_misses": run.cache_misses,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    lines = [run.metrics_report(), ""]
+    totals = run.table2_counts()["total"]
+    lines.append(
+        f"tracking requests: {totals['total_requests']:,} "
+        f"across {totals['fqdns']} FQDNs"
+    )
+    shares = run.eu28_destination_regions()
+    confined = shares.get("EU 28", 0.0)
+    lines.append(f"EU28-confined tracking flows: {confined:.1f}%")
+    return "\n".join(lines)
 
 
 def _command_world(study: Study) -> str:
@@ -132,6 +202,9 @@ def _command_export(study: Study, directory: pathlib.Path) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "run":
+        print(_command_run(args))
+        return 0
     study = _make_study(args)
     if args.command == "report":
         print(full_report(study))

@@ -19,7 +19,9 @@ Three presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict
 
 from repro.errors import ConfigError
@@ -209,6 +211,18 @@ class WorldConfig:
     browsing: BrowsingConfig = field(default_factory=BrowsingConfig)
     geolocation: GeolocationConfig = field(default_factory=GeolocationConfig)
     isp: ISPConfig = field(default_factory=ISPConfig)
+
+    def digest(self) -> str:
+        """Stable content digest of this configuration.
+
+        Two configs compare equal iff their digests match, so the digest
+        can stand in for the config in cache keys and cross-process
+        world memoization (see :mod:`repro.runtime`).
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=str)
+        h = hashlib.blake2b(digest_size=20)
+        h.update(payload.encode("utf-8"))
+        return h.hexdigest()
 
     # -- presets ---------------------------------------------------------
     @classmethod

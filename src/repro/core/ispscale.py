@@ -9,7 +9,12 @@ destination-country breakdowns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    from repro.web.browser import MappingService
 
 from repro.config import SNAPSHOT_DAYS, ISPConfig
 from repro.core.confinement import Locator
@@ -71,12 +76,24 @@ class ISPScaleStudy:
         self._join = TrackerFlowJoin(matcher, locate)
 
     # -- public API ---------------------------------------------------------
-    def run_snapshot(self, isp_name: str, snapshot: str) -> SnapshotReport:
-        """Synthesize, join and aggregate one (ISP, day) snapshot."""
+    def run_snapshot(
+        self,
+        isp_name: str,
+        snapshot: str,
+        *,
+        rng: Optional["random.Random"] = None,
+        mapping: Optional["MappingService"] = None,
+    ) -> SnapshotReport:
+        """Synthesize, join and aggregate one (ISP, day) snapshot.
+
+        ``rng`` / ``mapping`` are forwarded to the synthesizer (see
+        :meth:`TrafficSynthesizer.snapshot`) so the runtime can run each
+        ISP shard against shard-local randomness and DNS state.
+        """
         isp = self._isps[isp_name]
         day = SNAPSHOT_DAYS[snapshot]
         synthesizer = self._synthesizers[isp_name]
-        records = synthesizer.snapshot(day)
+        records = synthesizer.snapshot(day, rng=rng, mapping=mapping)
         result = self._join.join(isp_name, isp.country, day, records)
         return self._report(isp, snapshot, result)
 

@@ -154,13 +154,18 @@ class LocalizationAnalyzer:
         raise ValidationError(f"unknown scenario {scenario}")
 
     # -- scenario evaluation -----------------------------------------------
-    def evaluate(
+    def scenario_counts(
         self,
         requests: Sequence[ThirdPartyRequest],
         scenario: LocalizationScenario,
         origin_region: Region = Region.EU28,
-    ) -> ScenarioOutcome:
-        """Confinement achievable under ``scenario`` for region flows."""
+    ) -> Tuple[int, int, int]:
+        """Raw ``(n, country_ok, region_ok)`` counts under ``scenario``.
+
+        The additive form of :meth:`evaluate`: counts over disjoint flow
+        subsets sum to the counts over their union, which lets the
+        runtime evaluate scenarios shard-by-shard and merge.
+        """
         n = 0
         country_ok = 0
         region_ok = 0
@@ -179,6 +184,18 @@ class LocalizationAnalyzer:
                 for c in reachable
             ):
                 region_ok += 1
+        return n, country_ok, region_ok
+
+    def evaluate(
+        self,
+        requests: Sequence[ThirdPartyRequest],
+        scenario: LocalizationScenario,
+        origin_region: Region = Region.EU28,
+    ) -> ScenarioOutcome:
+        """Confinement achievable under ``scenario`` for region flows."""
+        n, country_ok, region_ok = self.scenario_counts(
+            requests, scenario, origin_region
+        )
         return ScenarioOutcome(
             scenario=scenario,
             n_flows=n,

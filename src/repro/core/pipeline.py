@@ -50,7 +50,9 @@ class Study:
         world: Optional[World] = None,
     ) -> None:
         if world is not None and config is not None:
-            if world.config is not config:
+            # Compare by value: an equal-but-distinct WorldConfig (e.g.
+            # round-tripped through a worker process) names the same world.
+            if world.config != config:
                 raise PipelineError(
                     "pass either a config or a pre-built world, not both"
                 )
@@ -63,6 +65,33 @@ class Study:
         self._localization: Optional[LocalizationAnalyzer] = None
         self._sensitive: Optional[SensitiveStudy] = None
         self._isp_study: Optional[ISPScaleStudy] = None
+
+    @classmethod
+    def from_products(
+        cls,
+        world: World,
+        *,
+        visit_log: Optional[VisitLog] = None,
+        classification: Optional[ClassificationResult] = None,
+        inventory: Optional[TrackerIPInventory] = None,
+        geolocation: Optional[GeolocationSuite] = None,
+        sensitive: Optional[SensitiveStudy] = None,
+    ) -> "Study":
+        """Hydrate a study from precomputed stage products.
+
+        The injection point for :mod:`repro.runtime`: the engine computes
+        stage products shard-by-shard (possibly replayed from the artifact
+        cache) and seeds a study with them, so downstream consumers —
+        tables, figures, exports — read engine results instead of
+        recomputing the lazy serial path.  Stages not provided stay lazy.
+        """
+        study = cls(world=world)
+        study._visit_log = visit_log
+        study._classification = classification
+        study._inventory = inventory
+        study._geolocation = geolocation
+        study._sensitive = sensitive
+        return study
 
     # -- stage 1: panel ----------------------------------------------------
     @property

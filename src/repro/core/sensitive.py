@@ -103,6 +103,24 @@ class SensitiveStudy:
         self._examiners = examiners or ExaminerPanel(streams)
         self._identified: Optional[Dict[str, SensitiveDomain]] = None
 
+    @classmethod
+    def from_identified(
+        cls,
+        publishers: Sequence[Publisher],
+        identified: Dict[str, SensitiveDomain],
+        registry: Optional[CountryRegistry] = None,
+    ) -> "SensitiveStudy":
+        """Hydrate a study from an already-run identification funnel.
+
+        The runtime persists the funnel's output (the identified-domain
+        map) as a stage artifact; this constructor rebuilds a study
+        around it without spinning up an examiner panel, so the flow
+        analyses run identically on cache replay.
+        """
+        study = cls(publishers, RngStreams(0), registry=registry)
+        study._identified = dict(identified)
+        return study
+
     # -- identification funnel ---------------------------------------------
     def identify(
         self, visited_domains: Iterable[str]

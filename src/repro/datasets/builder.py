@@ -182,6 +182,28 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
     return world
 
 
+#: per-process world memo: config digest → built world.  Worker processes
+#: execute many shards against the same world; rebuilding it per shard
+#: would dwarf the shard work itself.
+_WORLD_MEMO: Dict[str, World] = {}
+
+
+def cached_build_world(config: WorldConfig) -> World:
+    """Build (or reuse) the world for ``config`` within this process.
+
+    Keyed on the config's content digest, so two equal-but-distinct
+    :class:`WorldConfig` objects share one world.  Runtime stage tasks
+    treat the world as read-only (see :mod:`repro.runtime.graph`),
+    which is what makes the sharing safe.
+    """
+    digest = config.digest()
+    world = _WORLD_MEMO.get(digest)
+    if world is None:
+        world = build_world(config)
+        _WORLD_MEMO[digest] = world
+    return world
+
+
 def run_background_resolutions(
     world: World,
     epochs: int = 5,

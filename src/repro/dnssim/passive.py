@@ -85,6 +85,38 @@ class PassiveDNSDatabase:
                 entry[1] = max(entry[1], last)
                 entry[2] += count
 
+    def pairs(self) -> List[Tuple[str, IPAddress, float, float, int]]:
+        """Export all observations as sorted (name, addr, first, last, count).
+
+        The sorted tuple form is picklable and order-canonical, which
+        makes it the exchange format for runtime shards: a worker ships
+        its local collector back as pairs and the merge folds them with
+        :meth:`observe_pairs` — commutative min/max/sum, so the result
+        is independent of merge order.
+        """
+        return sorted(
+            (fqdn, address, entry[0], entry[1], entry[2])
+            for (fqdn, address), entry in self._pairs.items()
+        )
+
+    def observe_pairs(
+        self, pairs: List[Tuple[str, IPAddress, float, float, int]]
+    ) -> None:
+        """Fold exported :meth:`pairs` tuples into this database."""
+        for fqdn, address, first, last, count in pairs:
+            if not fqdn:
+                raise DNSError("cannot observe an empty name")
+            key = (fqdn, address)
+            entry = self._pairs.get(key)
+            if entry is None:
+                self._pairs[key] = [first, last, count]
+                self._forward.setdefault(fqdn, set()).add(address)
+                self._reverse.setdefault(address, set()).add(fqdn)
+            else:
+                entry[0] = min(entry[0], first)
+                entry[1] = max(entry[1], last)
+                entry[2] += count
+
     # -- queries ---------------------------------------------------------
     def record(self, fqdn: str, address: IPAddress) -> Optional[PassiveRecord]:
         entry = self._pairs.get((fqdn, address))

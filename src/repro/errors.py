@@ -79,3 +79,9 @@ class UnknownKeyError(ReproError, KeyError):
 class LintError(ReproError):
     """Raised by :mod:`repro.lint` for malformed baselines or rule
     registration conflicts."""
+
+
+class ExecutionError(ReproError):
+    """Raised by :mod:`repro.runtime` when sharded execution produces
+    inconsistent results (shard loss, misaligned merges) or the engine
+    is misconfigured."""

@@ -42,7 +42,7 @@ from repro.geodata.regions import Region, region_of_country
 from repro.geoloc.probes import Probe, ProbeMesh
 from repro.geoloc.truth import GroundTruthOracle
 from repro.netbase.addr import IPAddress
-from repro.util.rng import RngStreams, spawn_rng
+from repro.util.rng import RngStreams, seeded_rng, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -89,12 +89,18 @@ class IPmapEngine:
         registry: CountryRegistry,
         config: GeolocationConfig,
         streams: RngStreams,
+        campaign_seed: Optional[int] = None,
     ) -> None:
         self._mesh = mesh
         self._oracle = oracle
         self._registry = registry
         self._config = config
         self._rng = streams.get("ipmap")
+        # With a campaign seed set, each address gets an RNG derived from
+        # (seed, address) alone — campaigns are then independent of the
+        # order addresses are geolocated in, which lets the runtime shard
+        # the IP axis across workers without changing any estimate.
+        self._campaign_seed = campaign_seed
         self._cache: Dict[IPAddress, GeolocationEstimate] = {}
         self._sites: List[_Site] = [
             _Site(probe.country, probe.lat, probe.lon)
@@ -146,7 +152,12 @@ class IPmapEngine:
         if target is None:
             raise GeolocationError(f"no physical location for {address}")
         lat, lon = target
-        campaign_rng = spawn_rng(self._rng)
+        if self._campaign_seed is not None:
+            campaign_rng = seeded_rng(
+                self._campaign_seed, f"campaign:{address}"
+            )
+        else:
+            campaign_rng = spawn_rng(self._rng)
         probes = self._mesh.sample(
             campaign_rng, self._config.probes_per_campaign
         )

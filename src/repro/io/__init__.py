@@ -7,6 +7,7 @@ from repro.io.export import (
     inventory_to_json,
     requests_from_jsonl,
     requests_to_jsonl,
+    run_metrics_to_json,
     sankey_to_csv,
     summary_to_json,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "requests_from_jsonl",
     "inventory_to_json",
     "inventory_from_json",
+    "run_metrics_to_json",
     "sankey_to_csv",
     "summary_to_json",
 ]

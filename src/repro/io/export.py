@@ -163,3 +163,18 @@ def summary_to_json(summary: Dict, path: PathLike) -> None:
     """Write an analysis summary (plain dict of scalars) as JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=1, sort_keys=True)
+
+
+def run_metrics_to_json(
+    rows: Iterable[Dict], path: PathLike, **context: object
+) -> None:
+    """Write an engine run's per-stage metric rows as one JSON document.
+
+    ``rows`` is what :meth:`repro.runtime.RunResult.metrics_rows`
+    returns (plain dicts, so this module needs no runtime import);
+    ``context`` keys (workers, preset, …) land next to the stage list.
+    """
+    payload: Dict = {"format_version": FORMAT_VERSION, "stages": list(rows)}
+    payload.update(context)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)

@@ -36,6 +36,7 @@ LAYER_RANKS: Dict[str, int] = {
     "core": 80,
     "io": 90,
     "analysis": 90,
+    "runtime": 90,
     "repro": 95,
     "cli": 100,
     "__main__": 110,

@@ -21,7 +21,10 @@ servers is mixed in so the join has realistic negatives.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
 
 from repro.config import ISPConfig
 from repro.dnssim.authority import ClientSite
@@ -142,24 +145,39 @@ class TrafficSynthesizer:
         return share, WeightedSampler(items, weights)
 
     # -- public API ---------------------------------------------------------
-    def snapshot(self, day: float) -> List[FlowRecord]:
-        """Synthesize the sampled flows of one 24h snapshot."""
+    def snapshot(
+        self,
+        day: float,
+        *,
+        rng: Optional["random.Random"] = None,
+        mapping: Optional[MappingService] = None,
+    ) -> List[FlowRecord]:
+        """Synthesize the sampled flows of one 24h snapshot.
+
+        ``rng`` and ``mapping`` override the synthesizer's own stream
+        and DNS mapping for this snapshot only.  The runtime uses them
+        to run each (ISP, snapshot) shard against a shard-derived RNG
+        and a private mapping clone, decoupling shards from each other
+        and from the shared world state.
+        """
         n_tracking = self._config.sampled_flows.get(self._isp.name)
         if n_tracking is None:
             raise NetFlowError(
                 f"no sampled-flow budget configured for {self._isp.name}"
             )
+        rng = self._rng if rng is None else rng
+        mapping = self._mapping if mapping is None else mapping
         records: List[FlowRecord] = []
         for _ in range(n_tracking):
             sampler = self._tracking_sampler
             if (
                 self._local_sampler is not None
-                and self._rng.random() < self._local_share
+                and rng.random() < self._local_share
             ):
                 sampler = self._local_sampler
-            records.append(self._make_flow(day, sampler))
+            records.append(self._make_flow(day, sampler, rng, mapping))
         for _ in range(self._config.background_flows):
-            records.append(self._make_flow(day, self._clean_sampler))
+            records.append(self._make_flow(day, self._clean_sampler, rng, mapping))
         records.sort(key=lambda r: r.timestamp)
         return [r for r in self.exporter.export(records)]
 
@@ -168,20 +186,22 @@ class TrafficSynthesizer:
     #: letting the authority see the subscriber's own country anyway
     ECS_SHARE = 0.75
 
-    def _resolver_vantage(self) -> ClientSite:
+    def _resolver_vantage(
+        self, rng: "random.Random", mapping: MappingService
+    ) -> ClientSite:
         if self._isp.is_mobile:
             public_share = self._config.mobile_public_resolver_share
         else:
             public_share = self._config.broadband_public_resolver_share
-        uses_public = self._rng.random() < public_share
-        if uses_public and self._rng.random() >= self.ECS_SHARE:
-            return self._mapping.vantage_for(
-                self._isp.country, True, self._rng.randrange(3)
+        uses_public = rng.random() < public_share
+        if uses_public and rng.random() >= self.ECS_SHARE:
+            return mapping.vantage_for(
+                self._isp.country, True, rng.randrange(3)
             )
         # ISP resolver path: the authority sees the resolver's egress.
         mix = self._isp.resolved_egress_mix()
         countries = sorted(mix)
-        point = self._rng.random() * sum(mix.values())
+        point = rng.random() * sum(mix.values())
         cumulative = 0.0
         egress = countries[-1]
         for country in countries:
@@ -189,15 +209,18 @@ class TrafficSynthesizer:
             if point <= cumulative:
                 egress = country
                 break
-        return self._mapping.country_site(egress)
+        return mapping.country_site(egress)
 
     def _make_flow(
-        self, day: float, sampler: WeightedSampler
+        self,
+        day: float,
+        sampler: WeightedSampler,
+        rng: "random.Random",
+        mapping: MappingService,
     ) -> FlowRecord:
-        rng = self._rng
         deployed: DeployedFqdn = sampler.sample(rng)
-        vantage = self._resolver_vantage()
-        server = self._mapping.resolve(deployed.fqdn, vantage, day)
+        vantage = self._resolver_vantage(rng, mapping)
+        server = mapping.resolve(deployed.fqdn, vantage, day)
         interface = self.exporter.pick_interface(rng)
 
         if rng.random() < self._config.non_web_share:

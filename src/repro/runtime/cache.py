@@ -1,0 +1,139 @@
+"""Content-addressed on-disk artifact cache.
+
+Cache keys are ``blake2b(config_digest | effective_salt | stage | shard)``
+where the *effective salt* of a stage folds its own code-version salt
+(source text of its plan/run/merge callables plus a manual version
+string) with the effective salts of all its dependencies.  Editing the
+code of stage N therefore changes the keys of N **and every downstream
+stage**, while leaving upstream artifacts valid — a re-run recomputes
+exactly N and its dependents.
+
+Artifacts are pickled per shard under ``cache_dir/<stage>/<key>.pkl``.
+Writes go through a temp file + ``os.replace`` so a crashed run never
+leaves a truncated artifact behind; an artifact that fails to unpickle
+is treated as a miss and overwritten.
+"""
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+
+_DIGEST_BYTES = 20
+
+
+def _blake(*parts: str) -> str:
+    h = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+def config_digest(config: Any) -> str:
+    """Stable content digest of a (nested) frozen dataclass config.
+
+    Defers to the config's own ``digest()`` method when present (as on
+    :class:`repro.config.WorldConfig`) so that cache keys and the
+    cross-process world memo agree on the same identity.
+    """
+    digest = getattr(config, "digest", None)
+    if callable(digest):
+        return digest()
+    if not is_dataclass(config):
+        raise ValidationError(
+            f"config_digest expects a dataclass, got {type(config).__name__}"
+        )
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return _blake(type(config).__name__, payload)
+
+
+def _callable_source(fn: Any) -> str:
+    try:
+        return inspect.getsource(fn)
+    except (OSError, TypeError):
+        # Builtins / C callables / interactively-defined functions have
+        # no retrievable source; fall back to their qualified name so
+        # the salt is still stable within a code version.
+        return getattr(fn, "__qualname__", repr(fn))
+
+
+def stage_code_salt(spec: Any) -> str:
+    """Salt for one stage's own code: plan/run/merge source + version."""
+    return _blake(
+        spec.name,
+        spec.version,
+        _callable_source(spec.plan),
+        _callable_source(spec.run),
+        _callable_source(spec.merge),
+    )
+
+
+def effective_salts(graph: Any) -> Dict[str, str]:
+    """Fold each stage's code salt with its dependencies' effective salts."""
+    salts: Dict[str, str] = {}
+    for spec in graph.stages:
+        own = stage_code_salt(spec)
+        dep_salts = [salts[dep] for dep in spec.inputs]
+        salts[spec.name] = _blake(own, *dep_salts)
+    return salts
+
+
+class ArtifactCache:
+    """Per-shard pickle store addressed by content key.
+
+    ``cache_dir=None`` disables persistence entirely: every lookup is
+    a miss and stores are no-ops, which keeps the executor code free
+    of cache conditionals.
+    """
+
+    def __init__(self, cache_dir: Optional[str]) -> None:
+        self._root = cache_dir
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._root is not None
+
+    def key(self, config_dig: str, salt: str, stage: str, shard_key: str) -> str:
+        return _blake(config_dig, salt, stage, shard_key)
+
+    def _path(self, stage: str, key: str) -> str:
+        # One directory per stage keeps listings small and makes
+        # `du -sh cache/<stage>` a useful profiling tool.
+        return os.path.join(str(self._root), stage, f"{key}.pkl")
+
+    def load(self, stage: str, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, artifact)``; corrupt artifacts count as misses."""
+        if self._root is None:
+            self.misses += 1
+            return False, None
+        path = self._path(stage, key)
+        try:
+            with open(path, "rb") as fh:
+                artifact = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            # Truncated or stale-format artifact: recompute and overwrite.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, artifact
+
+    def store(self, stage: str, key: str, artifact: Any) -> None:
+        if self._root is None:
+            return
+        path = self._path(stage, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)

@@ -1,0 +1,185 @@
+"""The execution engine: cache → execute → merge, stage by stage.
+
+For every stage in topological order the engine
+
+1. asks the stage to **plan** its shard list (a pure function of the
+   world and upstream products),
+2. probes the **artifact cache** for each shard's content key,
+3. fans the missing shards out through the :class:`ShardExecutor`,
+4. persists fresh shard products, and
+5. **merges** hits and fresh results in canonical shard order.
+
+A warm re-run therefore executes zero shard work — every shard is a
+cache hit and only the (cheap) merges replay — and editing one stage's
+code invalidates exactly that stage and its dependents, because cache
+keys fold the dependency chain's code salts (see
+:mod:`repro.runtime.cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import WorldConfig
+from repro.datasets.builder import World, cached_build_world
+from repro.runtime.cache import ArtifactCache, config_digest, effective_salts
+from repro.runtime.executor import ShardExecutor
+from repro.runtime.graph import StageGraph
+from repro.runtime.stages import STAGE_GRAPH
+
+
+@dataclass
+class StageMetrics:
+    """Wall-time and cache behaviour of one stage in one run."""
+
+    name: str
+    n_shards: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def executed_shards(self) -> int:
+        return self.n_shards - self.cache_hits
+
+
+@dataclass
+class RunResult:
+    """Everything one engine run produced."""
+
+    config: WorldConfig
+    workers: int
+    products: Dict[str, Any]
+    metrics: Dict[str, StageMetrics] = field(default_factory=dict)
+    world_build_s: float = 0.0
+
+    @property
+    def total_wall_s(self) -> float:
+        return self.world_build_s + sum(
+            m.wall_s for m in self.metrics.values()
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(m.cache_hits for m in self.metrics.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(m.cache_misses for m in self.metrics.values())
+
+    def metrics_rows(self) -> List[Dict[str, Any]]:
+        """Per-stage counters as plain rows (for reports and JSON export)."""
+        return [
+            {
+                "stage": m.name,
+                "shards": m.n_shards,
+                "cache_hits": m.cache_hits,
+                "cache_misses": m.cache_misses,
+                "wall_s": round(m.wall_s, 4),
+            }
+            for m in self.metrics.values()
+        ]
+
+    def metrics_report(self) -> str:
+        """A fixed-width per-stage counter table for terminal output."""
+        lines = [
+            f"{'stage':<18} {'shards':>6} {'hits':>5} {'miss':>5} {'wall':>9}"
+        ]
+        for m in self.metrics.values():
+            lines.append(
+                f"{m.name:<18} {m.n_shards:>6} {m.cache_hits:>5} "
+                f"{m.cache_misses:>5} {m.wall_s:>8.3f}s"
+            )
+        lines.append(
+            f"{'world+total':<18} {'':>6} {self.cache_hits:>5} "
+            f"{self.cache_misses:>5} {self.total_wall_s:>8.3f}s"
+        )
+        return "\n".join(lines)
+
+
+class ExecutionEngine:
+    """Runs the stage graph for a config with workers and a cache."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        graph: Optional[StageGraph] = None,
+    ) -> None:
+        self.graph = graph if graph is not None else STAGE_GRAPH
+        self.executor = ShardExecutor(workers)
+        self.cache = ArtifactCache(cache_dir)
+        self._salts = effective_salts(self.graph)
+
+    @property
+    def workers(self) -> int:
+        return self.executor.workers
+
+    def run(
+        self,
+        config: WorldConfig,
+        targets: Sequence[str] = (),
+    ) -> RunResult:
+        """Execute the graph (or the sub-graph reaching ``targets``)."""
+        digest = config_digest(config)
+        build_start = time.perf_counter()
+        world = cached_build_world(config)
+        result = RunResult(
+            config=config,
+            workers=self.workers,
+            products={},
+            world_build_s=time.perf_counter() - build_start,
+        )
+        for name in self.graph.topological_order(targets):
+            result.metrics[name] = self._run_stage(
+                name, world, digest, result.products
+            )
+        return result
+
+    def _run_stage(
+        self,
+        name: str,
+        world: World,
+        digest: str,
+        products: Dict[str, Any],
+    ) -> StageMetrics:
+        spec = self.graph[name]
+        metrics = StageMetrics(name=name)
+        start = time.perf_counter()
+        shards = spec.plan(world, products)
+        metrics.n_shards = len(shards)
+
+        keys: Dict[str, str] = {
+            shard_key: self.cache.key(digest, self._salts[name], name, shard_key)
+            for shard_key, _ in shards
+        }
+        cached: Dict[str, Any] = {}
+        pending: List[Tuple[str, Any]] = []
+        for shard_key, payload in shards:
+            hit, artifact = self.cache.load(name, keys[shard_key])
+            if hit:
+                cached[shard_key] = artifact
+                metrics.cache_hits += 1
+            else:
+                pending.append((shard_key, payload))
+                metrics.cache_misses += 1
+
+        fresh = dict(
+            self.executor.execute(spec, world, products, pending)
+        )
+        for shard_key, artifact in fresh.items():
+            self.cache.store(name, keys[shard_key], artifact)
+
+        # Merge in canonical plan order, mixing hits and fresh results.
+        ordered: List[Tuple[str, Any]] = [
+            (
+                shard_key,
+                cached[shard_key] if shard_key in cached else fresh[shard_key],
+            )
+            for shard_key, _ in shards
+        ]
+        products[name] = spec.merge(world, products, ordered)
+        metrics.wall_s = time.perf_counter() - start
+        return metrics

@@ -1,0 +1,128 @@
+"""Parallel shard executor.
+
+Fans a stage's shards over ``concurrent.futures`` process workers and
+returns the shard products in canonical (plan) order, so the caller's
+merge is independent of completion order and of the worker count.
+
+Two dispatch paths:
+
+* **fork** (Linux default): the pool is created per stage, after the
+  parent has built the world and the upstream products — workers inherit
+  both copy-on-write and the submitted task carries only the stage name
+  and shard payload.
+* **spawn/forkserver** (portability fallback): tasks ship the config and
+  the stage's input products; workers rebuild the world once per process
+  via :func:`repro.datasets.builder.cached_build_world`.
+
+``workers=1`` (or a single shard) executes inline in the calling
+process — the engine's "serial path" — through the exact same stage
+functions, which is what makes worker-count invariance testable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.datasets.builder import World, cached_build_world
+from repro.errors import ExecutionError
+from repro.runtime.graph import StageSpec
+from repro.runtime.stages import STAGE_GRAPH
+
+#: parent-side context inherited by forked workers: (world, products)
+_FORK_CONTEXT: Optional[Tuple[World, Mapping[str, Any]]] = None
+
+
+def _run_shard_forked(stage_name: str, shard_key: str, payload: Any) -> Any:
+    """Task body on the fork path: world/products come from the parent."""
+    if _FORK_CONTEXT is None:
+        raise ExecutionError(
+            "forked worker has no inherited execution context"
+        )
+    world, products = _FORK_CONTEXT
+    return STAGE_GRAPH[stage_name].run(world, products, shard_key, payload)
+
+
+def _run_shard_shipped(
+    config: Any,
+    stage_name: str,
+    shard_key: str,
+    payload: Any,
+    inputs: Mapping[str, Any],
+) -> Any:
+    """Task body on the spawn path: rebuild the world, use shipped inputs."""
+    world = cached_build_world(config)
+    return STAGE_GRAPH[stage_name].run(world, inputs, shard_key, payload)
+
+
+class ShardExecutor:
+    """Executes one stage's shard list with a fixed worker budget."""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def execute(
+        self,
+        spec: StageSpec,
+        world: World,
+        products: Mapping[str, Any],
+        shards: List[Tuple[str, Any]],
+    ) -> List[Tuple[str, Any]]:
+        """Run ``shards`` and return ``(shard_key, product)`` in plan order."""
+        if not shards:
+            return []
+        if self.workers == 1 or len(shards) == 1:
+            return [
+                (key, spec.run(world, products, key, payload))
+                for key, payload in shards
+            ]
+        return self._execute_pool(spec, world, products, shards)
+
+    def _execute_pool(
+        self,
+        spec: StageSpec,
+        world: World,
+        products: Mapping[str, Any],
+        shards: List[Tuple[str, Any]],
+    ) -> List[Tuple[str, Any]]:
+        global _FORK_CONTEXT
+        use_fork = multiprocessing.get_start_method() == "fork"
+        max_workers = min(self.workers, len(shards))
+        inputs: Dict[str, Any] = {
+            name: products[name] for name in spec.inputs
+        }
+        if use_fork:
+            # Set the context BEFORE the pool exists: forked children
+            # inherit the world and upstream products copy-on-write.
+            _FORK_CONTEXT = (world, products)
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                if use_fork:
+                    futures = [
+                        pool.submit(_run_shard_forked, spec.name, key, payload)
+                        for key, payload in shards
+                    ]
+                else:
+                    futures = [
+                        pool.submit(
+                            _run_shard_shipped,
+                            world.config,
+                            spec.name,
+                            key,
+                            payload,
+                            inputs,
+                        )
+                        for key, payload in shards
+                    ]
+                # Collect in submission (= plan) order, not completion
+                # order — merge determinism depends on it.
+                return [
+                    (key, future.result())
+                    for (key, _), future in zip(shards, futures)
+                ]
+        finally:
+            if use_fork:
+                _FORK_CONTEXT = None

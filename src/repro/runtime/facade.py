@@ -1,0 +1,211 @@
+"""High-level runtime entry point.
+
+:func:`run_study` executes the stage graph for a config and wraps the
+engine's products in a :class:`RuntimeRun` — headline accessors for the
+paper's tables and figures, per-stage metrics, and a :meth:`~RuntimeRun.study`
+hydrator that seeds a classic :class:`repro.core.pipeline.Study` with
+the engine's stage products so every existing table/figure/export
+consumer works unchanged on engine (or cache-replayed) results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import WorldConfig
+from repro.core.classify import ClassificationResult, StageStats
+from repro.core.geolocate import GeolocationSuite
+from repro.core.localization import LocalizationScenario, ScenarioOutcome
+from repro.core.pipeline import Study
+from repro.datasets.builder import cached_build_world
+from repro.errors import ExecutionError
+from repro.geodata.regions import Region
+from repro.runtime.engine import ExecutionEngine, RunResult
+from repro.runtime.stages import GeoTableLocator
+from repro.web.browser import VisitLog
+
+#: the stages whose products the default run materializes (all of them)
+ALL_TARGETS: Tuple[str, ...] = ()
+
+
+def run_study(
+    config: Optional[WorldConfig] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    targets: Sequence[str] = ALL_TARGETS,
+) -> "RuntimeRun":
+    """Run the pipeline through the engine and wrap the results."""
+    config = config or WorldConfig.medium()
+    engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
+    result = engine.run(config, targets)
+    return RuntimeRun(result=result)
+
+
+def _stats_counts(stats: StageStats) -> Dict[str, int]:
+    return {
+        "fqdns": len(stats.fqdns),
+        "tlds": len(stats.tlds),
+        "unique_urls": len(stats.unique_urls),
+        "total_requests": stats.total_requests,
+    }
+
+
+@dataclass
+class RuntimeRun:
+    """One engine run's products with paper-facing accessors."""
+
+    result: RunResult
+    _study: Optional[Study] = None
+
+    @property
+    def config(self) -> WorldConfig:
+        return self.result.config
+
+    @property
+    def products(self) -> Dict[str, Any]:
+        return self.result.products
+
+    def _product(self, stage: str) -> Any:
+        if stage not in self.products:
+            raise ExecutionError(
+                f"stage {stage!r} was not part of this run; "
+                f"available: {sorted(self.products)}"
+            )
+        return self.products[stage]
+
+    # -- headline accessors (engine products, no Study needed) ----------
+    def classification(self) -> ClassificationResult:
+        return ClassificationResult(
+            requests=self._product("panel")["requests"],
+            stages=self._product("classification")["stages"],
+        )
+
+    def table2_counts(self) -> Dict[str, Dict[str, int]]:
+        """Table 2's classification aggregates as plain counts."""
+        classification = self.classification()
+        return {
+            "list": _stats_counts(classification.list_stats()),
+            "semi_automatic": _stats_counts(
+                classification.semi_automatic_stats()
+            ),
+            "total": _stats_counts(classification.total_stats()),
+        }
+
+    def eu28_destination_regions(
+        self, tool: str = "RIPE IPmap"
+    ) -> Dict[str, float]:
+        """Fig. 7: destination-region shares of EU28 tracking flows."""
+        sankey = self._product("confinement")["eu28"].get(tool)
+        if sankey is None:
+            raise ExecutionError(f"no confinement view for tool {tool!r}")
+        return sankey.origin_shares(Region.EU28.value)
+
+    def scenario_table(self) -> List[ScenarioOutcome]:
+        """Table 5 rows from the localization stage's merged counts."""
+        counts = self._product("localization")["counts"]
+        rows = []
+        for scenario in (
+            LocalizationScenario.DEFAULT,
+            LocalizationScenario.REDIRECT_FQDN,
+            LocalizationScenario.REDIRECT_TLD,
+            LocalizationScenario.POP_MIRRORING,
+            LocalizationScenario.REDIRECT_TLD_PLUS_MIRRORING,
+        ):
+            n, country_ok, region_ok = counts[scenario.name]
+            rows.append(
+                ScenarioOutcome(
+                    scenario=scenario,
+                    n_flows=n,
+                    country_pct=100.0 * country_ok / n if n else 0.0,
+                    region_pct=100.0 * region_ok / n if n else 0.0,
+                )
+            )
+        return rows
+
+    def sensitive_summary(self) -> Dict[str, Any]:
+        """Sect. 6 headline numbers from the sensitive stage counts."""
+        product = self._product("sensitive")
+        n_tracking = product["n_tracking"]
+        n_sensitive = product["n_sensitive"]
+        total = sum(product["categories"].values())
+        return {
+            "n_identified_domains": len(product["identified"]),
+            "sensitive_share_pct": (
+                100.0 * n_sensitive / n_tracking if n_tracking else 0.0
+            ),
+            "category_shares": {
+                category: 100.0 * count / total
+                for category, count in sorted(product["categories"].items())
+            } if total else {},
+            "per_country_leakage": dict(sorted(product["leakage"].items())),
+        }
+
+    def isp_reports(self) -> Dict[Tuple[str, str], Any]:
+        """Table 8 grid: (ISP, snapshot) → :class:`SnapshotReport`."""
+        return dict(self._product("ispscale"))
+
+    # -- metrics --------------------------------------------------------
+    def metrics_report(self) -> str:
+        return self.result.metrics_report()
+
+    def metrics_rows(self) -> List[Dict[str, Any]]:
+        return self.result.metrics_rows()
+
+    @property
+    def cache_hits(self) -> int:
+        return self.result.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.result.cache_misses
+
+    # -- Study hydration ------------------------------------------------
+    def study(self) -> Study:
+        """A classic :class:`Study` seeded with this run's products.
+
+        The geolocation suite is rebuilt around the persisted address →
+        country table (live-engine fallback for addresses outside it),
+        so tables and figures derived from the hydrated study agree
+        with the engine's own products.
+        """
+        if self._study is not None:
+            return self._study
+        world = cached_build_world(self.config)
+        products = self.products
+
+        visit_log = None
+        if "panel" in products:
+            visit_log = VisitLog(
+                visits=products["panel"]["visits"],
+                requests=products["panel"]["requests"],
+            )
+        classification = None
+        if "panel" in products and "classification" in products:
+            classification = self.classification()
+        geolocation = None
+        if "geolocation" in products:
+            geolocation = GeolocationSuite(
+                ipmap=GeoTableLocator(world, products["geolocation"]["table"]),  # type: ignore[arg-type]
+                maxmind=world.maxmind,
+                ip_api=world.ip_api,
+                oracle=world.oracle,
+            )
+        sensitive = None
+        if "sensitive_domains" in products:
+            from repro.core.sensitive import SensitiveStudy
+
+            sensitive = SensitiveStudy.from_identified(
+                world.publishers,
+                products["sensitive_domains"]["identified"],
+                registry=world.registry,
+            )
+        self._study = Study.from_products(
+            world,
+            visit_log=visit_log,
+            classification=classification,
+            inventory=products.get("inventory"),
+            geolocation=geolocation,
+            sensitive=sensitive,
+        )
+        return self._study

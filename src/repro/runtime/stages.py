@@ -1,0 +1,727 @@
+"""The pipeline's stages as runtime graph nodes.
+
+Each stage gets three module-level functions — ``plan`` / ``run`` /
+``merge`` — registered into :data:`STAGE_GRAPH`.  Shard axes follow the
+natural unit of independence in the paper's pipeline:
+
+========================  =================  =================================
+stage                     axis               shard product
+========================  =================  =================================
+``panel``                 users              visits, requests, pdns pairs
+``classification``        users              per-request stage labels
+``inventory``             tracker domains    partial :class:`TrackerIPInventory`
+``geolocation``           IPs                address → country table
+``confinement``           flows              Sankey count matrices
+``localization``          flows              per-scenario (n, ok, ok) counts
+``sensitive_domains``     (single shard)     identified sensitive domains
+``sensitive``             flows              category / region / country counts
+``ispscale``              ISPs               per-snapshot reports
+========================  =================  =================================
+
+Every ``run`` treats the world as **read-only**: randomness comes from
+``world.streams.spawn("runtime:...")`` derivations keyed on the shard,
+DNS resolution goes through shard-local :class:`MappingService` clones
+writing into shard-local passive-DNS collectors, and the active
+geolocation engine runs with a per-address campaign seed.  That is what
+makes shard products — and therefore the merged stage products —
+independent of worker count and of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.config import SNAPSHOT_DAYS
+from repro.core.classify import (
+    ClassificationStage,
+    RequestClassifier,
+)
+from repro.core.confinement import ConfinementAnalyzer
+from repro.core.ispscale import ISPScaleStudy
+from repro.core.localization import LocalizationAnalyzer, LocalizationScenario
+from repro.core.sensitive import SensitiveStudy
+from repro.core.tracker_ips import TrackerIPInventory
+from repro.datasets.builder import BACKGROUND_END_DAY, World
+from repro.dnssim.passive import PassiveDNSDatabase
+from repro.errors import ExecutionError
+from repro.geodata.regions import Region, region_of_country
+from repro.geoloc.ipmap import IPmapEngine
+from repro.netbase.addr import IPAddress
+from repro.runtime.graph import ShardAxis, StageGraph, StageSpec, partition
+from repro.util.rng import derive_seed
+from repro.util.sankey import Sankey
+from repro.web.browser import BrowserExtensionSimulator, MappingService
+from repro.web.requests import ThirdPartyRequest
+
+#: canonical shard fan-out per stage; a pure constant (never derived from
+#: worker count) so the shard set is identical for any parallelism level
+DEFAULT_SHARDS = 8
+
+#: the geolocation tools whose confinement views the engine materializes
+GEO_TOOLS = ("RIPE IPmap", "MaxMind", "ip-api")
+
+#: the inventory's passive-DNS completion window (matches ``Study``)
+_PDNS_WINDOW = (0.0, BACKGROUND_END_DAY)
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+def campaign_engine(world: World) -> IPmapEngine:
+    """A fresh active-geolocation engine with per-address campaigns.
+
+    Seeding campaigns by ``(config seed, address)`` — instead of the
+    serial engine's draw-order-dependent ``spawn_rng`` — makes every
+    estimate a pure function of the world, so the IP axis can be
+    sharded freely.
+    """
+    return IPmapEngine(
+        mesh=world.probes,
+        oracle=world.oracle,
+        registry=world.registry,
+        config=world.config.geolocation,
+        streams=world.streams.spawn("runtime:ipmap"),
+        campaign_seed=derive_seed(world.config.seed, "runtime:ipmap-campaign"),
+    )
+
+
+class GeoTableLocator:
+    """Reference locator backed by the geolocation stage's table.
+
+    Inventory addresses resolve via dictionary lookup (the persisted
+    stage product); anything outside the table falls back to a live
+    engine seeded identically to the one that built the table, so the
+    answer is the same one the geolocation stage would have produced.
+    """
+
+    def __init__(self, world: World, table: Mapping[IPAddress, Optional[str]]) -> None:
+        self._world = world
+        self._table = dict(table)
+        self._engine: Optional[IPmapEngine] = None
+
+    def locate(self, address: IPAddress) -> Optional[str]:
+        if address in self._table:
+            return self._table[address]
+        if self._engine is None:
+            self._engine = campaign_engine(self._world)
+        return self._engine.locate(address)
+
+    def __call__(self, address: IPAddress) -> Optional[str]:
+        return self.locate(address)
+
+
+def _locator_for(world: World, products: Mapping[str, Any], tool: str):
+    """The per-tool locator runtime stages evaluate flows against."""
+    if tool == "RIPE IPmap":
+        return GeoTableLocator(world, products["geolocation"]["table"])
+    if tool == "MaxMind":
+        return world.maxmind.locate
+    if tool == "ip-api":
+        return world.ip_api.locate
+    raise ExecutionError(f"unknown geolocation tool {tool!r}")
+
+
+def _tracking_requests(products: Mapping[str, Any]) -> List[ThirdPartyRequest]:
+    requests = products["panel"]["requests"]
+    stages = products["classification"]["stages"]
+    if len(requests) != len(stages):
+        raise ExecutionError(
+            "classification stages misaligned with panel requests: "
+            f"{len(stages)} labels for {len(requests)} requests"
+        )
+    return [
+        request
+        for request, stage in zip(requests, stages)
+        if stage.is_tracking
+    ]
+
+
+def _user_block(world: World, payload: Tuple[int, int]) -> List[int]:
+    lo, hi = payload
+    return [user.user_id for user in world.users[lo:hi]]
+
+
+# ---------------------------------------------------------------------------
+# stage 1: panel
+# ---------------------------------------------------------------------------
+
+def panel_plan(world: World, products: Mapping[str, Any]) -> List[Tuple[str, Any]]:
+    return [
+        (f"users[{lo}:{hi}]", (lo, hi))
+        for lo, hi in partition(world.users, DEFAULT_SHARDS)
+    ]
+
+
+def panel_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    lo, hi = payload
+    # A shard-local mapping clone: fresh answer cache, shard-derived DNS
+    # stream, shard-local passive-DNS collector.  The shared world
+    # mapping is never touched, so shards cannot observe each other.
+    local_pdns = PassiveDNSDatabase(name=f"runtime-{shard_key}")
+    mapping = MappingService(
+        world.fleet,
+        world.registry,
+        local_pdns,
+        world.streams.spawn(f"runtime:{shard_key}"),
+    )
+    simulator = BrowserExtensionSimulator(
+        fleet=world.fleet,
+        publishers=world.publishers,
+        users=world.users[lo:hi],
+        panel_config=world.config.panel,
+        browsing_config=world.config.browsing,
+        registry=world.registry,
+        mapping=mapping,
+        streams=world.streams,  # per-user forks are stateless derivations
+    )
+    log = simulator.simulate()
+    return {
+        "visits": log.visits,
+        "requests": log.requests,
+        "pdns_pairs": local_pdns.pairs(),
+    }
+
+
+def panel_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    visits: List[Any] = []
+    requests: List[ThirdPartyRequest] = []
+    pairs: List[Tuple[Any, ...]] = []
+    for _, shard in results:
+        visits.extend(shard["visits"])
+        requests.extend(shard["requests"])
+        pairs.extend(shard["pdns_pairs"])
+    return {"visits": visits, "requests": requests, "pdns_pairs": pairs}
+
+
+# ---------------------------------------------------------------------------
+# stage 2: classification
+# ---------------------------------------------------------------------------
+
+def classification_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    # Same user partition as the panel: referrer chains never span users
+    # (URLs carry per-user tokens), so the closure is complete per shard.
+    return [
+        (f"users[{lo}:{hi}]", (lo, hi))
+        for lo, hi in partition(world.users, DEFAULT_SHARDS)
+    ]
+
+
+def classification_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    user_ids = set(_user_block(world, payload))
+    subset = [
+        request
+        for request in products["panel"]["requests"]
+        if request.user_id in user_ids
+    ]
+    classifier = RequestClassifier(world.easylist, world.easyprivacy)
+    result = classifier.classify(subset)
+    return {"stages": result.stages, "n_requests": len(subset)}
+
+
+def classification_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    stages: List[ClassificationStage] = []
+    for _, shard in results:
+        stages.extend(shard["stages"])
+    n_requests = len(products["panel"]["requests"])
+    if len(stages) != n_requests:
+        raise ExecutionError(
+            f"classification produced {len(stages)} labels for "
+            f"{n_requests} panel requests"
+        )
+    return {"stages": stages}
+
+
+# ---------------------------------------------------------------------------
+# stage 3: tracker-IP inventory
+# ---------------------------------------------------------------------------
+
+def _tracking_fqdns(products: Mapping[str, Any]) -> List[str]:
+    return sorted({r.fqdn for r in _tracking_requests(products)})
+
+
+def inventory_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    fqdns = _tracking_fqdns(products)
+    return [
+        (f"fqdns[{lo}:{hi}]", (lo, hi))
+        for lo, hi in partition(fqdns, DEFAULT_SHARDS)
+    ]
+
+
+def _runtime_pdns(world: World, products: Mapping[str, Any]) -> PassiveDNSDatabase:
+    """The complete passive-DNS view: background + panel observations."""
+    pdns = PassiveDNSDatabase(name="runtime-pdns")
+    pdns.merge(world.pdns)
+    pdns.observe_pairs(products["panel"]["pdns_pairs"])
+    return pdns
+
+
+def inventory_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    lo, hi = payload
+    group = set(_tracking_fqdns(products)[lo:hi])
+    subset = [r for r in _tracking_requests(products) if r.fqdn in group]
+    pdns = _runtime_pdns(world, products)
+    partial = TrackerIPInventory()
+    partial.ingest_panel(subset)
+    partial.complete_from_pdns(pdns, _PDNS_WINDOW)
+    partial.annotate_windows(pdns)
+    partial.annotate_dedication(pdns, _PDNS_WINDOW)
+    return partial
+
+
+def inventory_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    merged = TrackerIPInventory()
+    for _, partial in results:
+        merged.merge_from(partial)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# stage 4: geolocation
+# ---------------------------------------------------------------------------
+
+def geolocation_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    addresses = products["inventory"].addresses()
+    return [
+        (f"ips[{lo}:{hi}]", (lo, hi))
+        for lo, hi in partition(addresses, DEFAULT_SHARDS)
+    ]
+
+
+def geolocation_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    lo, hi = payload
+    addresses = products["inventory"].addresses()[lo:hi]
+    engine = campaign_engine(world)
+    table: Dict[IPAddress, Optional[str]] = {}
+    agreement: Dict[IPAddress, float] = {}
+    for address in addresses:
+        estimate = engine.geolocate(address)
+        table[address] = engine.locate(address)
+        agreement[address] = estimate.country_agreement
+    return {"table": table, "agreement": agreement}
+
+
+def geolocation_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    table: Dict[IPAddress, Optional[str]] = {}
+    agreement: Dict[IPAddress, float] = {}
+    for _, shard in results:
+        table.update(shard["table"])
+        agreement.update(shard["agreement"])
+    return {"table": table, "agreement": agreement}
+
+
+# ---------------------------------------------------------------------------
+# stages 5-6: confinement / localization (flow axes)
+# ---------------------------------------------------------------------------
+
+def _flow_plan(world: World, products: Mapping[str, Any]) -> List[Tuple[str, Any]]:
+    flows = _tracking_requests(products)
+    return [
+        (f"flows[{lo}:{hi}]", (lo, hi))
+        for lo, hi in partition(flows, DEFAULT_SHARDS)
+    ]
+
+
+def confinement_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    return _flow_plan(world, products)
+
+
+def confinement_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    lo, hi = payload
+    subset = _tracking_requests(products)[lo:hi]
+    eu28 = [
+        r
+        for r in subset
+        if region_of_country(r.user_country, world.registry) is Region.EU28
+    ]
+    eu28_by_tool: Dict[str, Sankey] = {}
+    for tool in GEO_TOOLS:
+        analyzer = ConfinementAnalyzer(
+            _locator_for(world, products, tool), world.registry
+        )
+        eu28_by_tool[tool] = analyzer.continent_sankey(eu28)
+    reference = ConfinementAnalyzer(
+        _locator_for(world, products, "RIPE IPmap"), world.registry
+    )
+    return {
+        "eu28": eu28_by_tool,
+        "regions": reference.continent_sankey(subset),
+        "countries": reference.country_sankey(subset, Region.EU28),
+    }
+
+
+def confinement_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    eu28 = {tool: Sankey() for tool in GEO_TOOLS}
+    regions = Sankey()
+    countries = Sankey()
+    for _, shard in results:
+        for tool in GEO_TOOLS:
+            eu28[tool].merge(shard["eu28"][tool])
+        regions.merge(shard["regions"])
+        countries.merge(shard["countries"])
+    return {"eu28": eu28, "regions": regions, "countries": countries}
+
+
+#: Table 5 scenario order plus the extreme migration case
+_SCENARIOS = (
+    LocalizationScenario.DEFAULT,
+    LocalizationScenario.REDIRECT_FQDN,
+    LocalizationScenario.REDIRECT_TLD,
+    LocalizationScenario.POP_MIRRORING,
+    LocalizationScenario.REDIRECT_TLD_PLUS_MIRRORING,
+    LocalizationScenario.CLOUD_MIGRATION,
+)
+
+
+def localization_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    return _flow_plan(world, products)
+
+
+def localization_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    lo, hi = payload
+    subset = _tracking_requests(products)[lo:hi]
+    analyzer = LocalizationAnalyzer(
+        inventory=products["inventory"],
+        locate=_locator_for(world, products, "RIPE IPmap"),
+        clouds=world.clouds,
+        registry=world.registry,
+    )
+    return {
+        scenario.name: analyzer.scenario_counts(subset, scenario)
+        for scenario in _SCENARIOS
+    }
+
+
+def localization_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    counts = {scenario.name: (0, 0, 0) for scenario in _SCENARIOS}
+    for _, shard in results:
+        for name, (n, country_ok, region_ok) in shard.items():
+            base = counts[name]
+            counts[name] = (
+                base[0] + n,
+                base[1] + country_ok,
+                base[2] + region_ok,
+            )
+    return {"counts": counts}
+
+
+# ---------------------------------------------------------------------------
+# stage 7a: sensitive-domain identification (single shard)
+# ---------------------------------------------------------------------------
+
+def sensitive_domains_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    return [("all", None)]
+
+
+def sensitive_domains_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    study = SensitiveStudy(
+        publishers=world.publishers,
+        streams=world.streams.spawn("runtime:sensitive"),
+        registry=world.registry,
+    )
+    identified = study.identify(
+        visit.publisher_domain for visit in products["panel"]["visits"]
+    )
+    return {"identified": identified}
+
+
+def sensitive_domains_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    return results[0][1]
+
+
+# ---------------------------------------------------------------------------
+# stage 7b: sensitive flow analyses (flow axis)
+# ---------------------------------------------------------------------------
+
+def sensitive_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    return _flow_plan(world, products)
+
+
+def sensitive_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    lo, hi = payload
+    subset = _tracking_requests(products)[lo:hi]
+    study = SensitiveStudy.from_identified(
+        world.publishers,
+        products["sensitive_domains"]["identified"],
+        registry=world.registry,
+    )
+    locate = _locator_for(world, products, "RIPE IPmap")
+    analyzer = ConfinementAnalyzer(locate, world.registry)
+    categories: Dict[str, int] = {}
+    category_regions: Dict[Tuple[str, str], int] = {}
+    leakage: Dict[str, Tuple[int, int]] = {}
+    sensitive_requests = study.sensitive_requests(subset)
+    for request in sensitive_requests:
+        category = study.category_of(request)
+        if category is None:
+            raise ExecutionError(
+                f"sensitive request {request.url!r} lost its category"
+            )
+        categories[category] = categories.get(category, 0) + 1
+        if (
+            region_of_country(request.user_country, world.registry)
+            is not Region.EU28
+        ):
+            continue
+        destination_country = analyzer.destination_country(request.ip)
+        destination = (
+            region_of_country(destination_country, world.registry).value
+            if destination_country is not None
+            else Region.UNKNOWN.value
+        )
+        key = (category, destination)
+        category_regions[key] = category_regions.get(key, 0) + 1
+        leaked, total = leakage.get(request.user_country, (0, 0))
+        leakage[request.user_country] = (
+            leaked + (1 if destination_country != request.user_country else 0),
+            total + 1,
+        )
+    return {
+        "n_tracking": len(subset),
+        "n_sensitive": len(sensitive_requests),
+        "categories": categories,
+        "category_regions": category_regions,
+        "leakage": leakage,
+    }
+
+
+def sensitive_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    n_tracking = 0
+    n_sensitive = 0
+    categories: Dict[str, int] = {}
+    category_regions: Dict[Tuple[str, str], int] = {}
+    leakage: Dict[str, Tuple[int, int]] = {}
+    for _, shard in results:
+        n_tracking += shard["n_tracking"]
+        n_sensitive += shard["n_sensitive"]
+        for category, count in sorted(shard["categories"].items()):
+            categories[category] = categories.get(category, 0) + count
+        for key, count in sorted(shard["category_regions"].items()):
+            category_regions[key] = category_regions.get(key, 0) + count
+        for country, (leaked, total) in sorted(shard["leakage"].items()):
+            base = leakage.get(country, (0, 0))
+            leakage[country] = (base[0] + leaked, base[1] + total)
+    return {
+        "n_tracking": n_tracking,
+        "n_sensitive": n_sensitive,
+        "categories": categories,
+        "category_regions": category_regions,
+        "leakage": leakage,
+        "identified": products["sensitive_domains"]["identified"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# stage 8: ISP scale
+# ---------------------------------------------------------------------------
+
+def ispscale_plan(
+    world: World, products: Mapping[str, Any]
+) -> List[Tuple[str, Any]]:
+    return [
+        (f"isp:{name}", name) for name in sorted(world.synthesizers)
+    ]
+
+
+def ispscale_run(
+    world: World, products: Mapping[str, Any], shard_key: str, payload: Any
+) -> Any:
+    isp_name = payload
+    study = ISPScaleStudy(
+        synthesizers=world.synthesizers,
+        isps=world.isps,
+        inventory=products["inventory"],
+        locate=_locator_for(world, products, "RIPE IPmap"),
+        config=world.config.isp,
+        registry=world.registry,
+    )
+    shard_streams = world.streams.spawn(f"runtime:{shard_key}")
+    mapping = MappingService(
+        world.fleet,
+        world.registry,
+        PassiveDNSDatabase(name=f"runtime-{shard_key}"),
+        shard_streams,
+    )
+    reports = {}
+    for snapshot in SNAPSHOT_DAYS:
+        reports[(isp_name, snapshot)] = study.run_snapshot(
+            isp_name,
+            snapshot,
+            rng=shard_streams.fork(f"snapshot:{snapshot}"),
+            mapping=mapping,
+        )
+    return reports
+
+
+def ispscale_merge(
+    world: World,
+    products: Mapping[str, Any],
+    results: List[Tuple[str, Any]],
+) -> Any:
+    merged = {}
+    for _, shard in results:
+        merged.update(shard)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# the graph
+# ---------------------------------------------------------------------------
+
+def build_stage_graph() -> StageGraph:
+    """The paper pipeline as a declarative stage graph."""
+    graph = StageGraph()
+    graph.add(StageSpec(
+        name="panel",
+        axis=ShardAxis.USERS,
+        inputs=(),
+        outputs=("visits", "requests", "pdns_pairs"),
+        plan=panel_plan,
+        run=panel_run,
+        merge=panel_merge,
+    ))
+    graph.add(StageSpec(
+        name="classification",
+        axis=ShardAxis.USERS,
+        inputs=("panel",),
+        outputs=("stages",),
+        plan=classification_plan,
+        run=classification_run,
+        merge=classification_merge,
+    ))
+    graph.add(StageSpec(
+        name="inventory",
+        axis=ShardAxis.TRACKER_DOMAINS,
+        inputs=("panel", "classification"),
+        outputs=("inventory",),
+        plan=inventory_plan,
+        run=inventory_run,
+        merge=inventory_merge,
+    ))
+    graph.add(StageSpec(
+        name="geolocation",
+        axis=ShardAxis.IPS,
+        inputs=("inventory",),
+        outputs=("table", "agreement"),
+        plan=geolocation_plan,
+        run=geolocation_run,
+        merge=geolocation_merge,
+    ))
+    graph.add(StageSpec(
+        name="confinement",
+        axis=ShardAxis.FLOWS,
+        inputs=("panel", "classification", "geolocation"),
+        outputs=("eu28", "regions", "countries"),
+        plan=confinement_plan,
+        run=confinement_run,
+        merge=confinement_merge,
+    ))
+    graph.add(StageSpec(
+        name="localization",
+        axis=ShardAxis.FLOWS,
+        inputs=("panel", "classification", "inventory", "geolocation"),
+        outputs=("counts",),
+        plan=localization_plan,
+        run=localization_run,
+        merge=localization_merge,
+    ))
+    graph.add(StageSpec(
+        name="sensitive_domains",
+        axis=ShardAxis.NONE,
+        inputs=("panel",),
+        outputs=("identified",),
+        plan=sensitive_domains_plan,
+        run=sensitive_domains_run,
+        merge=sensitive_domains_merge,
+    ))
+    graph.add(StageSpec(
+        name="sensitive",
+        axis=ShardAxis.FLOWS,
+        inputs=("panel", "classification", "geolocation", "sensitive_domains"),
+        outputs=(
+            "n_tracking", "n_sensitive", "categories",
+            "category_regions", "leakage", "identified",
+        ),
+        plan=sensitive_plan,
+        run=sensitive_run,
+        merge=sensitive_merge,
+    ))
+    graph.add(StageSpec(
+        name="ispscale",
+        axis=ShardAxis.ISPS,
+        inputs=("inventory", "geolocation"),
+        outputs=("reports",),
+        plan=ispscale_plan,
+        run=ispscale_run,
+        merge=ispscale_merge,
+    ))
+    return graph
+
+
+#: the canonical graph instance used by the engine and the CLI
+STAGE_GRAPH = build_stage_graph()
+
+#: stage names in topological order
+STAGE_NAMES = tuple(spec.name for spec in STAGE_GRAPH.stages)

@@ -1,0 +1,111 @@
+"""Tier-1 determinism guarantees of the runtime engine.
+
+The engine's contract is that the headline numbers — Table 2's
+classification counts and Fig. 7's EU28 destination shares — are
+byte-identical regardless of (a) how many workers execute the shards
+and (b) whether the shards ran live or replayed from the artifact
+cache.  Three full engine runs over ``WorldConfig.small()`` are shared
+module-wide; every comparison below is exact equality, no tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorldConfig
+from repro.runtime import run_study
+from repro.runtime.stages import STAGE_NAMES
+
+
+def headline(run):
+    """The numbers the paper leads with, in exactly comparable form."""
+    return {
+        "table2": run.table2_counts(),
+        "fig7_ipmap": run.eu28_destination_regions("RIPE IPmap"),
+        "fig7_maxmind": run.eu28_destination_regions("MaxMind"),
+        "table5": [
+            (row.scenario.name, row.n_flows, row.country_pct, row.region_pct)
+            for row in run.scenario_table()
+        ],
+        "sensitive": run.sensitive_summary(),
+        "table8": {
+            key: (
+                report.sampled_tracking_flows,
+                report.estimated_tracking_flows,
+                report.region_shares,
+                report.destination_countries,
+            )
+            for key, report in run.isp_reports().items()
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def engine_config():
+    return WorldConfig.small()
+
+
+@pytest.fixture(scope="module")
+def serial_run(engine_config):
+    return run_study(engine_config, workers=1)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("artifact-cache"))
+
+
+@pytest.fixture(scope="module")
+def parallel_cold_run(engine_config, cache_dir):
+    return run_study(engine_config, workers=4, cache_dir=cache_dir)
+
+
+@pytest.fixture(scope="module")
+def parallel_warm_run(engine_config, cache_dir, parallel_cold_run):
+    return run_study(engine_config, workers=4, cache_dir=cache_dir)
+
+
+class TestShardCountInvariance:
+    def test_workers_1_vs_4_identical(self, serial_run, parallel_cold_run):
+        assert headline(serial_run) == headline(parallel_cold_run)
+
+    def test_all_stages_ran(self, serial_run):
+        assert tuple(serial_run.products) == STAGE_NAMES
+
+
+class TestCacheReplayInvariance:
+    def test_cold_vs_warm_identical(self, parallel_cold_run, parallel_warm_run):
+        assert headline(parallel_cold_run) == headline(parallel_warm_run)
+
+    def test_cold_run_was_all_misses(self, parallel_cold_run):
+        assert parallel_cold_run.cache_hits == 0
+        assert parallel_cold_run.cache_misses > 0
+
+    def test_warm_run_skips_every_stage(self, parallel_warm_run):
+        assert parallel_warm_run.cache_hits > 0
+        assert parallel_warm_run.cache_misses == 0
+        for metrics in parallel_warm_run.result.metrics.values():
+            assert metrics.executed_shards == 0, metrics.name
+
+    def test_warm_hits_cover_every_shard(
+        self, parallel_cold_run, parallel_warm_run
+    ):
+        assert (
+            parallel_warm_run.cache_hits == parallel_cold_run.cache_misses
+        )
+
+
+class TestHydratedStudyConsistency:
+    def test_study_reads_engine_products(self, serial_run):
+        study = serial_run.study()
+        # The hydrated study must report the engine's numbers, not a
+        # recomputation of the lazy path.
+        totals = serial_run.table2_counts()["total"]
+        stats = study.classification.total_stats()
+        assert stats.total_requests == totals["total_requests"]
+        assert len(stats.fqdns) == totals["fqdns"]
+        assert study.inventory is serial_run.products["inventory"]
+        assert (
+            study.eu28_destination_regions("RIPE IPmap")
+            == serial_run.eu28_destination_regions("RIPE IPmap")
+        )

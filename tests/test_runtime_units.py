@@ -1,0 +1,233 @@
+"""Unit tests for the runtime engine's building blocks.
+
+Covers the stage graph's validation and ordering, the worker-count-free
+shard partition, the content-addressed cache (keys, salt folding,
+corruption handling, the disabled mode) and the executor's argument
+validation — everything that does not need a built world.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import Study, WorldConfig
+from repro.errors import ExecutionError, PipelineError, ValidationError
+from repro.io import run_metrics_to_json
+from repro.runtime import (
+    ArtifactCache,
+    ShardAxis,
+    StageGraph,
+    StageSpec,
+    config_digest,
+    partition,
+)
+from repro.runtime.cache import effective_salts
+from repro.runtime.executor import ShardExecutor
+from repro.runtime.stages import STAGE_GRAPH, STAGE_NAMES
+
+
+def _spec(name, inputs=(), run=None, version="1"):
+    return StageSpec(
+        name=name,
+        axis=ShardAxis.NONE,
+        inputs=tuple(inputs),
+        outputs=(),
+        plan=lambda world, products: [("all", None)],
+        run=run or (lambda world, products, key, payload: None),
+        merge=lambda world, products, shards: shards,
+        version=version,
+    )
+
+
+class TestPartition:
+    def test_covers_contiguously_and_balanced(self):
+        blocks = partition(list(range(10)), 4)
+        assert blocks == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        sizes = [stop - start for start, stop in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_never_more_shards_than_items(self):
+        assert partition([1, 2], 8) == [(0, 1), (1, 2)]
+        assert partition([], 8) == []
+
+    def test_pure_function_of_length(self):
+        assert partition(list("abcdef"), 3) == partition(list(range(6)), 3)
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValidationError):
+            partition([1], 0)
+
+
+class TestStageGraph:
+    def test_rejects_duplicates(self):
+        graph = StageGraph()
+        graph.add(_spec("a"))
+        with pytest.raises(ValidationError):
+            graph.add(_spec("a"))
+
+    def test_rejects_forward_references(self):
+        graph = StageGraph()
+        with pytest.raises(ValidationError):
+            graph.add(_spec("b", inputs=("a",)))
+
+    def test_topological_order_filters_to_ancestors(self):
+        graph = StageGraph()
+        graph.add(_spec("a"))
+        graph.add(_spec("b", inputs=("a",)))
+        graph.add(_spec("c", inputs=("a",)))
+        graph.add(_spec("d", inputs=("b",)))
+        assert graph.topological_order() == ("a", "b", "c", "d")
+        assert graph.topological_order(["d"]) == ("a", "b", "d")
+        assert graph.dependencies_transitive("d") == ("a", "b")
+
+    def test_unknown_stage_lookup(self):
+        with pytest.raises(ValidationError):
+            StageGraph()["nope"]
+
+    def test_production_graph_shape(self):
+        assert STAGE_NAMES == tuple(
+            spec.name for spec in STAGE_GRAPH.stages
+        )
+        # Insertion order must be a valid execution order.
+        seen = set()
+        for spec in STAGE_GRAPH.stages:
+            assert all(dep in seen for dep in spec.inputs)
+            seen.add(spec.name)
+
+
+class TestCacheKeys:
+    def test_config_digest_is_value_identity(self):
+        assert config_digest(WorldConfig.small()) == config_digest(
+            WorldConfig.small()
+        )
+        assert config_digest(WorldConfig.small()) != config_digest(
+            WorldConfig.small(seed=99)
+        )
+
+    def test_editing_a_stage_invalidates_dependents_only(self):
+        def run_v1(world, products, key, payload):
+            return 1
+
+        def run_v2(world, products, key, payload):
+            return 2
+
+        def build(middle_run):
+            graph = StageGraph()
+            graph.add(_spec("a"))
+            graph.add(_spec("b", inputs=("a",), run=middle_run))
+            graph.add(_spec("c", inputs=("b",)))
+            return effective_salts(graph)
+
+        before, after = build(run_v1), build(run_v2)
+        assert before["a"] == after["a"]
+        assert before["b"] != after["b"]
+        assert before["c"] != after["c"]
+
+    def test_version_bump_invalidates(self):
+        one = effective_salts_of(_spec("a", version="1"))
+        two = effective_salts_of(_spec("a", version="2"))
+        assert one != two
+
+
+def effective_salts_of(spec):
+    graph = StageGraph()
+    graph.add(spec)
+    return effective_salts(graph)[spec.name]
+
+
+class TestArtifactCache:
+    def test_disabled_cache_misses_and_ignores_stores(self):
+        cache = ArtifactCache(None)
+        assert not cache.enabled
+        cache.store("stage", "k", {"x": 1})
+        hit, artifact = cache.load("stage", "k")
+        assert (hit, artifact) == (False, None)
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        hit, _ = cache.load("stage", "k1")
+        assert not hit
+        cache.store("stage", "k1", {"x": [1, 2]})
+        hit, artifact = cache.load("stage", "k1")
+        assert hit and artifact == {"x": [1, 2]}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.store("stage", "k1", "fine")
+        path = tmp_path / "stage" / "k1.pkl"
+        path.write_bytes(path.read_bytes()[:3])
+        hit, artifact = cache.load("stage", "k1")
+        assert (hit, artifact) == (False, None)
+        # And a recompute overwrites it cleanly.
+        cache.store("stage", "k1", "fixed")
+        assert cache.load("stage", "k1") == (True, "fixed")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.store("stage", "k1", list(range(100)))
+        leftovers = [
+            p for p in (tmp_path / "stage").iterdir()
+            if not p.name.endswith(".pkl")
+        ]
+        assert leftovers == []
+
+    def test_key_separates_every_component(self):
+        cache = ArtifactCache(None)
+        base = cache.key("dig", "salt", "stage", "shard")
+        assert base != cache.key("dig2", "salt", "stage", "shard")
+        assert base != cache.key("dig", "salt2", "stage", "shard")
+        assert base != cache.key("dig", "salt", "stage2", "shard")
+        assert base != cache.key("dig", "salt", "stage", "shard2")
+
+
+class TestExecutorValidation:
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ExecutionError):
+            ShardExecutor(0)
+
+    def test_empty_shard_list(self):
+        assert ShardExecutor(2).execute(_spec("a"), None, {}, []) == []
+
+
+class TestMetricsExport:
+    def test_run_metrics_roundtrip(self, tmp_path):
+        rows = [
+            {"stage": "panel", "shards": 8, "cache_hits": 0,
+             "cache_misses": 8, "wall_s": 1.5},
+        ]
+        path = tmp_path / "metrics.json"
+        run_metrics_to_json(rows, path, workers=4, preset="small")
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["stages"] == rows
+        assert payload["workers"] == 4
+        assert payload["preset"] == "small"
+
+
+class TestStudyConfigIdentity:
+    def test_equal_but_distinct_config_accepted(self, small_world):
+        # Regression: Study.__init__ used to compare config identity
+        # with `is`, rejecting a value-equal config built separately.
+        study = Study(config=WorldConfig.small(), world=small_world)
+        assert study.world is small_world
+
+    def test_differing_config_still_rejected(self, small_world):
+        with pytest.raises(PipelineError):
+            Study(config=WorldConfig.small(seed=99), world=small_world)
+
+
+def test_shard_products_pickle():
+    """Every stage product must survive the process boundary."""
+    # A representative check on the picklability assumption the
+    # executor's spawn path and the artifact cache both rely on.
+    from repro.util.sankey import Sankey
+
+    sankey = Sankey()
+    sankey.add("EU 28", "N. America", 3.0)
+    clone = pickle.loads(pickle.dumps(sankey))
+    assert clone.rows() == sankey.rows()
