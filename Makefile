@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report run-smoke calibrate sweep clean
+.PHONY: install test lint bench report run-smoke trace-smoke calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,12 @@ report:
 # cache must produce identical headline numbers (see docs/runtime.md).
 run-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/run_smoke.py
+
+# Traced engine run via `repro run --trace`: the provenance manifest
+# must validate with a span and record counts for every stage, and an
+# untraced run must agree on every metric (see docs/observability.md).
+trace-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/trace_smoke.py
 
 calibrate:
 	$(PYTHON) scripts/calibrate.py medium

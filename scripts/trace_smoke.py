@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the observability layer.
+
+Usage::
+
+    python scripts/trace_smoke.py [out.json]
+
+Runs ``repro run --trace`` (via the CLI entry point, so the real flag
+path is exercised) on the ``small`` preset, then validates the written
+provenance manifest: schema, one entry and one span per pipeline stage,
+record counts present, cache accounting consistent.  A second, untraced
+run must produce identical headline numbers — tracing is an observer,
+never a participant.  ``make trace-smoke`` wires this into CI.
+"""
+
+import json
+import sys
+import tempfile
+
+from repro import WorldConfig
+from repro.cli import main as cli_main
+from repro.obs import load_manifest
+from repro.runtime import run_study
+from repro.runtime.stages import STAGE_NAMES
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        out = sys.argv[1] if len(sys.argv) > 1 else f"{scratch}/trace.json"
+
+        status = cli_main([
+            "--preset", "small", "run",
+            "--workers", "2",
+            "--cache-dir", f"{scratch}/cache",
+            "--trace", out,
+        ])
+        if status != 0:
+            print(f"FAIL: traced CLI run exited {status}", file=sys.stderr)
+            return 1
+
+        manifest = load_manifest(out)  # validates the schema on load
+        stages = [entry["stage"] for entry in manifest["stages"]]
+        if stages != list(STAGE_NAMES):
+            print(f"FAIL: manifest stages {stages}", file=sys.stderr)
+            return 1
+        span_names = {span["name"] for span in manifest["spans"]}
+        missing = [
+            name for name in STAGE_NAMES if f"stage:{name}" not in span_names
+        ]
+        if missing:
+            print(f"FAIL: no spans for stages {missing}", file=sys.stderr)
+            return 1
+        for entry in manifest["stages"]:
+            if not entry["records_out"]:
+                print(
+                    f"FAIL: stage {entry['stage']} has no record counts",
+                    file=sys.stderr,
+                )
+                return 1
+        if not manifest["metrics"]:
+            print("FAIL: manifest carries no metrics", file=sys.stderr)
+            return 1
+
+        # Tracing must not perturb the run: an untraced engine run on
+        # the same config reports the same headline numbers.
+        untraced = run_study(WorldConfig.small(), workers=2)
+        headline = {
+            "table2": untraced.table2_counts(),
+            "fig7": untraced.eu28_destination_regions(),
+        }
+        traced_metrics = manifest["metrics"]
+        untraced_metrics = untraced.registry.to_dict()
+        drift = {
+            key
+            for key in set(traced_metrics) | set(untraced_metrics)
+            if not key.startswith("runtime.cache")
+            and traced_metrics.get(key) != untraced_metrics.get(key)
+        }
+        if drift:
+            print(
+                f"FAIL: traced vs untraced metric drift: {sorted(drift)}",
+                file=sys.stderr,
+            )
+            return 1
+
+    print(
+        f"OK: manifest valid with {len(manifest['stages'])} stages, "
+        f"{len(manifest['spans'])} spans, {len(manifest['metrics'])} metrics; "
+        f"untraced run agrees ({json.dumps(headline['table2']['total'])})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,9 @@ Commands
     Execute the pipeline through the :mod:`repro.runtime` engine —
     sharded across ``--workers`` processes, replayed from ``--cache-dir``
     when warm — and print headline numbers plus per-stage wall-time and
-    cache-hit counters.
+    cache-hit counters.  With ``--trace out.json`` the run records a
+    full span tree, writes the provenance manifest to ``out.json`` and
+    prints a text flamegraph of where the time went.
 
 Every command accepts ``--preset small|medium|paper`` and ``--seed N``.
 """
@@ -108,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", type=pathlib.Path, default=None,
         help="also write the per-stage metrics to this JSON file",
     )
+    run_command.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="OUT",
+        help="record spans and write the provenance manifest to OUT",
+    )
     return parser
 
 
@@ -122,13 +128,22 @@ def _make_study(args: argparse.Namespace) -> Study:
 
 def _command_run(args: argparse.Namespace) -> str:
     from repro.io import run_metrics_to_json
+    from repro.obs import Tracer, write_manifest
     from repro.runtime import run_study
 
     cache_dir = str(args.cache_dir) if args.cache_dir is not None else None
+    tracer = Tracer() if args.trace is not None else None
     run = run_study(
-        _make_config(args), workers=args.workers, cache_dir=cache_dir
+        _make_config(args),
+        workers=args.workers,
+        cache_dir=cache_dir,
+        tracer=tracer,
     )
+    if args.trace is not None:
+        write_manifest(run.manifest, args.trace)
     if args.metrics_out is not None:
+        # Run totals come from the registry fold (RunResult.cache_hits /
+        # cache_misses) — the CLI never sums per-stage rows itself.
         run_metrics_to_json(
             run.metrics_rows(),
             args.metrics_out,
@@ -159,6 +174,9 @@ def _command_run(args: argparse.Namespace) -> str:
     shares = run.eu28_destination_regions()
     confined = shares.get("EU 28", 0.0)
     lines.append(f"EU28-confined tracking flows: {confined:.1f}%")
+    if args.trace is not None:
+        lines.extend(["", run.trace_report()])
+        lines.append(f"\nmanifest written to {args.trace}")
     return "\n".join(lines)
 
 

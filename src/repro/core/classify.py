@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.errors import ValidationError
+from repro.obs import metrics as obs_metrics
 from repro.web.filterlists import FilterList
 from repro.web.requests import ThirdPartyRequest
 from repro.web.rtb import TRACKING_KEYWORDS
@@ -235,5 +236,16 @@ class RequestClassifier:
                     request
                 ):
                     stages[index] = ClassificationStage.KEYWORD
+
+        # Ambient per-pass flow counters (no-ops outside a collection
+        # scope): a pure function of the input log, so the counts merge
+        # identically whatever sharding executed the classification.
+        if obs_metrics.active():
+            for stage in ClassificationStage:
+                count = sum(1 for s in stages if s is stage)
+                if count:
+                    obs_metrics.inc(
+                        "classify.flows", count, stage=stage.value
+                    )
 
         return ClassificationResult(requests=list(requests), stages=stages)

@@ -37,6 +37,7 @@ from repro.core.tracker_ips import TrackerIPInventory
 from repro.datasets.builder import BACKGROUND_END_DAY, World, build_world
 from repro.errors import PipelineError
 from repro.geodata.regions import Region
+from repro.obs.trace import current_tracer
 from repro.web.browser import BrowserExtensionSimulator, VisitLog
 from repro.web.requests import ThirdPartyRequest
 
@@ -97,17 +98,21 @@ class Study:
     @property
     def visit_log(self) -> VisitLog:
         if self._visit_log is None:
-            simulator = BrowserExtensionSimulator(
-                fleet=self.world.fleet,
-                publishers=self.world.publishers,
-                users=self.world.users,
-                panel_config=self.config.panel,
-                browsing_config=self.config.browsing,
-                registry=self.world.registry,
-                mapping=self.world.mapping,
-                streams=self.world.streams,
-            )
-            self._visit_log = simulator.simulate()
+            # Ambient spans (here and in the other lazy stages) go to
+            # whatever tracer the caller installed; the default is the
+            # no-op tracer, so the untraced path stays unchanged.
+            with current_tracer().span("study:panel"):
+                simulator = BrowserExtensionSimulator(
+                    fleet=self.world.fleet,
+                    publishers=self.world.publishers,
+                    users=self.world.users,
+                    panel_config=self.config.panel,
+                    browsing_config=self.config.browsing,
+                    registry=self.world.registry,
+                    mapping=self.world.mapping,
+                    streams=self.world.streams,
+                )
+                self._visit_log = simulator.simulate()
         return self._visit_log
 
     # -- stage 2: classification ------------------------------------------
@@ -120,9 +125,11 @@ class Study:
     @property
     def classification(self) -> ClassificationResult:
         if self._classification is None:
-            self._classification = self.classifier.classify(
-                self.visit_log.requests
-            )
+            requests = self.visit_log.requests
+            with current_tracer().span(
+                "study:classification", requests=len(requests)
+            ):
+                self._classification = self.classifier.classify(requests)
         return self._classification
 
     def tracking_requests(self) -> List[ThirdPartyRequest]:
@@ -132,11 +139,12 @@ class Study:
     @property
     def inventory(self) -> TrackerIPInventory:
         if self._inventory is None:
-            self._inventory = TrackerIPInventory.build(
-                tracking_requests=self.tracking_requests(),
-                pdns=self.world.pdns,
-                window=(0.0, BACKGROUND_END_DAY),
-            )
+            with current_tracer().span("study:inventory"):
+                self._inventory = TrackerIPInventory.build(
+                    tracking_requests=self.tracking_requests(),
+                    pdns=self.world.pdns,
+                    window=(0.0, BACKGROUND_END_DAY),
+                )
         return self._inventory
 
     # -- stage 4: geolocation ---------------------------------------------
@@ -181,15 +189,16 @@ class Study:
     @property
     def sensitive(self) -> SensitiveStudy:
         if self._sensitive is None:
-            study = SensitiveStudy(
-                publishers=self.world.publishers,
-                streams=self.world.streams,
-                registry=self.world.registry,
-            )
-            study.identify(
-                visit.publisher_domain for visit in self.visit_log.visits
-            )
-            self._sensitive = study
+            with current_tracer().span("study:sensitive"):
+                study = SensitiveStudy(
+                    publishers=self.world.publishers,
+                    streams=self.world.streams,
+                    registry=self.world.registry,
+                )
+                study.identify(
+                    visit.publisher_domain for visit in self.visit_log.visits
+                )
+                self._sensitive = study
         return self._sensitive
 
     # -- stage 8: ISP scale ----------------------------------------------

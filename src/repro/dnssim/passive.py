@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DNSError
 from repro.netbase.addr import IPAddress
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -60,9 +61,11 @@ class PassiveDNSDatabase:
         """Record one resolution of ``fqdn`` to ``address`` at time ``at``."""
         if not fqdn:
             raise DNSError("cannot observe an empty name")
+        obs_metrics.inc("pdns.observations")
         key = (fqdn, address)
         entry = self._pairs.get(key)
         if entry is None:
+            obs_metrics.inc("pdns.pairs_new")
             self._pairs[key] = [at, at, 1]
             self._forward.setdefault(fqdn, set()).add(address)
             self._reverse.setdefault(address, set()).add(fqdn)
@@ -103,6 +106,7 @@ class PassiveDNSDatabase:
         self, pairs: List[Tuple[str, IPAddress, float, float, int]]
     ) -> None:
         """Fold exported :meth:`pairs` tuples into this database."""
+        obs_metrics.inc("pdns.pairs_folded", len(pairs))
         for fqdn, address, first, last, count in pairs:
             if not fqdn:
                 raise DNSError("cannot observe an empty name")

@@ -85,3 +85,8 @@ class ExecutionError(ReproError):
     """Raised by :mod:`repro.runtime` when sharded execution produces
     inconsistent results (shard loss, misaligned merges) or the engine
     is misconfigured."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by :mod:`repro.obs` for malformed manifests, mismatched
+    span nesting, or metric type conflicts."""

@@ -42,6 +42,7 @@ from repro.geodata.regions import Region, region_of_country
 from repro.geoloc.probes import Probe, ProbeMesh
 from repro.geoloc.truth import GroundTruthOracle
 from repro.netbase.addr import IPAddress
+from repro.obs import metrics as obs_metrics
 from repro.util.rng import RngStreams, seeded_rng, spawn_rng
 
 
@@ -138,7 +139,9 @@ class IPmapEngine:
         """Country-level answer with the paper's majority acceptance rule."""
         estimate = self.geolocate(address)
         if estimate.country_agreement < self._config.country_majority:
+            obs_metrics.inc("ipmap.locate", verdict="rejected")
             return None
+        obs_metrics.inc("ipmap.locate", verdict="accepted")
         return estimate.country
 
     def bulk_geolocate(
@@ -215,6 +218,14 @@ class IPmapEngine:
             count
             for country, count in votes.items()
             if region_of_country(country, self._registry) is winner_region
+        )
+        # Ambient campaign metrics (no-ops outside a collection scope):
+        # the vote-margin histogram reproduces the paper's ">90% of
+        # campaigns reach a country majority" observation per run.
+        obs_metrics.inc("ipmap.campaigns")
+        obs_metrics.observe(
+            "ipmap.country_agreement",
+            winner_count / total if total else 0.0,
         )
         return GeolocationEstimate(
             address=address,

@@ -25,6 +25,11 @@ LAYER_RANKS: Dict[str, int] = {
     "util": 10,
     "config": 10,
     "lint": 10,
+    # obs sits with the foundations on purpose: every simulation and
+    # runtime layer may instrument itself through it, but obs itself may
+    # import nothing above repro.errors — observability can never grow a
+    # dependency on the pipeline it observes.
+    "obs": 10,
     "geodata": 20,
     "netbase": 20,
     "cloud": 30,

@@ -1,0 +1,70 @@
+"""repro.obs — zero-dependency observability for pipeline runs.
+
+Three small, composable pieces:
+
+* :mod:`repro.obs.trace` — hierarchical span tracing against an
+  *injected* clock (``tracer.span("stage:geolocate", shard=...)``),
+  with an ambient no-op default so instrumented code is free when
+  nobody is tracing;
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms with
+  exact, commutative merges, built to fold per-shard snapshots into a
+  worker-count-invariant run registry;
+* :mod:`repro.obs.manifest` — the per-run provenance manifest schema,
+  validator and atomic writer.
+
+Layering: this package sits below every simulation and runtime layer
+(it imports only :mod:`repro.errors`), so core/dnssim/geoloc/runtime
+may all instrument themselves through it without cycles.
+"""
+
+from repro.obs.clock import NullClock, SystemClock, TickClock
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    inc,
+    observe,
+    set_gauge,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    tracing,
+)
+
+__all__ = [
+    "NullClock",
+    "SystemClock",
+    "TickClock",
+    "MANIFEST_SCHEMA",
+    "load_manifest",
+    "validate_manifest",
+    "write_manifest",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collecting",
+    "inc",
+    "observe",
+    "set_gauge",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+]

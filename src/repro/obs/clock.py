@@ -1,0 +1,63 @@
+"""Injected clocks for the observability layer.
+
+The tracer never calls :func:`time.perf_counter` directly — it reads an
+injected :class:`Clock`, so the simulation layers (which reprolint D103
+bans from touching ambient time) can be instrumented with spans whose
+clock is chosen by the *caller*:
+
+* :class:`SystemClock` — real wall/CPU time, the default at the CLI and
+  engine boundary;
+* :class:`TickClock` — a deterministic counter advancing by a fixed
+  step per read, for tests that must produce byte-identical traces;
+* :class:`NullClock` — always zero, the clock behind the no-op tracer.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class NullClock:
+    """A clock that always reads zero — timing disabled, nesting kept."""
+
+    def wall(self) -> float:
+        """Wall-clock reading in seconds (always ``0.0`` here)."""
+        return 0.0
+
+    def cpu(self) -> float:
+        """CPU-time reading in seconds (always ``0.0`` here)."""
+        return 0.0
+
+
+class SystemClock(NullClock):
+    """The real thing: monotonic wall time and process CPU time."""
+
+    def wall(self) -> float:
+        return time.perf_counter()
+
+    def cpu(self) -> float:
+        return time.process_time()
+
+
+class TickClock(NullClock):
+    """A deterministic clock advancing ``step`` seconds per reading.
+
+    Wall and CPU readings share one counter, so a span that makes one
+    start and one end reading of each always reports the same duration
+    — which is what makes traced-run determinism testable.
+    """
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.step = float(step)
+        self._now = 0.0
+
+    def _tick(self) -> float:
+        value = self._now
+        self._now += self.step
+        return value
+
+    def wall(self) -> float:
+        return self._tick()
+
+    def cpu(self) -> float:
+        return self._tick()

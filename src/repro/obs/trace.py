@@ -1,0 +1,185 @@
+"""Hierarchical span tracing with an injected clock.
+
+A :class:`Tracer` records a tree of :class:`Span` records:
+``tracer.span("stage:geolocate", shard="ips[0:12]")`` opens a child of
+whatever span is currently open, stamps wall and CPU time from the
+tracer's injected clock (see :mod:`repro.obs.clock`), and closes on
+context exit.  Spans are stored flat, in *opening* order, each carrying
+its parent index and depth — a form that serializes directly into the
+run manifest and renders as a text flame report.
+
+The ambient tracer (:func:`current_tracer` / :func:`tracing`) lets code
+deep inside the pipeline open spans without threading a tracer through
+every signature.  The default ambient tracer is :data:`NULL_TRACER`
+(null clock, records discarded), so un-instrumented callers pay nothing
+and — crucially — a traced and an untraced run execute the exact same
+pipeline code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.clock import NullClock, SystemClock
+
+
+@dataclass
+class Span:
+    """One timed, attributed section of a run."""
+
+    name: str
+    index: int
+    parent: Optional[int]
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    wall_start: float = 0.0
+    wall_end: float = 0.0
+    cpu_start: float = 0.0
+    cpu_end: float = 0.0
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration in seconds."""
+        return self.wall_end - self.wall_start
+
+    @property
+    def cpu_s(self) -> float:
+        """CPU-time duration in seconds."""
+        return self.cpu_end - self.cpu_start
+
+    def to_row(self) -> Dict[str, Any]:
+        """The span as a JSON-able manifest row."""
+        return {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "attrs": dict(sorted(self.attrs.items())),
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+        }
+
+
+class Tracer:
+    """Collects a span tree against an injected clock."""
+
+    def __init__(self, clock: Optional[NullClock] = None) -> None:
+        self.clock = clock if clock is not None else SystemClock()
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records spans (:class:`NullTracer` lies
+        lower)."""
+        return True
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span for the ``with`` scope and time it."""
+        record = Span(
+            name=name,
+            index=len(self.spans),
+            parent=self._stack[-1] if self._stack else None,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        self._stack.append(record.index)
+        record.wall_start = self.clock.wall()
+        record.cpu_start = self.clock.cpu()
+        try:
+            yield record
+        finally:
+            record.wall_end = self.clock.wall()
+            record.cpu_end = self.clock.cpu()
+            popped = self._stack.pop()
+            if popped != record.index:
+                raise ObservabilityError(
+                    f"span nesting corrupted: closed {record.name!r} "
+                    f"but span #{popped} was on top"
+                )
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every span as a JSON-able row, in opening order."""
+        return [span.to_row() for span in self.spans]
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, in opening order."""
+        return [span for span in self.spans if span.name == name]
+
+    def report(self) -> str:
+        """A text flamegraph: one line per span, indented by depth.
+
+        Durations are wall seconds; the percentage is of the *root*
+        span's wall time, so hot stages stand out at a glance::
+
+            run                                3.214s 100.0%
+              world:build                      1.002s  31.2%
+              stage:panel  shards=8            0.911s  28.3%
+                execute                        0.874s  27.2%
+        """
+        if not self.spans:
+            return "(no spans recorded)"
+        root_wall = self.spans[0].wall_s
+        lines = []
+        for span in self.spans:
+            attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            label = "  " * span.depth + span.name + (f"  {attrs}" if attrs else "")
+            share = 100.0 * span.wall_s / root_wall if root_wall > 0 else 0.0
+            lines.append(f"{label:<48} {span.wall_s:>9.3f}s {share:>5.1f}%")
+        return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """A tracer that keeps the nesting discipline but records nothing.
+
+    The ambient default: pipeline code can always open spans, and when
+    nobody installed a real tracer the only cost is one context-manager
+    frame and a throwaway record — no clock reads, nothing retained.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(clock=NullClock())
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        # A fresh record so callers may set attrs on it; it is simply
+        # never stored.
+        yield Span(name=name, index=-1, parent=None, depth=0, attrs=dict(attrs))
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return []
+
+    def report(self) -> str:
+        return "(tracing disabled)"
+
+#: the process-wide no-op tracer
+NULL_TRACER = NullTracer()
+
+#: stack of ambient tracers; the top one receives pipeline spans
+_ACTIVE: List[Tracer] = []
+
+
+def current_tracer() -> Tracer:
+    """The tracer ambient code should open spans on (never ``None``)."""
+    return _ACTIVE[-1] if _ACTIVE else NULL_TRACER
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the scope."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()

@@ -17,7 +17,10 @@ exploits that structure:
 * :mod:`repro.runtime.cache` — the content-addressed on-disk artifact
   cache keyed on (config digest, code-version salt, stage, shard);
 * :mod:`repro.runtime.engine` — the orchestrator tying the four
-  together and reporting per-stage wall-time / cache-hit counters;
+  together, recording spans/metrics through :mod:`repro.obs` and
+  reporting per-stage wall-time / cache-hit counters;
+* :mod:`repro.runtime.provenance` — assembly of the per-run provenance
+  manifest (config digest, code salts, record counts, seed lineage);
 * :mod:`repro.runtime.facade` — the high-level entry point
   (:func:`run_study`) that hydrates a :class:`repro.Study` from the
   engine's products.
@@ -37,14 +40,25 @@ Typical use::
 """
 
 from repro.runtime.cache import ArtifactCache, config_digest
-from repro.runtime.engine import ExecutionEngine, RunResult, StageMetrics
+from repro.runtime.engine import (
+    MANIFEST_FILENAME,
+    ExecutionEngine,
+    RunResult,
+    StageMetrics,
+)
 from repro.runtime.facade import RuntimeRun, run_study
 from repro.runtime.graph import ShardAxis, StageGraph, StageSpec, partition
-from repro.runtime.stages import STAGE_GRAPH, STAGE_NAMES
+from repro.runtime.provenance import build_manifest, seed_lineage
+from repro.runtime.stages import (
+    STAGE_GRAPH,
+    STAGE_NAMES,
+    product_record_counts,
+)
 
 __all__ = [
     "ArtifactCache",
     "ExecutionEngine",
+    "MANIFEST_FILENAME",
     "RunResult",
     "RuntimeRun",
     "ShardAxis",
@@ -53,7 +67,10 @@ __all__ = [
     "StageSpec",
     "STAGE_GRAPH",
     "STAGE_NAMES",
+    "build_manifest",
     "config_digest",
     "partition",
+    "product_record_counts",
     "run_study",
+    "seed_lineage",
 ]

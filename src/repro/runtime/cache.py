@@ -23,6 +23,7 @@ from dataclasses import asdict, is_dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ValidationError
+from repro.obs import metrics as obs_metrics
 
 _DIGEST_BYTES = 20
 
@@ -101,6 +102,11 @@ class ArtifactCache:
     def enabled(self) -> bool:
         return self._root is not None
 
+    @property
+    def root(self) -> Optional[str]:
+        """The cache directory (``None`` when persistence is disabled)."""
+        return self._root
+
     def key(self, config_dig: str, salt: str, stage: str, shard_key: str) -> str:
         return _blake(config_dig, salt, stage, shard_key)
 
@@ -123,6 +129,11 @@ class ArtifactCache:
             return False, None
         except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
             # Truncated or stale-format artifact: recompute and overwrite.
+            # The corrupt counter is ambient (no-op outside a collection
+            # scope) and fires only on genuinely damaged files, so it
+            # never perturbs the worker-count-invariance of a healthy
+            # run's registry.
+            obs_metrics.inc("runtime.cache.corrupt", stage=stage)
             self.misses += 1
             return False, None
         self.hits += 1

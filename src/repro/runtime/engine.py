@@ -14,31 +14,79 @@ cache hit and only the (cheap) merges replay — and editing one stage's
 code invalidates exactly that stage and its dependents, because cache
 keys fold the dependency chain's code salts (see
 :mod:`repro.runtime.cache`).
+
+Observability rides along without touching determinism:
+
+* every run carries a :class:`repro.obs.MetricsRegistry`; shard-local
+  snapshots (produced inside the executor) are folded into it in
+  canonical plan order, so the merged registry is identical for any
+  worker count — and cached shards replay their snapshots from the
+  cache envelope, so a warm run reports the same shard metrics as the
+  cold run that produced it;
+* an injected :class:`repro.obs.Tracer` (default: the no-op
+  :data:`~repro.obs.NULL_TRACER`) records ``run`` → ``world:build`` /
+  ``stage:<name>`` → ``plan`` / ``cache:probe`` / ``execute`` /
+  ``merge`` spans; timing lives **only** in spans, never in the
+  registry, which is what keeps registry snapshots comparable;
+* after the root span closes, the engine assembles a provenance
+  manifest (:mod:`repro.runtime.provenance`) and — when a cache
+  directory is configured — writes it atomically next to the artifacts.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import WorldConfig
 from repro.datasets.builder import World, cached_build_world
+from repro.obs.manifest import write_manifest
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.trace import NULL_TRACER, Tracer, tracing
 from repro.runtime.cache import ArtifactCache, config_digest, effective_salts
 from repro.runtime.executor import ShardExecutor
 from repro.runtime.graph import StageGraph
-from repro.runtime.stages import STAGE_GRAPH
+from repro.runtime.provenance import build_manifest
+from repro.runtime.stages import STAGE_GRAPH, product_record_counts
+
+#: filename of the per-run provenance manifest inside the cache dir
+MANIFEST_FILENAME = "manifest.json"
+
+#: marker key of the cache envelope that pairs an artifact with the
+#: shard-local metrics snapshot recorded while producing it
+_ENVELOPE_MARK = "__shard_envelope__"
+
+
+def _wrap_envelope(artifact: Any, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    return {_ENVELOPE_MARK: 1, "artifact": artifact, "metrics": metrics}
+
+
+def _unwrap_envelope(obj: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Split a cached object into (artifact, metrics snapshot).
+
+    Artifacts written before the envelope existed load as themselves
+    with an empty snapshot — a warm run over a legacy cache stays
+    correct, it just cannot replay shard metrics.
+    """
+    if isinstance(obj, dict) and obj.get(_ENVELOPE_MARK) == 1:
+        return obj["artifact"], obj["metrics"]
+    return obj, {}
 
 
 @dataclass
 class StageMetrics:
-    """Wall-time and cache behaviour of one stage in one run."""
+    """Wall-time, cache behaviour and record flow of one stage in one run."""
 
     name: str
     n_shards: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     wall_s: float = 0.0
+    shard_keys: List[str] = field(default_factory=list)
+    records_in: Dict[str, Any] = field(default_factory=dict)
+    records_out: Dict[str, int] = field(default_factory=dict)
 
     @property
     def executed_shards(self) -> int:
@@ -54,6 +102,9 @@ class RunResult:
     products: Dict[str, Any]
     metrics: Dict[str, StageMetrics] = field(default_factory=dict)
     world_build_s: float = 0.0
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = NULL_TRACER
+    manifest: Optional[Dict[str, Any]] = None
 
     @property
     def total_wall_s(self) -> float:
@@ -63,11 +114,18 @@ class RunResult:
 
     @property
     def cache_hits(self) -> int:
-        return sum(m.cache_hits for m in self.metrics.values())
+        """Run-total cache hits, aggregated by the metrics registry.
+
+        The registry owns the fold (:meth:`MetricsRegistry.sum_counters`
+        over the per-stage ``runtime.cache.hits`` counters) — callers
+        must not re-sum per-stage numbers themselves.
+        """
+        return int(self.registry.sum_counters("runtime.cache.hits"))
 
     @property
     def cache_misses(self) -> int:
-        return sum(m.cache_misses for m in self.metrics.values())
+        """Run-total cache misses (see :attr:`cache_hits`)."""
+        return int(self.registry.sum_counters("runtime.cache.misses"))
 
     def metrics_rows(self) -> List[Dict[str, Any]]:
         """Per-stage counters as plain rows (for reports and JSON export)."""
@@ -98,6 +156,10 @@ class RunResult:
         )
         return "\n".join(lines)
 
+    def trace_report(self) -> str:
+        """The tracer's text flamegraph (see :meth:`Tracer.report`)."""
+        return self.tracer.report()
+
 
 class ExecutionEngine:
     """Runs the stage graph for a config with workers and a cache."""
@@ -121,20 +183,54 @@ class ExecutionEngine:
         self,
         config: WorldConfig,
         targets: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> RunResult:
-        """Execute the graph (or the sub-graph reaching ``targets``)."""
+        """Execute the graph (or the sub-graph reaching ``targets``).
+
+        ``tracer`` selects the observability level: ``None`` (the no-op
+        default) records nothing; a real :class:`~repro.obs.Tracer` is
+        installed as the ambient tracer for the run and receives the
+        engine's span tree.  Traced and untraced runs execute identical
+        pipeline code — the study products cannot differ.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
+        registry = MetricsRegistry()
         digest = config_digest(config)
-        build_start = time.perf_counter()
-        world = cached_build_world(config)
         result = RunResult(
             config=config,
             workers=self.workers,
             products={},
-            world_build_s=time.perf_counter() - build_start,
+            registry=registry,
+            tracer=tracer,
         )
-        for name in self.graph.topological_order(targets):
-            result.metrics[name] = self._run_stage(
-                name, world, digest, result.products
+        with tracing(tracer):
+            with tracer.span(
+                "run", digest=digest[:12], workers=self.workers
+            ):
+                build_start = time.perf_counter()
+                # World construction stays OUTSIDE the collection scope
+                # on purpose: cached_build_world is memoized in-process,
+                # so its instrumented internals fire on the first run
+                # and not on later ones — collecting them would make
+                # otherwise-identical runs disagree on their registries.
+                with tracer.span("world:build"):
+                    world = cached_build_world(config)
+                result.world_build_s = time.perf_counter() - build_start
+                # The ambient scope makes engine-side instrumentation
+                # (e.g. the cache's corrupt-artifact counter) land in
+                # the run registry; shard bodies still collect into
+                # shard-local registries the executor opens on top.
+                with collecting(registry):
+                    for name in self.graph.topological_order(targets):
+                        result.metrics[name] = self._run_stage(
+                            name, world, digest, result.products, tracer,
+                            registry,
+                        )
+        result.manifest = build_manifest(result, digest, self._salts)
+        if self.cache.enabled:
+            write_manifest(
+                result.manifest,
+                os.path.join(str(self.cache.root), MANIFEST_FILENAME),
             )
         return result
 
@@ -144,42 +240,93 @@ class ExecutionEngine:
         world: World,
         digest: str,
         products: Dict[str, Any],
+        tracer: Tracer,
+        registry: MetricsRegistry,
     ) -> StageMetrics:
         spec = self.graph[name]
         metrics = StageMetrics(name=name)
-        start = time.perf_counter()
-        shards = spec.plan(world, products)
-        metrics.n_shards = len(shards)
-
-        keys: Dict[str, str] = {
-            shard_key: self.cache.key(digest, self._salts[name], name, shard_key)
-            for shard_key, _ in shards
+        metrics.records_in = {
+            dep: product_record_counts(dep, products[dep])
+            for dep in spec.inputs
         }
-        cached: Dict[str, Any] = {}
-        pending: List[Tuple[str, Any]] = []
-        for shard_key, payload in shards:
-            hit, artifact = self.cache.load(name, keys[shard_key])
-            if hit:
-                cached[shard_key] = artifact
-                metrics.cache_hits += 1
-            else:
-                pending.append((shard_key, payload))
-                metrics.cache_misses += 1
+        start = time.perf_counter()
+        with tracer.span(f"stage:{name}") as stage_span:
+            with tracer.span("plan", stage=name):
+                shards = spec.plan(world, products)
+            metrics.n_shards = len(shards)
+            metrics.shard_keys = [shard_key for shard_key, _ in shards]
 
-        fresh = dict(
-            self.executor.execute(spec, world, products, pending)
-        )
-        for shard_key, artifact in fresh.items():
-            self.cache.store(name, keys[shard_key], artifact)
+            keys: Dict[str, str] = {
+                shard_key: self.cache.key(
+                    digest, self._salts[name], name, shard_key
+                )
+                for shard_key, _ in shards
+            }
+            # Shard-local metrics snapshots, keyed by shard — replayed
+            # from the cache envelope on hits, fresh from the executor
+            # on misses, folded below in canonical plan order.
+            snapshots: Dict[str, Dict[str, Any]] = {}
+            cached: Dict[str, Any] = {}
+            pending: List[Tuple[str, Any]] = []
+            with tracer.span("cache:probe", stage=name):
+                for shard_key, payload in shards:
+                    hit, obj = self.cache.load(name, keys[shard_key])
+                    if hit:
+                        artifact, snapshot = _unwrap_envelope(obj)
+                        cached[shard_key] = artifact
+                        snapshots[shard_key] = snapshot
+                        metrics.cache_hits += 1
+                    else:
+                        pending.append((shard_key, payload))
+                        metrics.cache_misses += 1
 
-        # Merge in canonical plan order, mixing hits and fresh results.
-        ordered: List[Tuple[str, Any]] = [
-            (
-                shard_key,
-                cached[shard_key] if shard_key in cached else fresh[shard_key],
+            with tracer.span("execute", stage=name, shards=len(pending)):
+                fresh: Dict[str, Any] = {}
+                for shard_key, (artifact, snapshot) in self.executor.execute(
+                    spec, world, products, pending
+                ):
+                    fresh[shard_key] = artifact
+                    snapshots[shard_key] = snapshot
+                    self.cache.store(
+                        name,
+                        keys[shard_key],
+                        _wrap_envelope(artifact, snapshot),
+                    )
+
+            registry.counter("runtime.shards.planned", stage=name).inc(
+                metrics.n_shards
             )
-            for shard_key, _ in shards
-        ]
-        products[name] = spec.merge(world, products, ordered)
+            registry.counter("runtime.shards.executed", stage=name).inc(
+                len(pending)
+            )
+            registry.counter("runtime.cache.hits", stage=name).inc(
+                metrics.cache_hits
+            )
+            registry.counter("runtime.cache.misses", stage=name).inc(
+                metrics.cache_misses
+            )
+            # Fold shard snapshots in plan order — NOT completion order —
+            # so the merged registry is invariant to worker count.
+            for shard_key, _ in shards:
+                registry.merge(snapshots.get(shard_key, {}))
+
+            # Merge in canonical plan order, mixing hits and fresh results.
+            ordered: List[Tuple[str, Any]] = [
+                (
+                    shard_key,
+                    cached[shard_key]
+                    if shard_key in cached
+                    else fresh[shard_key],
+                )
+                for shard_key, _ in shards
+            ]
+            with tracer.span("merge", stage=name):
+                products[name] = spec.merge(world, products, ordered)
+            metrics.records_out = product_record_counts(name, products[name])
+            stage_span.attrs.update(
+                shards=metrics.n_shards,
+                hits=metrics.cache_hits,
+                misses=metrics.cache_misses,
+            )
         metrics.wall_s = time.perf_counter() - start
         return metrics

@@ -17,6 +17,13 @@ Two dispatch paths:
 ``workers=1`` (or a single shard) executes inline in the calling
 process — the engine's "serial path" — through the exact same stage
 functions, which is what makes worker-count invariance testable.
+
+Every shard runs inside its own :class:`repro.obs.MetricsRegistry`
+collection scope, and each result ships back as an
+``(artifact, metrics_snapshot)`` pair.  Because the snapshot is
+shard-local and the engine folds snapshots in canonical plan order, the
+merged registry is byte-identical for any worker count — metrics ride
+the same determinism guarantees as the artifacts themselves.
 """
 
 from __future__ import annotations
@@ -27,21 +34,49 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.datasets.builder import World, cached_build_world
 from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry, collecting
 from repro.runtime.graph import StageSpec
 from repro.runtime.stages import STAGE_GRAPH
+
+#: a shard's result: the artifact plus its shard-local metrics snapshot
+ShardResult = Tuple[Any, Dict[str, Dict[str, Any]]]
 
 #: parent-side context inherited by forked workers: (world, products)
 _FORK_CONTEXT: Optional[Tuple[World, Mapping[str, Any]]] = None
 
 
-def _run_shard_forked(stage_name: str, shard_key: str, payload: Any) -> Any:
+def _instrumented_run(
+    run: Any,
+    world: Optional[World],
+    products: Mapping[str, Any],
+    shard_key: str,
+    payload: Any,
+) -> ShardResult:
+    """Run one shard inside a fresh metrics collection scope.
+
+    The registry is created here — per shard, per process — so ambient
+    :func:`repro.obs.metrics.inc` calls inside stage code land in a
+    container that travels back with the artifact instead of in global
+    state that a pool worker would silently discard.
+    """
+    registry = MetricsRegistry()
+    with collecting(registry):
+        artifact = run(world, products, shard_key, payload)
+    return artifact, registry.to_dict()
+
+
+def _run_shard_forked(
+    stage_name: str, shard_key: str, payload: Any
+) -> ShardResult:
     """Task body on the fork path: world/products come from the parent."""
     if _FORK_CONTEXT is None:
         raise ExecutionError(
             "forked worker has no inherited execution context"
         )
     world, products = _FORK_CONTEXT
-    return STAGE_GRAPH[stage_name].run(world, products, shard_key, payload)
+    return _instrumented_run(
+        STAGE_GRAPH[stage_name].run, world, products, shard_key, payload
+    )
 
 
 def _run_shard_shipped(
@@ -50,10 +85,12 @@ def _run_shard_shipped(
     shard_key: str,
     payload: Any,
     inputs: Mapping[str, Any],
-) -> Any:
+) -> ShardResult:
     """Task body on the spawn path: rebuild the world, use shipped inputs."""
     world = cached_build_world(config)
-    return STAGE_GRAPH[stage_name].run(world, inputs, shard_key, payload)
+    return _instrumented_run(
+        STAGE_GRAPH[stage_name].run, world, inputs, shard_key, payload
+    )
 
 
 class ShardExecutor:
@@ -67,16 +104,17 @@ class ShardExecutor:
     def execute(
         self,
         spec: StageSpec,
-        world: World,
+        world: Optional[World],
         products: Mapping[str, Any],
         shards: List[Tuple[str, Any]],
-    ) -> List[Tuple[str, Any]]:
-        """Run ``shards`` and return ``(shard_key, product)`` in plan order."""
+    ) -> List[Tuple[str, ShardResult]]:
+        """Run ``shards``; return ``(shard_key, (artifact, metrics))`` in
+        plan order."""
         if not shards:
             return []
         if self.workers == 1 or len(shards) == 1:
             return [
-                (key, spec.run(world, products, key, payload))
+                (key, _instrumented_run(spec.run, world, products, key, payload))
                 for key, payload in shards
             ]
         return self._execute_pool(spec, world, products, shards)
@@ -87,7 +125,7 @@ class ShardExecutor:
         world: World,
         products: Mapping[str, Any],
         shards: List[Tuple[str, Any]],
-    ) -> List[Tuple[str, Any]]:
+    ) -> List[Tuple[str, ShardResult]]:
         global _FORK_CONTEXT
         use_fork = multiprocessing.get_start_method() == "fork"
         max_workers = min(self.workers, len(shards))

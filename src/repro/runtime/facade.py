@@ -6,6 +6,12 @@ paper's tables and figures, per-stage metrics, and a :meth:`~RuntimeRun.study`
 hydrator that seeds a classic :class:`repro.core.pipeline.Study` with
 the engine's stage products so every existing table/figure/export
 consumer works unchanged on engine (or cache-replayed) results.
+
+Observability surfaces here too: pass a :class:`repro.obs.Tracer` to
+:func:`run_study` and read back :meth:`RuntimeRun.trace_report` (the
+text flamegraph), :attr:`RuntimeRun.registry` (the merged, worker-count
+-invariant metrics) and :attr:`RuntimeRun.manifest` (the provenance
+manifest the engine assembled).
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from repro.core.pipeline import Study
 from repro.datasets.builder import cached_build_world
 from repro.errors import ExecutionError
 from repro.geodata.regions import Region
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.runtime.engine import ExecutionEngine, RunResult
 from repro.runtime.stages import GeoTableLocator
 from repro.web.browser import VisitLog
@@ -34,15 +42,24 @@ def run_study(
     workers: int = 1,
     cache_dir: Optional[str] = None,
     targets: Sequence[str] = ALL_TARGETS,
+    tracer: Optional[Tracer] = None,
 ) -> "RuntimeRun":
-    """Run the pipeline through the engine and wrap the results."""
+    """Run the pipeline through the engine and wrap the results.
+
+    ``config`` defaults to the medium preset; ``workers`` selects the
+    shard fan-out (1 = inline); ``cache_dir`` enables the on-disk
+    artifact cache; ``targets`` restricts execution to a sub-graph;
+    ``tracer`` (optional) receives the engine's span tree — omit it for
+    a zero-overhead untraced run with identical study products.
+    """
     config = config or WorldConfig.medium()
     engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
-    result = engine.run(config, targets)
+    result = engine.run(config, targets, tracer=tracer)
     return RuntimeRun(result=result)
 
 
 def _stats_counts(stats: StageStats) -> Dict[str, int]:
+    """Collapse a :class:`StageStats` into its four headline counts."""
     return {
         "fqdns": len(stats.fqdns),
         "tlds": len(stats.tlds),
@@ -60,13 +77,16 @@ class RuntimeRun:
 
     @property
     def config(self) -> WorldConfig:
+        """The :class:`WorldConfig` this run executed."""
         return self.result.config
 
     @property
     def products(self) -> Dict[str, Any]:
+        """Merged stage products, keyed by stage name."""
         return self.result.products
 
     def _product(self, stage: str) -> Any:
+        """One stage's merged product, or raise if it was not run."""
         if stage not in self.products:
             raise ExecutionError(
                 f"stage {stage!r} was not part of this run; "
@@ -76,6 +96,7 @@ class RuntimeRun:
 
     # -- headline accessors (engine products, no Study needed) ----------
     def classification(self) -> ClassificationResult:
+        """The three-pass classification result over the panel's requests."""
         return ClassificationResult(
             requests=self._product("panel")["requests"],
             stages=self._product("classification")["stages"],
@@ -145,19 +166,38 @@ class RuntimeRun:
         """Table 8 grid: (ISP, snapshot) → :class:`SnapshotReport`."""
         return dict(self._product("ispscale"))
 
-    # -- metrics --------------------------------------------------------
+    # -- metrics, tracing and provenance --------------------------------
     def metrics_report(self) -> str:
+        """Fixed-width per-stage counter table for terminal output."""
         return self.result.metrics_report()
 
     def metrics_rows(self) -> List[Dict[str, Any]]:
+        """Per-stage counters as plain rows (for reports and JSON export)."""
         return self.result.metrics_rows()
+
+    def trace_report(self) -> str:
+        """The run's text flamegraph (``(tracing disabled)`` untraced)."""
+        return self.result.trace_report()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The merged metrics registry — identical for any worker count."""
+        return self.result.registry
+
+    @property
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        """The provenance manifest the engine assembled for this run."""
+        return self.result.manifest
 
     @property
     def cache_hits(self) -> int:
+        """Run-total cache hits (registry-aggregated, see
+        :attr:`RunResult.cache_hits`)."""
         return self.result.cache_hits
 
     @property
     def cache_misses(self) -> int:
+        """Run-total cache misses (registry-aggregated)."""
         return self.result.cache_misses
 
     # -- Study hydration ------------------------------------------------

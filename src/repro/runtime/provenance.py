@@ -1,0 +1,79 @@
+"""Manifest assembly: turning a finished run into provenance.
+
+The obs layer (:mod:`repro.obs.manifest`) defines *what* a manifest is;
+this module knows *how to fill one in* from a live
+:class:`~repro.runtime.engine.RunResult` — it is the only place where
+the stage graph, the cache salts, the seed-derivation scheme and the
+merged metrics registry meet.
+
+Seed lineage deserves a note: the runtime never draws from the world's
+root RNG directly.  Every random decision flows through named streams
+derived with :func:`repro.util.rng.derive_seed` — ``runtime:ipmap``,
+``runtime:ipmap-campaign``, ``runtime:sensitive`` and the per-shard
+``runtime:<shard_key>`` streams — so the manifest can list the exact
+child seeds a run consumed, making "which randomness produced this
+number?" answerable after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.util.rng import derive_seed
+
+#: the fixed runtime-level derivation streams (per-shard streams are
+#: appended per run, keyed on the planned shard keys)
+_FIXED_STREAMS = ("runtime:ipmap", "runtime:ipmap-campaign", "runtime:sensitive")
+
+
+def seed_lineage(seed: int, shard_keys: List[str]) -> Dict[str, Any]:
+    """Every derived child seed a run can draw from, by stream name."""
+    streams: Dict[str, int] = {
+        name: derive_seed(seed, name) for name in _FIXED_STREAMS
+    }
+    for shard_key in sorted(set(shard_keys)):
+        name = f"runtime:{shard_key}"
+        streams[name] = derive_seed(seed, name)
+    return {"seed": seed, "streams": streams}
+
+
+def build_manifest(result: Any, digest: str, salts: Dict[str, str]) -> Dict[str, Any]:
+    """Assemble a v1 manifest from a finished :class:`RunResult`.
+
+    ``result`` carries the merged registry, the tracer and the per-stage
+    :class:`StageMetrics`; ``digest``/``salts`` are the cache identity
+    the run executed under.  The output validates against
+    :func:`repro.obs.manifest.validate_manifest` by construction.
+    """
+    stages: List[Dict[str, Any]] = []
+    all_shard_keys: List[str] = []
+    for metrics in result.metrics.values():
+        all_shard_keys.extend(metrics.shard_keys)
+        stages.append({
+            "stage": metrics.name,
+            "shards": metrics.n_shards,
+            "shard_keys": list(metrics.shard_keys),
+            "cache_hits": metrics.cache_hits,
+            "cache_misses": metrics.cache_misses,
+            "wall_s": round(metrics.wall_s, 6),
+            "records_in": dict(metrics.records_in),
+            "records_out": dict(metrics.records_out),
+        })
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "config": {
+            "digest": digest,
+            "seed": result.config.seed,
+            "preset_sizes": {
+                "users": result.config.panel.n_users,
+                "publishers": result.config.ecosystem.n_publishers,
+            },
+        },
+        "workers": result.workers,
+        "salts": dict(salts),
+        "stages": stages,
+        "metrics": result.registry.to_dict(),
+        "spans": result.tracer.rows(),
+        "seed_lineage": seed_lineage(result.config.seed, all_shard_keys),
+    }

@@ -627,6 +627,51 @@ def ispscale_merge(
 
 
 # ---------------------------------------------------------------------------
+# provenance: record counts per stage product
+# ---------------------------------------------------------------------------
+
+def product_record_counts(stage: str, product: Any) -> Dict[str, int]:
+    """Named record counts of one stage's *merged* product.
+
+    Used by the provenance manifest to state, per stage, how many
+    records flowed in and out — e.g. the panel's visit/request/pdns-pair
+    totals or the geolocation table's address count.  A pure inspection
+    of the product: calling it never perturbs a run.
+    """
+    if stage == "panel":
+        return {
+            "visits": len(product["visits"]),
+            "requests": len(product["requests"]),
+            "pdns_pairs": len(product["pdns_pairs"]),
+        }
+    if stage == "classification":
+        return {"stages": len(product["stages"])}
+    if stage == "inventory":
+        return {"tracker_ips": len(product)}
+    if stage == "geolocation":
+        return {"addresses": len(product["table"])}
+    if stage == "confinement":
+        return {
+            "region_flows": int(product["regions"].total),
+            "eu28_country_flows": int(product["countries"].total),
+        }
+    if stage == "localization":
+        counts = product["counts"]
+        default = counts.get(LocalizationScenario.DEFAULT.name, (0, 0, 0))
+        return {"scenarios": len(counts), "default_flows": default[0]}
+    if stage == "sensitive_domains":
+        return {"identified_domains": len(product["identified"])}
+    if stage == "sensitive":
+        return {
+            "tracking_flows": product["n_tracking"],
+            "sensitive_flows": product["n_sensitive"],
+        }
+    if stage == "ispscale":
+        return {"snapshot_reports": len(product)}
+    raise ExecutionError(f"no record-count rule for stage {stage!r}")
+
+
+# ---------------------------------------------------------------------------
 # the graph
 # ---------------------------------------------------------------------------
 

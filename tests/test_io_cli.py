@@ -117,6 +117,21 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "42"])
 
+    def test_run_command_flags_exist(self, tmp_path):
+        # The flags the runtime/observability docs advertise must parse —
+        # this is the docs-drift tripwire for `repro run`.
+        args = build_parser().parse_args([
+            "--preset", "small", "run",
+            "--workers", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-out", str(tmp_path / "metrics.json"),
+            "--trace", str(tmp_path / "trace.json"),
+            "--json",
+        ])
+        assert args.workers == 4
+        assert args.trace == tmp_path / "trace.json"
+        assert args.cache_dir == tmp_path / "cache"
+
 
 class TestCLIReporting:
     def test_summary_command_outputs_json(self, capsys):

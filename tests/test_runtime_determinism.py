@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro import WorldConfig
+from repro.obs import TickClock, Tracer, validate_manifest
 from repro.runtime import run_study
 from repro.runtime.stages import STAGE_NAMES
 
@@ -93,6 +94,85 @@ class TestCacheReplayInvariance:
         assert (
             parallel_warm_run.cache_hits == parallel_cold_run.cache_misses
         )
+
+
+@pytest.fixture(scope="module")
+def traced_run(engine_config):
+    # A deterministic clock: the resulting spans are byte-stable, so
+    # this fixture doubles as the traced-vs-untraced comparison run and
+    # the manifest-content lock.
+    return run_study(engine_config, workers=1, tracer=Tracer(TickClock()))
+
+
+class TestObservabilityInvariance:
+    def test_traced_vs_untraced_identical(self, serial_run, traced_run):
+        # Tracing must be a pure observer: same study products whether
+        # or not a tracer recorded the run.
+        assert headline(serial_run) == headline(traced_run)
+
+    def test_registry_identical_1_vs_4_workers(
+        self, serial_run, parallel_cold_run
+    ):
+        # Timing lives only in spans, counters only count work — so the
+        # merged registry snapshot is exactly equal across worker
+        # counts.  (The uncached serial run and the cold cached run both
+        # miss every shard, so even the cache counters agree.)
+        assert (
+            serial_run.result.registry.to_dict()
+            == parallel_cold_run.result.registry.to_dict()
+        )
+
+    def test_shard_metrics_replay_from_cache(
+        self, parallel_cold_run, parallel_warm_run
+    ):
+        # The warm run executed zero shards, yet its registry carries
+        # the same shard-level metrics — replayed from cache envelopes.
+        # Only the runtime's own cache/executed counters may differ.
+        def non_runtime(snapshot):
+            return {
+                key: value
+                for key, value in snapshot.items()
+                if not key.startswith("runtime.")
+            }
+
+        assert non_runtime(
+            parallel_cold_run.result.registry.to_dict()
+        ) == non_runtime(parallel_warm_run.result.registry.to_dict())
+
+    def test_manifest_valid_with_all_stage_spans(self, traced_run):
+        manifest = traced_run.manifest
+        validate_manifest(manifest)
+        assert [s["stage"] for s in manifest["stages"]] == list(STAGE_NAMES)
+        span_names = {span["name"] for span in manifest["spans"]}
+        for stage in STAGE_NAMES:
+            assert f"stage:{stage}" in span_names
+        assert "run" in span_names and "world:build" in span_names
+
+    def test_manifest_record_counts_match_products(self, traced_run):
+        by_stage = {s["stage"]: s for s in traced_run.manifest["stages"]}
+        panel = traced_run.products["panel"]
+        assert by_stage["panel"]["records_out"] == {
+            "visits": len(panel["visits"]),
+            "requests": len(panel["requests"]),
+            "pdns_pairs": len(panel["pdns_pairs"]),
+        }
+        assert by_stage["classification"]["records_in"]["panel"] == (
+            by_stage["panel"]["records_out"]
+        )
+
+    def test_span_nesting_is_well_formed(self, traced_run):
+        spans = traced_run.manifest["spans"]
+        assert spans[0]["name"] == "run" and spans[0]["parent"] is None
+        for span in spans[1:]:
+            parent = spans[span["parent"]]
+            assert span["depth"] == parent["depth"] + 1
+            # TickClock stamps are strictly ordered, so every child
+            # opens at or after its parent and closes before it.
+            assert span["wall_s"] >= 0
+
+    def test_untraced_run_records_nothing(self, serial_run):
+        assert serial_run.trace_report() == "(tracing disabled)"
+        assert serial_run.result.tracer.rows() == []
 
 
 class TestHydratedStudyConsistency:
