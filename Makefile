@@ -11,10 +11,12 @@ install:
 test:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
 
-# reprolint: determinism / error-discipline / layering invariants.
-# See docs/linting.md.
+# reprolint: whole-program pass over every invariant family
+# (determinism, error discipline, layering, cache integrity, shard
+# purity, observability consistency) plus a dump of the import/call
+# graph the C4xx/P5xx/O6xx rules reason over.  See docs/linting.md.
 lint:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --graph-json build/program-graph.json
 
 bench:
 	@if $(PYTHON) -c "import pytest_benchmark" >/dev/null 2>&1; then \

@@ -28,6 +28,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 from repro.web.filterlists import FilterList
 from repro.web.requests import ThirdPartyRequest
 from repro.web.rtb import TRACKING_KEYWORDS
@@ -245,7 +246,7 @@ class RequestClassifier:
                 count = sum(1 for s in stages if s is stage)
                 if count:
                     obs_metrics.inc(
-                        "classify.flows", count, stage=stage.value
+                        obs_names.CLASSIFY_FLOWS, count, stage=stage.value
                     )
 
         return ClassificationResult(requests=list(requests), stages=stages)

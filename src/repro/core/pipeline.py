@@ -37,6 +37,7 @@ from repro.core.tracker_ips import TrackerIPInventory
 from repro.datasets.builder import BACKGROUND_END_DAY, World, build_world
 from repro.errors import PipelineError
 from repro.geodata.regions import Region
+from repro.obs import names as obs_names
 from repro.obs.trace import current_tracer
 from repro.web.browser import BrowserExtensionSimulator, VisitLog
 from repro.web.requests import ThirdPartyRequest
@@ -101,7 +102,7 @@ class Study:
             # Ambient spans (here and in the other lazy stages) go to
             # whatever tracer the caller installed; the default is the
             # no-op tracer, so the untraced path stays unchanged.
-            with current_tracer().span("study:panel"):
+            with current_tracer().span(obs_names.SPAN_STUDY_PANEL):
                 simulator = BrowserExtensionSimulator(
                     fleet=self.world.fleet,
                     publishers=self.world.publishers,
@@ -127,7 +128,7 @@ class Study:
         if self._classification is None:
             requests = self.visit_log.requests
             with current_tracer().span(
-                "study:classification", requests=len(requests)
+                obs_names.SPAN_STUDY_CLASSIFICATION, requests=len(requests)
             ):
                 self._classification = self.classifier.classify(requests)
         return self._classification
@@ -139,7 +140,7 @@ class Study:
     @property
     def inventory(self) -> TrackerIPInventory:
         if self._inventory is None:
-            with current_tracer().span("study:inventory"):
+            with current_tracer().span(obs_names.SPAN_STUDY_INVENTORY):
                 self._inventory = TrackerIPInventory.build(
                     tracking_requests=self.tracking_requests(),
                     pdns=self.world.pdns,
@@ -189,7 +190,7 @@ class Study:
     @property
     def sensitive(self) -> SensitiveStudy:
         if self._sensitive is None:
-            with current_tracer().span("study:sensitive"):
+            with current_tracer().span(obs_names.SPAN_STUDY_SENSITIVE):
                 study = SensitiveStudy(
                     publishers=self.world.publishers,
                     streams=self.world.streams,

@@ -21,6 +21,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.errors import DNSError
 from repro.netbase.addr import IPAddress
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 
 
 @dataclass(frozen=True)
@@ -61,11 +62,11 @@ class PassiveDNSDatabase:
         """Record one resolution of ``fqdn`` to ``address`` at time ``at``."""
         if not fqdn:
             raise DNSError("cannot observe an empty name")
-        obs_metrics.inc("pdns.observations")
+        obs_metrics.inc(obs_names.PDNS_OBSERVATIONS)
         key = (fqdn, address)
         entry = self._pairs.get(key)
         if entry is None:
-            obs_metrics.inc("pdns.pairs_new")
+            obs_metrics.inc(obs_names.PDNS_PAIRS_NEW)
             self._pairs[key] = [at, at, 1]
             self._forward.setdefault(fqdn, set()).add(address)
             self._reverse.setdefault(address, set()).add(fqdn)
@@ -106,7 +107,7 @@ class PassiveDNSDatabase:
         self, pairs: List[Tuple[str, IPAddress, float, float, int]]
     ) -> None:
         """Fold exported :meth:`pairs` tuples into this database."""
-        obs_metrics.inc("pdns.pairs_folded", len(pairs))
+        obs_metrics.inc(obs_names.PDNS_PAIRS_FOLDED, len(pairs))
         for fqdn, address, first, last, count in pairs:
             if not fqdn:
                 raise DNSError("cannot observe an empty name")

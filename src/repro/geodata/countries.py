@@ -213,7 +213,10 @@ _DEFAULT: Optional[CountryRegistry] = None
 
 def default_registry() -> CountryRegistry:
     """Return the process-wide default registry (immutable; built once)."""
-    global _DEFAULT
+    # An idempotent memo of immutable data built from a module constant:
+    # every process converges to the same registry, so shard outputs
+    # cannot depend on which worker built it first.
+    global _DEFAULT  # reprolint: disable=P501
     if _DEFAULT is None:
         _DEFAULT = CountryRegistry(Country(*row) for row in _COUNTRY_ROWS)
     return _DEFAULT

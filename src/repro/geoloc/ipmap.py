@@ -43,6 +43,7 @@ from repro.geoloc.probes import Probe, ProbeMesh
 from repro.geoloc.truth import GroundTruthOracle
 from repro.netbase.addr import IPAddress
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 from repro.util.rng import RngStreams, seeded_rng, spawn_rng
 
 
@@ -139,9 +140,9 @@ class IPmapEngine:
         """Country-level answer with the paper's majority acceptance rule."""
         estimate = self.geolocate(address)
         if estimate.country_agreement < self._config.country_majority:
-            obs_metrics.inc("ipmap.locate", verdict="rejected")
+            obs_metrics.inc(obs_names.IPMAP_LOCATE, verdict="rejected")
             return None
-        obs_metrics.inc("ipmap.locate", verdict="accepted")
+        obs_metrics.inc(obs_names.IPMAP_LOCATE, verdict="accepted")
         return estimate.country
 
     def bulk_geolocate(
@@ -222,9 +223,9 @@ class IPmapEngine:
         # Ambient campaign metrics (no-ops outside a collection scope):
         # the vote-margin histogram reproduces the paper's ">90% of
         # campaigns reach a country majority" observation per run.
-        obs_metrics.inc("ipmap.campaigns")
+        obs_metrics.inc(obs_names.IPMAP_CAMPAIGNS)
         obs_metrics.observe(
-            "ipmap.country_agreement",
+            obs_names.IPMAP_COUNTRY_AGREEMENT,
             winner_count / total if total else 0.0,
         )
         return GeolocationEstimate(

@@ -8,6 +8,7 @@ malformed baseline).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from pathlib import Path
@@ -64,6 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes or family prefixes (e.g. D,E201)",
     )
     parser.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="run only this rule code (repeatable; combines with --family)",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help=(
+            "run only rules whose code starts with this prefix, e.g. C4 "
+            "or P (repeatable; combines with --rule)"
+        ),
+    )
+    parser.add_argument(
+        "--graph-json",
+        metavar="OUT",
+        help=(
+            "also write the whole-program import/call graph as JSON to "
+            "OUT ('-' for stdout)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
@@ -81,9 +107,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     selectors = [token for token in args.select.split(",") if token.strip()]
+    selectors.extend(token for token in args.rule if token.strip())
+    selectors.extend(token for token in args.family if token.strip())
     rules = select_rules(selectors) if selectors else all_rules()
     if selectors and not rules:
-        print(f"error: no rules match selector {args.select!r}", file=sys.stderr)
+        shown = ",".join(selectors)
+        print(f"error: no rules match selector {shown!r}", file=sys.stderr)
         return 2
 
     paths: List[Path] = []
@@ -96,6 +125,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     result = run_lint(paths, rules=rules)
     baseline_path = Path(args.baseline)
+
+    if args.graph_json and result.project is not None:
+        graph = result.project.program_model().graph_json()
+        payload = json.dumps(graph, indent=2, sort_keys=True)
+        if args.graph_json == "-":
+            print(payload)
+        else:
+            out = Path(args.graph_json)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(payload + "\n", encoding="utf-8")
 
     if args.write_baseline:
         baseline_mod.write_baseline(baseline_path, result.findings)

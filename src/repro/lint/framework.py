@@ -171,6 +171,15 @@ class ProjectContext:
     def context_for_module(self, module: str) -> Optional[FileContext]:
         return self.modules.get(module)
 
+    def program_model(self):
+        """The whole-program model of this project, built on first use
+        and shared by every rule (see :mod:`repro.lint.program`)."""
+        # Imported here: program.py builds on the framework's contexts,
+        # so the module-level dependency points the other way.
+        from repro.lint.program import program_model_for
+
+        return program_model_for(self)
+
 
 class Rule:
     """Base class for reprolint rules.  Subclasses set ``code`` (e.g.
@@ -204,7 +213,14 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 def load_builtin_rules() -> None:
     """Import the rule modules for their registration side effects."""
-    from repro.lint import rules_determinism, rules_errors, rules_layering  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        rules_cache,
+        rules_determinism,
+        rules_errors,
+        rules_layering,
+        rules_obs,
+        rules_purity,
+    )
 
 
 def all_rules() -> List[Rule]:
@@ -258,6 +274,9 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 class LintResult:
     findings: List[Finding]
     files_checked: int
+    #: the project the run analyzed — lets callers (the CLI's
+    #: ``--graph-json``) reuse the already-built program model
+    project: Optional[ProjectContext] = None
 
     @property
     def ok(self) -> bool:
@@ -303,4 +322,6 @@ def run_lint(
     # Finding equality is (path, line, col, rule): collapse duplicates a
     # rule may emit when scopes overlap.
     findings = sorted(set(findings))
-    return LintResult(findings=findings, files_checked=files_checked)
+    return LintResult(
+        findings=findings, files_checked=files_checked, project=project
+    )

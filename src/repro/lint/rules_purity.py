@@ -1,0 +1,198 @@
+"""P-rules: shard purity.
+
+A stage's ``run`` executes once per shard, possibly in worker
+subprocesses, possibly not at all (cache hit).  Its output must
+therefore be a pure function of ``(world, products, payload)``: any
+module-level state it writes would differ between worker layouts, and
+any ambient read (environment, wall clock) would differ between hosts —
+both break the warm-run-equals-cold-run guarantee the paper's tables
+rest on.
+
+The rules walk the program model's call graph from every discovered
+stage's ``run`` seed, so purity is enforced across module boundaries —
+a helper three calls deep in ``core/`` is held to the same standard as
+the stage body itself:
+
+* **P501** — ``global`` statements (module-global rebinding);
+* **P502** — mutation of module-level containers (mutator method
+  calls, subscript or augmented assignment on module-level names);
+* **P503** — environment / wall-clock reads (``os.environ``,
+  ``time.time``, ``datetime.now``, ...) anywhere on a run path, even in
+  packages the D103 per-file rule does not patrol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ProjectContext, Rule, register
+from repro.lint.program import FunctionInfo, FunctionRef, ProgramModel
+from repro.lint.rules_determinism import WALL_CLOCK_SUFFIXES
+
+#: method names that mutate the container they are called on
+MUTATOR_METHODS = {
+    "append", "add", "update", "extend", "setdefault", "pop", "popitem",
+    "clear", "remove", "discard", "insert", "sort", "reverse",
+}
+
+
+def _run_reachable(
+    model: ProgramModel,
+) -> Dict[FunctionRef, List[str]]:
+    """Every function reachable from any stage's ``run`` seed, mapped to
+    the sorted stage names that reach it."""
+    reached: Dict[FunctionRef, Set[str]] = {}
+    for decl in model.discover_stages():
+        run_seed = decl.seeds.get("run")
+        if run_seed is None:
+            continue
+        for ref in model.reachable([run_seed]).functions:
+            reached.setdefault(ref, set()).add(decl.name)
+    return {ref: sorted(stages) for ref, stages in reached.items()}
+
+
+class _RunPathRule(Rule):
+    """Shared driver: visit every function on a run path exactly once."""
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        model = project.program_model()
+        for ref, stages in sorted(_run_reachable(model).items()):
+            fn = model.function(ref)
+            assert fn is not None
+            info = model.modules[ref[0]]
+            ctx = project.context_for_module(ref[0])
+            if ctx is None:
+                continue
+            via = ", ".join(stages)
+            for node, message in self._check_function(model, info, fn):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{message} [in {fn.qualname}, on the run path of: "
+                    f"{via}]",
+                )
+
+    def _check_function(
+        self, model: ProgramModel, info, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        return iter(())
+
+
+@register
+class RunGlobalAssignRule(_RunPathRule):
+    """P501 — no ``global`` rebinding on a shard run path."""
+
+    code = "P501"
+    name = "run-global-assign"
+    description = (
+        "global statement in code reachable from a stage's run: shard "
+        "output must not depend on module state"
+    )
+
+    def _check_function(
+        self, model: ProgramModel, info, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                yield node, (
+                    f"'global {names}' rebinds module state from shard "
+                    "run code; pass state through the payload or return "
+                    "value"
+                )
+
+
+@register
+class RunModuleMutationRule(_RunPathRule):
+    """P502 — no mutation of module-level containers on a run path."""
+
+    code = "P502"
+    name = "run-module-mutation"
+    description = (
+        "mutation of a module-level container (mutator call, subscript "
+        "or augmented assignment) in code reachable from a stage's run"
+    )
+
+    def _check_function(
+        self, model: ProgramModel, info, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        module_level = set(info.constant_nodes)
+        local = model.local_names(fn.node)
+
+        def is_module_name(expr: ast.expr) -> bool:
+            return (
+                isinstance(expr, ast.Name)
+                and expr.id in module_level
+                and expr.id not in local
+            )
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and is_module_name(func.value)
+                ):
+                    yield node, (
+                        f"{func.value.id}.{func.attr}(...) mutates a "
+                        "module-level container from shard run code"
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and is_module_name(
+                        target.value
+                    ):
+                        yield node, (
+                            f"subscript assignment into module-level "
+                            f"'{target.value.id}' from shard run code"
+                        )
+                    elif isinstance(
+                        node, ast.AugAssign
+                    ) and is_module_name(target):
+                        yield node, (
+                            f"augmented assignment to module-level "
+                            f"'{target.id}' from shard run code"
+                        )
+
+
+@register
+class RunAmbientReadRule(_RunPathRule):
+    """P503 — no environment or wall-clock reads on a run path."""
+
+    code = "P503"
+    name = "run-ambient-read"
+    description = (
+        "os.environ / time.* / datetime.now read in code reachable "
+        "from a stage's run: shard output must not depend on the host"
+    )
+
+    def _check_function(
+        self, model: ProgramModel, info, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        ctx = info.ctx
+        reported: Set[Tuple[int, int]] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            name = ctx.dotted_name(node)
+            if name is None:
+                continue
+            parts = tuple(name.split("."))
+            if len(parts) < 2 or parts[-2:] not in WALL_CLOCK_SUFFIXES:
+                continue
+            key = (node.lineno, node.col_offset)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield node, (
+                f"{name} reads ambient host state from shard run code; "
+                "thread it through config or the world instead"
+            )

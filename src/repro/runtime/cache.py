@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
 
 _DIGEST_BYTES = 20
 
@@ -64,22 +65,43 @@ def _callable_source(fn: Any) -> str:
         return getattr(fn, "__qualname__", repr(fn))
 
 
-def stage_code_salt(spec: Any) -> str:
-    """Salt for one stage's own code: plan/run/merge source + version."""
-    return _blake(
+def stage_code_salt(spec: Any, module_footprint_salt: str = "") -> str:
+    """Salt for one stage's own code: plan/run/merge source + version.
+
+    ``module_footprint_salt`` folds in the digest of every module the
+    stage's code can transitively reach (see
+    :mod:`repro.runtime.footprint`): editing a helper in e.g.
+    ``core/classify.py`` then changes the salt even though the stage's
+    own plan/run/merge source is untouched — the stale-cache hazard the
+    C401 lint rule guards statically is thereby closed at runtime too.
+    An empty footprint salt reproduces the PR-3 salt exactly, so
+    footprint-less callers (unit tests over synthetic specs) stay
+    valid.
+    """
+    parts = [
         spec.name,
         spec.version,
         _callable_source(spec.plan),
         _callable_source(spec.run),
         _callable_source(spec.merge),
-    )
+    ]
+    if module_footprint_salt:
+        parts.append(module_footprint_salt)
+    return _blake(*parts)
 
 
-def effective_salts(graph: Any) -> Dict[str, str]:
-    """Fold each stage's code salt with its dependencies' effective salts."""
+def effective_salts(
+    graph: Any, footprints: Optional[Dict[str, str]] = None
+) -> Dict[str, str]:
+    """Fold each stage's code salt with its dependencies' effective salts.
+
+    ``footprints`` optionally maps stage names to module-footprint salts
+    (missing stages fold an empty footprint).
+    """
     salts: Dict[str, str] = {}
     for spec in graph.stages:
-        own = stage_code_salt(spec)
+        footprint = footprints.get(spec.name, "") if footprints else ""
+        own = stage_code_salt(spec, footprint)
         dep_salts = [salts[dep] for dep in spec.inputs]
         salts[spec.name] = _blake(own, *dep_salts)
     return salts
@@ -133,7 +155,7 @@ class ArtifactCache:
             # scope) and fires only on genuinely damaged files, so it
             # never perturbs the worker-count-invariance of a healthy
             # run's registry.
-            obs_metrics.inc("runtime.cache.corrupt", stage=stage)
+            obs_metrics.inc(obs_names.RUNTIME_CACHE_CORRUPT, stage=stage)
             self.misses += 1
             return False, None
         self.hits += 1

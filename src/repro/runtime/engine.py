@@ -42,11 +42,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import WorldConfig
 from repro.datasets.builder import World, cached_build_world
+from repro.obs import names as obs_names
 from repro.obs.manifest import write_manifest
 from repro.obs.metrics import MetricsRegistry, collecting
 from repro.obs.trace import NULL_TRACER, Tracer, tracing
 from repro.runtime.cache import ArtifactCache, config_digest, effective_salts
 from repro.runtime.executor import ShardExecutor
+from repro.runtime.footprint import footprint_salts, stage_footprints
 from repro.runtime.graph import StageGraph
 from repro.runtime.provenance import build_manifest
 from repro.runtime.stages import STAGE_GRAPH, product_record_counts
@@ -120,12 +122,14 @@ class RunResult:
         over the per-stage ``runtime.cache.hits`` counters) — callers
         must not re-sum per-stage numbers themselves.
         """
-        return int(self.registry.sum_counters("runtime.cache.hits"))
+        return int(self.registry.sum_counters(obs_names.RUNTIME_CACHE_HITS))
 
     @property
     def cache_misses(self) -> int:
         """Run-total cache misses (see :attr:`cache_hits`)."""
-        return int(self.registry.sum_counters("runtime.cache.misses"))
+        return int(
+            self.registry.sum_counters(obs_names.RUNTIME_CACHE_MISSES)
+        )
 
     def metrics_rows(self) -> List[Dict[str, Any]]:
         """Per-stage counters as plain rows (for reports and JSON export)."""
@@ -173,7 +177,16 @@ class ExecutionEngine:
         self.graph = graph if graph is not None else STAGE_GRAPH
         self.executor = ShardExecutor(workers)
         self.cache = ArtifactCache(cache_dir)
-        self._salts = effective_salts(self.graph)
+        # Module footprints close the stale-cache hazard: a stage's salt
+        # folds the digest of every module its code can transitively
+        # reach, so editing a helper (core/classify.py, ...) invalidates
+        # exactly the stages that can execute it.  The underlying
+        # program model is memoized per process; stages whose callables
+        # the model cannot see (ad-hoc test graphs) fold no footprint.
+        self._footprints = stage_footprints(self.graph)
+        self._salts = effective_salts(
+            self.graph, footprint_salts(self._footprints)
+        )
 
     @property
     def workers(self) -> int:
@@ -205,7 +218,7 @@ class ExecutionEngine:
         )
         with tracing(tracer):
             with tracer.span(
-                "run", digest=digest[:12], workers=self.workers
+                obs_names.SPAN_RUN, digest=digest[:12], workers=self.workers
             ):
                 build_start = time.perf_counter()
                 # World construction stays OUTSIDE the collection scope
@@ -213,7 +226,7 @@ class ExecutionEngine:
                 # so its instrumented internals fire on the first run
                 # and not on later ones — collecting them would make
                 # otherwise-identical runs disagree on their registries.
-                with tracer.span("world:build"):
+                with tracer.span(obs_names.SPAN_WORLD_BUILD):
                     world = cached_build_world(config)
                 result.world_build_s = time.perf_counter() - build_start
                 # The ambient scope makes engine-side instrumentation
@@ -226,7 +239,9 @@ class ExecutionEngine:
                             name, world, digest, result.products, tracer,
                             registry,
                         )
-        result.manifest = build_manifest(result, digest, self._salts)
+        result.manifest = build_manifest(
+            result, digest, self._salts, self._footprints
+        )
         if self.cache.enabled:
             write_manifest(
                 result.manifest,
@@ -251,7 +266,7 @@ class ExecutionEngine:
         }
         start = time.perf_counter()
         with tracer.span(f"stage:{name}") as stage_span:
-            with tracer.span("plan", stage=name):
+            with tracer.span(obs_names.SPAN_PLAN, stage=name):
                 shards = spec.plan(world, products)
             metrics.n_shards = len(shards)
             metrics.shard_keys = [shard_key for shard_key, _ in shards]
@@ -268,7 +283,7 @@ class ExecutionEngine:
             snapshots: Dict[str, Dict[str, Any]] = {}
             cached: Dict[str, Any] = {}
             pending: List[Tuple[str, Any]] = []
-            with tracer.span("cache:probe", stage=name):
+            with tracer.span(obs_names.SPAN_CACHE_PROBE, stage=name):
                 for shard_key, payload in shards:
                     hit, obj = self.cache.load(name, keys[shard_key])
                     if hit:
@@ -280,7 +295,9 @@ class ExecutionEngine:
                         pending.append((shard_key, payload))
                         metrics.cache_misses += 1
 
-            with tracer.span("execute", stage=name, shards=len(pending)):
+            with tracer.span(
+                obs_names.SPAN_EXECUTE, stage=name, shards=len(pending)
+            ):
                 fresh: Dict[str, Any] = {}
                 for shard_key, (artifact, snapshot) in self.executor.execute(
                     spec, world, products, pending
@@ -293,18 +310,18 @@ class ExecutionEngine:
                         _wrap_envelope(artifact, snapshot),
                     )
 
-            registry.counter("runtime.shards.planned", stage=name).inc(
-                metrics.n_shards
-            )
-            registry.counter("runtime.shards.executed", stage=name).inc(
-                len(pending)
-            )
-            registry.counter("runtime.cache.hits", stage=name).inc(
-                metrics.cache_hits
-            )
-            registry.counter("runtime.cache.misses", stage=name).inc(
-                metrics.cache_misses
-            )
+            registry.counter(
+                obs_names.RUNTIME_SHARDS_PLANNED, stage=name
+            ).inc(metrics.n_shards)
+            registry.counter(
+                obs_names.RUNTIME_SHARDS_EXECUTED, stage=name
+            ).inc(len(pending))
+            registry.counter(
+                obs_names.RUNTIME_CACHE_HITS, stage=name
+            ).inc(metrics.cache_hits)
+            registry.counter(
+                obs_names.RUNTIME_CACHE_MISSES, stage=name
+            ).inc(metrics.cache_misses)
             # Fold shard snapshots in plan order — NOT completion order —
             # so the merged registry is invariant to worker count.
             for shard_key, _ in shards:
@@ -320,7 +337,7 @@ class ExecutionEngine:
                 )
                 for shard_key, _ in shards
             ]
-            with tracer.span("merge", stage=name):
+            with tracer.span(obs_names.SPAN_MERGE, stage=name):
                 products[name] = spec.merge(world, products, ordered)
             metrics.records_out = product_record_counts(name, products[name])
             stage_span.attrs.update(

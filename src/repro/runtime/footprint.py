@@ -1,0 +1,83 @@
+"""Module-footprint salts: the lint analyzer's view, folded into cache keys.
+
+:func:`repro.runtime.cache.stage_code_salt` hashes a stage's own
+plan/run/merge source — but those callables reach helpers across the
+tree (``core/classify.py``, ``geoloc/ipmap.py``, …), and editing a
+helper must invalidate the cached artifacts of exactly the stages that
+can execute it.  This module computes that *footprint* from the same
+:class:`~repro.lint.program.ProgramModel` the C4xx lint rules use, so
+the invariant checked statically ("every reachable module is folded
+into the salt") is by construction the quantity enforced at runtime.
+
+The model is built once per process per source root (about half a
+second for the full tree) and memoized; stages whose callables the
+model cannot see — lambdas, closures, functions defined outside the
+analyzed root, as in synthetic unit-test graphs — simply get no
+footprint, which folds as the empty salt and reproduces the
+pre-footprint cache keys.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.lint.program import Footprint, ProgramModel
+
+#: process-wide model memo, keyed by resolved source root
+_MODELS: Dict[str, ProgramModel] = {}
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package tree (…/src/repro)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def program_model(root: Optional[Path] = None) -> ProgramModel:
+    """The (memoized) program model of one source root."""
+    resolved = (root or default_root()).resolve()
+    key = str(resolved)
+    model = _MODELS.get(key)
+    if model is None:
+        model = ProgramModel.from_paths([resolved], root=resolved.parent)
+        _MODELS[key] = model
+    return model
+
+
+def stage_footprints(
+    graph: Any, root: Optional[Path] = None
+) -> Dict[str, Footprint]:
+    """Per-stage footprints for a live :class:`StageGraph`.
+
+    Seeds come from the spec's actual function objects
+    (``__module__``/``__qualname__``), not from static stage discovery,
+    so any graph whose callables live inside the analyzed root gets a
+    footprint — including test graphs assembled ad hoc.  A stage is
+    footprinted only when *all three* callables resolve into the model;
+    a partial footprint would claim coverage it does not have.
+    """
+    model = program_model(root)
+    footprints: Dict[str, Footprint] = {}
+    for spec in graph.stages:
+        seeds = []
+        for fn in (spec.plan, spec.run, spec.merge):
+            module = getattr(fn, "__module__", None)
+            qualname = getattr(fn, "__qualname__", None)
+            if (
+                not module
+                or not qualname
+                or "<locals>" in qualname
+                or module not in model.modules
+                or model.function((module, qualname)) is None
+            ):
+                seeds = []
+                break
+            seeds.append((module, qualname))
+        if seeds:
+            footprints[spec.name] = model.footprint(sorted(set(seeds)))
+    return footprints
+
+
+def footprint_salts(footprints: Dict[str, Footprint]) -> Dict[str, str]:
+    """Just the salt strings, shaped for :func:`effective_salts`."""
+    return {name: fp.salt for name, fp in footprints.items()}

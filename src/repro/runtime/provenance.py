@@ -17,7 +17,7 @@ number?" answerable after the fact.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.obs.manifest import MANIFEST_SCHEMA
 from repro.util.rng import derive_seed
@@ -38,12 +38,21 @@ def seed_lineage(seed: int, shard_keys: List[str]) -> Dict[str, Any]:
     return {"seed": seed, "streams": streams}
 
 
-def build_manifest(result: Any, digest: str, salts: Dict[str, str]) -> Dict[str, Any]:
+def build_manifest(
+    result: Any,
+    digest: str,
+    salts: Dict[str, str],
+    footprints: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
     """Assemble a v1 manifest from a finished :class:`RunResult`.
 
     ``result`` carries the merged registry, the tracer and the per-stage
     :class:`StageMetrics`; ``digest``/``salts`` are the cache identity
-    the run executed under.  The output validates against
+    the run executed under.  ``footprints`` optionally maps stage names
+    to :class:`~repro.lint.program.Footprint` records; when present the
+    manifest gains a ``footprints`` section recording which modules each
+    stage's salt covered — the v1 schema is open, so manifests without
+    it stay valid.  The output validates against
     :func:`repro.obs.manifest.validate_manifest` by construction.
     """
     stages: List[Dict[str, Any]] = []
@@ -60,7 +69,7 @@ def build_manifest(result: Any, digest: str, salts: Dict[str, str]) -> Dict[str,
             "records_in": dict(metrics.records_in),
             "records_out": dict(metrics.records_out),
         })
-    return {
+    manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "config": {
             "digest": digest,
@@ -77,3 +86,14 @@ def build_manifest(result: Any, digest: str, salts: Dict[str, str]) -> Dict[str,
         "spans": result.tracer.rows(),
         "seed_lineage": seed_lineage(result.config.seed, all_shard_keys),
     }
+    if footprints:
+        manifest["footprints"] = {
+            name: {
+                "salt": fp.salt,
+                "stage_modules": list(fp.stage_modules),
+                "modules": list(fp.modules),
+                "exempted": list(fp.exempted),
+            }
+            for name, fp in sorted(footprints.items())
+        }
+    return manifest

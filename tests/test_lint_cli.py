@@ -160,3 +160,60 @@ def test_baseline_roundtrip_api(tmp_path):
 
 def test_missing_baseline_file_is_empty(tmp_path):
     assert load_baseline(tmp_path / "absent.json") == {}
+
+
+# ---------------------------------------------------------------------------
+# --rule / --family / --graph-json
+# ---------------------------------------------------------------------------
+
+
+def test_rule_flag_restricts_to_single_code(project, capsys):
+    write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--rule", "E201", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "E201" in out
+    assert "D101" not in out
+
+
+def test_family_flag_selects_prefix(project, capsys):
+    write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--family", "D", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out
+    assert "E201" not in out
+
+
+def test_rule_and_family_flags_combine(project, capsys):
+    write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--family", "D", "--rule", "E201",
+                 "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out
+    assert "E201" in out
+
+
+def test_family_flag_unknown_prefix_is_usage_error(project, capsys):
+    write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--family", "Z9"]) == 2
+    assert "no rules match" in capsys.readouterr().err
+
+
+def test_graph_json_writes_program_graph(project, capsys):
+    write(project, "pkg/__init__.py", "")
+    write(project, "pkg/clean.py", CLEAN)
+    assert main(["pkg", "--graph-json", "graph.json"]) == 0
+    graph = json.loads((project / "graph.json").read_text())
+    assert graph["schema"] == "repro.lint/program-graph/v1"
+    assert "pkg.clean" in graph["modules"]
+    assert "pkg.clean:f" in graph["functions"]
+
+
+def test_graph_json_to_stdout(project, capsys):
+    write(project, "pkg/__init__.py", "")
+    write(project, "pkg/clean.py", CLEAN)
+    assert main(["pkg", "--graph-json", "-"]) == 0
+    out = capsys.readouterr().out
+    payload = out[: out.rindex("}") + 1]
+    start = payload.index("{")
+    graph = json.loads(payload[start:])
+    assert graph["schema"] == "repro.lint/program-graph/v1"

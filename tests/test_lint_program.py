@@ -1,0 +1,470 @@
+"""Unit tests for the whole-program model (repro.lint.program).
+
+Fixture trees are synthetic packages written to tmp_path; every test
+builds a real :class:`ProgramModel` from the filesystem, so the module
+index, import resolution, call graph, reachability and footprint logic
+are exercised end to end.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+from repro.lint.program import (
+    ProgramModel,
+    node_source,
+    resolve_relative_import,
+)
+
+
+def build_model(tmp_path: Path, files: Dict[str, str]) -> ProgramModel:
+    """Write ``files`` (relpath -> source) and model the tree."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        parent = path.parent
+        while parent != tmp_path.parent and parent != parent.parent:
+            init = parent / "__init__.py"
+            if parent == tmp_path:
+                break
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    return ProgramModel.from_paths([tmp_path], root=tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# import resolution
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_relative_import_module_and_package():
+    assert resolve_relative_import("pkg.sub.mod", False, 1, "other") == (
+        "pkg.sub.other"
+    )
+    assert resolve_relative_import("pkg.sub.mod", False, 2, "x") == "pkg.x"
+    # a package counts as its own base: `from . import x` in
+    # pkg/sub/__init__.py is pkg.sub.x
+    assert resolve_relative_import("pkg.sub", True, 1, "x") == "pkg.sub.x"
+    # over-deep relativity degrades to None, never raises
+    assert resolve_relative_import("pkg", False, 5, "x") is None
+
+
+def test_relative_imports_resolve_to_edges(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/a.py": """
+            from . import b
+            from .sub import c
+        """,
+        "pkg/b.py": "X = 1\n",
+        "pkg/sub/c.py": "Y = 2\n",
+    })
+    info = model.modules["pkg.a"]
+    assert "pkg.b" in info.imports_toplevel
+    assert "pkg.sub.c" in info.imports_toplevel
+
+
+def test_from_import_alias_binds_origin_symbol(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/helpers.py": """
+            def work():
+                return 1
+        """,
+        "pkg/main.py": """
+            from pkg.helpers import work as w
+
+            def caller():
+                return w()
+        """,
+    })
+    fn = model.function(("pkg.main", "caller"))
+    callees = [c.callee for c in fn.calls]
+    assert callees[0].kind == "function"
+    assert (callees[0].module, callees[0].qualname) == ("pkg.helpers", "work")
+
+
+def test_import_cycle_does_not_hang(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/a.py": """
+            import pkg.b
+
+            def fa():
+                return pkg.b.fb()
+        """,
+        "pkg/b.py": """
+            import pkg.a
+
+            def fb():
+                return pkg.a.fa()
+        """,
+    })
+    reached, unresolved = model.transitive_imports("pkg.a")
+    assert "pkg.b" in reached
+    assert not unresolved
+    # the call graph closure over the cycle terminates too
+    reach = model.reachable([("pkg.a", "fa")])
+    assert ("pkg.b", "fb") in reach.functions
+    assert ("pkg.a", "fa") in reach.functions
+
+
+def test_missing_repro_import_is_recorded(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/a.py": """
+            from repro.nowhere import thing
+        """,
+    })
+    assert "repro.nowhere" in model.modules["pkg.a"].missing_imports
+
+
+# ---------------------------------------------------------------------------
+# call resolution
+# ---------------------------------------------------------------------------
+
+
+def test_module_attr_call_resolves(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/util.py": """
+            def helper():
+                return 1
+        """,
+        "pkg/main.py": """
+            from pkg import util
+
+            def go():
+                return util.helper()
+        """,
+    })
+    fn = model.function(("pkg.main", "go"))
+    callee = fn.calls[0].callee
+    assert callee.kind == "function"
+    assert (callee.module, callee.qualname) == ("pkg.util", "helper")
+
+
+def test_constructed_local_method_dispatch(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/svc.py": """
+            class Service:
+                def ping(self):
+                    return self.pong()
+
+                def pong(self):
+                    return 1
+        """,
+        "pkg/main.py": """
+            from pkg.svc import Service
+
+            def go():
+                s = Service()
+                return s.ping()
+        """,
+    })
+    fn = model.function(("pkg.main", "go"))
+    kinds = {(c.callee.kind, c.callee.qualname) for c in fn.calls}
+    assert ("class", "Service") in kinds
+    assert ("function", "Service.ping") in kinds
+    # self.pong() inside ping resolves through self-dispatch
+    ping = model.function(("pkg.svc", "Service.ping"))
+    assert ping.calls[0].callee.qualname == "Service.pong"
+
+
+def test_return_annotation_infers_local_type(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/svc.py": """
+            class Engine:
+                def start(self):
+                    return 1
+
+            def make_engine() -> Engine:
+                return Engine()
+        """,
+        "pkg/main.py": """
+            from pkg.svc import make_engine
+
+            def go():
+                engine = make_engine()
+                return engine.start()
+        """,
+    })
+    fn = model.function(("pkg.main", "go"))
+    resolved = {c.callee.qualname for c in fn.calls}
+    assert "Engine.start" in resolved
+
+
+def test_base_class_method_lookup(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/svc.py": """
+            class Base:
+                def shared(self):
+                    return 1
+
+            class Child(Base):
+                def own(self):
+                    return self.shared()
+        """,
+    })
+    own = model.function(("pkg.svc", "Child.own"))
+    callee = own.calls[0].callee
+    assert callee.kind == "function"
+    assert callee.qualname == "Base.shared"
+
+
+def test_dynamic_calls_degrade_to_unknown(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/main.py": """
+            def go(factory, table):
+                factory()()
+                table["key"]()
+                x = unknown_name
+                return x.method()
+        """,
+    })
+    fn = model.function(("pkg.main", "go"))
+    assert fn.calls, "calls must still be recorded"
+    assert {c.callee.kind for c in fn.calls} == {"unknown"}
+
+
+def test_reached_class_reaches_all_methods(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/svc.py": """
+            class Thing:
+                def a(self):
+                    return 1
+
+                def b(self):
+                    return 2
+        """,
+        "pkg/main.py": """
+            from pkg.svc import Thing
+
+            def go():
+                return Thing()
+        """,
+    })
+    reach = model.reachable([("pkg.main", "go")])
+    qualnames = {qualname for _, qualname in reach.functions}
+    # constructing Thing conservatively reaches every method
+    assert {"Thing.a", "Thing.b"} <= qualnames
+    assert ("pkg.svc", "Thing") in reach.classes
+
+
+def test_reachability_parents_give_path(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/main.py": """
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+        """,
+    })
+    reach = model.reachable([("pkg.main", "a")])
+    assert reach.path_to(("pkg.main", "c")) == ["a", "b", "c"]
+
+
+# ---------------------------------------------------------------------------
+# footprints
+# ---------------------------------------------------------------------------
+
+
+def _stage_tree() -> Dict[str, str]:
+    return {
+        "pkg/stages.py": """
+            from pkg import work
+
+            def plan(world, products):
+                return [("s0", None)]
+
+            def run(world, products, payload):
+                return work.crunch()
+
+            def merge(world, products, shards):
+                return shards
+
+            def unrelated():
+                return 0
+        """,
+        "pkg/work.py": """
+            from pkg import deep
+
+            def crunch():
+                return deep.core()
+        """,
+        "pkg/deep.py": """
+            def core():
+                return 1
+        """,
+        "pkg/island.py": """
+            def lonely():
+                return 2
+        """,
+    }
+
+
+def test_footprint_covers_transitive_modules(tmp_path):
+    model = build_model(tmp_path, _stage_tree())
+    seeds = [("pkg.stages", "plan"), ("pkg.stages", "run"),
+             ("pkg.stages", "merge")]
+    fp = model.footprint(seeds)
+    assert fp.stage_modules == ("pkg.stages",)
+    assert "pkg.work" in fp.modules
+    assert "pkg.deep" in fp.modules  # via pkg.work's import closure
+    assert "pkg.island" not in fp.modules
+    assert not fp.missing
+
+
+def test_footprint_changes_on_cross_module_helper_edit(tmp_path):
+    files = _stage_tree()
+    before = build_model(tmp_path / "v1", files)
+    files["pkg/deep.py"] = """
+        def core():
+            return 99  # changed helper body
+    """
+    after = build_model(tmp_path / "v2", files)
+    seeds = [("pkg.stages", "run")]
+    assert before.footprint(seeds).salt != after.footprint(seeds).salt
+
+
+def test_footprint_ignores_unrelated_sibling_edit(tmp_path):
+    files = _stage_tree()
+    before = build_model(tmp_path / "v1", files)
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "return 0", "return 123"
+    )
+    after = build_model(tmp_path / "v2", files)
+    seeds = [("pkg.stages", "plan"), ("pkg.stages", "run"),
+             ("pkg.stages", "merge")]
+    # `unrelated` is in the stage module but not reachable from the
+    # seeds: per-definition granularity keeps the salt stable.
+    assert before.footprint(seeds).salt == after.footprint(seeds).salt
+
+
+def test_footprint_exempt_pragma(tmp_path):
+    files = _stage_tree()
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "from pkg import work",
+        "from pkg import work  # reprolint: footprint-exempt",
+    )
+    model = build_model(tmp_path, files)
+    fp = model.footprint([("pkg.stages", "run")])
+    assert "pkg.work" in fp.exempted
+    assert "pkg.work" not in fp.modules
+
+
+def test_footprint_reports_missing_repro_modules(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/stages.py": """
+            import repro.not_there
+
+            def run(world, products, payload):
+                return repro.not_there.helper()
+        """,
+    })
+    fp = model.footprint([("pkg.stages", "run")])
+    assert any("repro.not_there" in name for name in fp.missing)
+
+
+# ---------------------------------------------------------------------------
+# stage discovery / constants / export
+# ---------------------------------------------------------------------------
+
+
+def test_discover_stages_resolves_seeds_and_version(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/graph.py": """
+            class StageSpec:
+                def __init__(self, **kw):
+                    pass
+        """,
+        "pkg/stages.py": """
+            from pkg.graph import StageSpec
+
+            def _plan(world, products):
+                return []
+
+            def _run(world, products, payload):
+                return None
+
+            def _merge(world, products, shards):
+                return None
+
+            SPEC = StageSpec(
+                name="alpha", version="3", plan=_plan, run=_run,
+                merge=_merge,
+            )
+            BAD = StageSpec(
+                name="beta", plan=lambda w, p: [], run=_run, merge=_merge,
+            )
+        """,
+    })
+    decls = {decl.name: decl for decl in model.discover_stages()}
+    alpha = decls["alpha"]
+    assert alpha.version == "3" and alpha.version_explicit
+    assert set(alpha.seeds) == {"plan", "run", "merge"}
+    assert alpha.seeds["run"] == ("pkg.stages", "_run")
+    beta = decls["beta"]
+    assert not beta.version_explicit and beta.version == "1"
+    assert [role for role, _ in beta.unresolved] == ["plan"]
+
+
+def test_resolve_string_through_constants(tmp_path):
+    import ast
+
+    model = build_model(tmp_path, {
+        "pkg/names.py": 'NAME = "metric.one"\n',
+        "pkg/main.py": """
+            from pkg import names
+            from pkg.names import NAME as LOCAL
+        """,
+    })
+    info = model.modules["pkg.main"]
+    attr = ast.parse("names.NAME", mode="eval").body
+    assert model.resolve_string(info, attr) == "metric.one"
+    name = ast.parse("LOCAL", mode="eval").body
+    assert model.resolve_string(info, name) == "metric.one"
+    dynamic = ast.parse("some_variable", mode="eval").body
+    assert model.resolve_string(info, dynamic) is None
+
+
+def test_static_prefix_of_fstring():
+    import ast
+
+    literal = ast.parse('"stage:fixed"', mode="eval").body
+    assert ProgramModel.static_prefix(literal) == "stage:fixed"
+    joined = ast.parse('f"stage:{name}"', mode="eval").body
+    assert ProgramModel.static_prefix(joined) == "stage:"
+    call = ast.parse("make_name()", mode="eval").body
+    assert ProgramModel.static_prefix(call) is None
+
+
+def test_node_source_slices_definition(tmp_path):
+    model = build_model(tmp_path, {
+        "pkg/mod.py": """
+            import functools
+
+            @functools.lru_cache()
+            def decorated():
+                return 1
+        """,
+    })
+    fn = model.function(("pkg.mod", "decorated"))
+    assert fn.source.startswith("@functools.lru_cache()")
+    assert fn.source.rstrip().endswith("return 1")
+
+
+def test_graph_json_shape(tmp_path):
+    model = build_model(tmp_path, _stage_tree())
+    graph = model.graph_json()
+    assert graph["schema"] == "repro.lint/program-graph/v1"
+    assert "pkg.stages" in graph["modules"]
+    assert "pkg.work" in graph["modules"]["pkg.stages"]["imports"]
+    run_calls = graph["functions"]["pkg.stages:run"]["calls"]
+    assert any(
+        call["kind"] == "function" and call["target"] == "pkg.work:crunch"
+        for call in run_calls
+    )

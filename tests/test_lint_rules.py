@@ -642,6 +642,356 @@ def test_pragma_does_not_suppress_other_rules(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# C4xx / P5xx / O6xx — whole-program rules (multi-file fixtures)
+# ---------------------------------------------------------------------------
+
+
+def lint_tree(
+    tmp_path: Path,
+    files,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Write a {relpath: source} tree (with ``__init__.py`` chains for
+    every package directory) and lint it whole-program."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        parent = path.parent
+        while parent != tmp_path:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    rules = select_rules(select) if select else None
+    return run_lint([tmp_path], rules=rules, root=tmp_path).findings
+
+
+STAGE_FIXTURE = {
+    "pkg/helpers.py": """
+        def crunch(payload):
+            return payload
+    """,
+    "pkg/stages.py": """
+        from pkg import helpers
+
+        def _plan(world, products):
+            return [("s0", None)]
+
+        def _run(world, products, payload):
+            return helpers.crunch(payload)
+
+        def _merge(world, products, shards):
+            return shards
+
+        SPEC = StageSpec(
+            name="alpha", plan=_plan, run=_run, merge=_merge,
+        )
+    """,
+}
+
+
+def test_c401_quiet_on_fully_resolvable_stage(tmp_path):
+    findings = lint_tree(tmp_path, dict(STAGE_FIXTURE), select=["C401"])
+    assert codes(findings) == []
+
+
+def test_c401_fires_on_lambda_role(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "run=_run", "run=lambda w, p, s: None"
+    )
+    findings = lint_tree(tmp_path, files, select=["C401"])
+    assert codes(findings) == ["C401"]
+    assert "run=" in findings[0].message
+    assert "cannot be computed" in findings[0].message
+
+
+def test_c401_fires_on_unindexed_repro_import(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        from repro.vanished import thing
+
+        def crunch(payload):
+            return thing(payload)
+    """
+    findings = lint_tree(tmp_path, files, select=["C401"])
+    assert codes(findings) == ["C401"]
+    assert "repro.vanished" in findings[0].message
+
+
+def test_c401_pragma_disable(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "SPEC = StageSpec(",
+        "SPEC = StageSpec(  # reprolint: disable=C401",
+    ).replace("run=_run", "run=lambda w, p, s: None")
+    findings = lint_tree(tmp_path, files, select=["C401"])
+    assert codes(findings) == []
+
+
+def test_c402_fires_on_exempt_without_version_bump(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "from pkg import helpers",
+        "from pkg import helpers  # reprolint: footprint-exempt",
+    )
+    findings = lint_tree(tmp_path, files, select=["C402"])
+    assert codes(findings) == ["C402"]
+    assert "pkg.helpers" in findings[0].message
+
+
+def test_c402_quiet_when_version_bumped(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "from pkg import helpers",
+        "from pkg import helpers  # reprolint: footprint-exempt",
+    ).replace('name="alpha",', 'name="alpha", version="2",')
+    findings = lint_tree(tmp_path, files, select=["C402"])
+    assert codes(findings) == []
+
+
+def test_p501_fires_on_global_in_run_path_helper(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        _CACHE = None
+
+        def crunch(payload):
+            global _CACHE
+            _CACHE = payload
+            return payload
+    """
+    findings = lint_tree(tmp_path, files, select=["P501"])
+    assert codes(findings) == ["P501"]
+    assert "run path of: alpha" in findings[0].message
+    assert "crunch" in findings[0].message
+
+
+def test_p501_quiet_off_the_run_path(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        _CACHE = None
+
+        def crunch(payload):
+            return payload
+
+        def warm_up():
+            global _CACHE
+            _CACHE = object()
+    """
+    findings = lint_tree(tmp_path, files, select=["P501"])
+    assert codes(findings) == []
+
+
+def test_p501_pragma_disable(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        _CACHE = None
+
+        def crunch(payload):
+            global _CACHE  # reprolint: disable=P501
+            _CACHE = payload
+            return payload
+    """
+    findings = lint_tree(tmp_path, files, select=["P501"])
+    assert codes(findings) == []
+
+
+def test_p502_fires_on_module_container_mutation(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        SEEN = []
+        TABLE = {}
+
+        def crunch(payload):
+            SEEN.append(payload)
+            TABLE[payload] = 1
+            return payload
+    """
+    findings = lint_tree(tmp_path, files, select=["P502"])
+    assert codes(findings) == ["P502", "P502"]
+    assert "SEEN.append" in findings[0].message
+
+
+def test_p502_quiet_on_local_container(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        def crunch(payload):
+            seen = []
+            seen.append(payload)
+            table = {}
+            table[payload] = 1
+            return payload
+    """
+    findings = lint_tree(tmp_path, files, select=["P502"])
+    assert codes(findings) == []
+
+
+def test_p503_fires_on_wall_clock_in_run_path(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        import time
+
+        def crunch(payload):
+            return time.time()
+    """
+    findings = lint_tree(tmp_path, files, select=["P503"])
+    assert codes(findings) == ["P503"]
+    assert "time.time" in findings[0].message
+
+
+def test_p503_fires_on_environ_read_outside_patrolled_packages(tmp_path):
+    files = dict(STAGE_FIXTURE)
+    files["pkg/helpers.py"] = """
+        import os
+
+        def crunch(payload):
+            return os.environ.get("HOME")
+    """
+    findings = lint_tree(tmp_path, files, select=["P503"])
+    assert codes(findings) == ["P503"]
+
+
+OBS_FIXTURE = {
+    "pkg/obs/names.py": """
+        REQUESTS = "requests.total"
+        LATENCY = "latency.seconds"
+
+        _METRIC_DECLS = (
+            (REQUESTS, "counter", ("country",), "total requests"),
+            (LATENCY, "histogram", (), "request latency"),
+        )
+
+        SPAN_NAMES = (
+            "engine.run",
+            "stage:*",
+        )
+    """,
+    "pkg/obs/metrics.py": """
+        def inc(name, amount=1, **labels):
+            return (name, amount, labels)
+    """,
+}
+
+
+def obs_tree(main_source: str):
+    files = dict(OBS_FIXTURE)
+    files["pkg/main.py"] = main_source
+    return files
+
+
+def test_o601_quiet_on_declared_constant(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        from pkg.obs import metrics, names
+
+        def go():
+            metrics.inc(names.REQUESTS, country="DE")
+    """), select=["O601"])
+    assert codes(findings) == []
+
+
+def test_o601_fires_on_undeclared_literal(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        from pkg.obs import metrics
+
+        def go():
+            metrics.inc("requests.bogus")
+    """), select=["O601"])
+    assert codes(findings) == ["O601"]
+    assert "requests.bogus" in findings[0].message
+
+
+def test_o601_fires_on_dynamic_name_at_strict_site(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        from pkg.obs import metrics
+
+        def go(name):
+            metrics.inc(name)
+    """), select=["O601"])
+    assert codes(findings) == ["O601"]
+    assert "dynamic" in findings[0].message
+
+
+def test_o601_quiet_on_unrelated_observe_method(tmp_path):
+    # PassiveDNSDatabase.observe(fqdn, ...) style duck-typed collision:
+    # a dynamic first argument on an unproven receiver must not fire.
+    findings = lint_tree(tmp_path, obs_tree("""
+        def go(db, fqdn, address):
+            db.observe(fqdn, address)
+    """), select=["O601"])
+    assert codes(findings) == []
+
+
+def test_o601_pragma_disable(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        from pkg.obs import metrics
+
+        def go():
+            metrics.inc("requests.bogus")  # reprolint: disable=O601
+    """), select=["O601"])
+    assert codes(findings) == []
+
+
+def test_o602_fires_on_label_mismatch(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        from pkg.obs import metrics, names
+
+        def go():
+            metrics.inc(names.REQUESTS, region="EU")
+    """), select=["O602"])
+    assert codes(findings) == ["O602"]
+    assert "country" in findings[0].message and "region" in findings[0].message
+
+
+def test_o602_quiet_on_exact_labels_and_amount_kwarg(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        from pkg.obs import metrics, names
+
+        def go():
+            metrics.inc(names.REQUESTS, amount=3, country="DE")
+    """), select=["O602"])
+    assert codes(findings) == []
+
+
+def test_o603_fires_on_undeclared_span(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        def go(tracer):
+            with tracer.span("engine.shutdown"):
+                pass
+    """), select=["O603"])
+    assert codes(findings) == ["O603"]
+    assert "engine.shutdown" in findings[0].message
+
+
+def test_o603_wildcard_admits_fstring_prefix(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        def go(tracer, name):
+            with tracer.span(f"stage:{name}"):
+                pass
+    """), select=["O603"])
+    assert codes(findings) == []
+
+
+def test_o603_fires_on_unmatched_fstring_prefix(tmp_path):
+    findings = lint_tree(tmp_path, obs_tree("""
+        def go(tracer, name):
+            with tracer.span(f"phase:{name}"):
+                pass
+    """), select=["O603"])
+    assert codes(findings) == ["O603"]
+
+
+def test_obs_rules_quiet_without_catalog_module(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "pkg/main.py": """
+            def go(registry):
+                registry.counter("anything.goes")
+        """,
+    }, select=["O601", "O602", "O603"])
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
 # The repo itself must be clean
 # ---------------------------------------------------------------------------
 

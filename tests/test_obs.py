@@ -328,3 +328,44 @@ class TestManifest:
             load_manifest(path)
         with pytest.raises(ObservabilityError):
             load_manifest(tmp_path / "absent.json")
+
+
+class TestNamesCatalog:
+    def test_every_declared_metric_is_indexed(self):
+        from repro.obs import names
+
+        assert set(names.METRICS) == {
+            decl[0] for decl in names._METRIC_DECLS
+        }
+
+    def test_metric_labels_lookup(self):
+        from repro.obs import names
+
+        assert names.metric_labels(names.CLASSIFY_FLOWS) == ("stage",)
+        assert names.metric_labels(names.IPMAP_CAMPAIGNS) == ()
+        with pytest.raises(ObservabilityError):
+            names.metric_labels("no.such.metric")
+
+    def test_duplicate_metric_declaration_rejected(self, monkeypatch):
+        from repro.obs import names
+
+        decl = names._METRIC_DECLS[0]
+        monkeypatch.setattr(
+            names, "_METRIC_DECLS", names._METRIC_DECLS + (decl,)
+        )
+        with pytest.raises(ObservabilityError, match="duplicate metric"):
+            names._build_index()
+
+    def test_duplicate_span_declaration_rejected(self, monkeypatch):
+        from repro.obs import names
+
+        monkeypatch.setattr(
+            names, "SPAN_NAMES", names.SPAN_NAMES + (names.SPAN_RUN,)
+        )
+        with pytest.raises(ObservabilityError, match="duplicate span"):
+            names._build_index()
+
+    def test_span_catalog_covers_engine_stage_family(self):
+        from repro.obs import names
+
+        assert "stage:*" in names.SPAN_NAMES

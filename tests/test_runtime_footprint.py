@@ -1,0 +1,162 @@
+"""The footprint-salt loop: edit a helper, invalidate exactly the right
+stages.
+
+The flagship regression here copies the installed source tree twice,
+appends a helper function to ``core/classify.py`` in one copy, and
+asserts that the classification stage's footprint salt — and therefore
+its effective salt and its cache keys, plus those of every stage
+downstream of it — changes, while stages that cannot reach the edited
+module keep byte-identical salts and keys.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro import WorldConfig
+from repro.runtime import run_study
+from repro.runtime.cache import ArtifactCache, effective_salts, stage_code_salt
+from repro.runtime.footprint import (
+    default_root,
+    footprint_salts,
+    program_model,
+    stage_footprints,
+)
+from repro.runtime.graph import StageGraph, StageSpec
+from repro.runtime.stages import STAGE_NAMES, build_stage_graph
+
+#: stages that can reach core/classify.py, directly or through an input
+CLASSIFY_DEPENDENTS = {
+    "classification", "inventory", "geolocation", "confinement",
+    "localization", "sensitive", "ispscale",
+}
+
+#: stages whose closure does not include core/classify.py
+CLASSIFY_INDEPENDENT = {"panel", "sensitive_domains"}
+
+
+def copy_tree(tmp_path: Path, name: str) -> Path:
+    target = tmp_path / name / "repro"
+    shutil.copytree(default_root(), target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def edited_trees(tmp_path_factory):
+    """(pristine copy, copy with a helper appended to core/classify.py)."""
+    tmp_path = tmp_path_factory.mktemp("footprint-trees")
+    pristine = copy_tree(tmp_path, "v1")
+    edited = copy_tree(tmp_path, "v2")
+    classify = edited / "core" / "classify.py"
+    classify.write_text(
+        classify.read_text()
+        + "\n\ndef _footprint_probe(flow):\n    return flow\n"
+    )
+    return pristine, edited
+
+
+def test_program_model_is_memoized_per_root():
+    assert program_model() is program_model()
+    assert program_model() is program_model(default_root())
+
+
+def test_every_pipeline_stage_gets_a_footprint():
+    footprints = stage_footprints(build_stage_graph())
+    assert set(footprints) == set(STAGE_NAMES)
+    for name, fp in footprints.items():
+        assert fp.salt, name
+        assert fp.stage_modules, name
+        assert fp.missing == (), name
+    # footprints discriminate between stages — no two identical
+    salts = [fp.salt for fp in footprints.values()]
+    assert len(set(salts)) == len(salts)
+
+
+def test_classification_footprint_covers_classify_module():
+    footprints = stage_footprints(build_stage_graph())
+    assert "repro.core.classify" in footprints["classification"].modules
+    for name in CLASSIFY_INDEPENDENT:
+        covered = set(footprints[name].modules)
+        covered |= set(footprints[name].stage_modules)
+        assert "repro.core.classify" not in covered, name
+
+
+def test_helper_edit_changes_exactly_the_reaching_footprints(edited_trees):
+    pristine, edited = edited_trees
+    graph = build_stage_graph()
+    before = stage_footprints(graph, root=pristine)
+    after = stage_footprints(graph, root=edited)
+    assert set(before) == set(STAGE_NAMES) and set(after) == set(STAGE_NAMES)
+    assert before["classification"].salt != after["classification"].salt
+    for name in CLASSIFY_INDEPENDENT:
+        assert before[name].salt == after[name].salt, name
+
+
+def test_helper_edit_propagates_to_effective_salts_and_cache_keys(
+    edited_trees,
+):
+    pristine, edited = edited_trees
+    graph = build_stage_graph()
+    before = effective_salts(
+        graph, footprint_salts(stage_footprints(graph, root=pristine))
+    )
+    after = effective_salts(
+        graph, footprint_salts(stage_footprints(graph, root=edited))
+    )
+    cache = ArtifactCache(None)
+    for name in STAGE_NAMES:
+        key_before = cache.key("cfg", before[name], name, "s0")
+        key_after = cache.key("cfg", after[name], name, "s0")
+        if name in CLASSIFY_DEPENDENTS:
+            assert before[name] != after[name], name
+            assert key_before != key_after, name
+        else:
+            assert before[name] == after[name], name
+            assert key_before == key_after, name
+
+
+def test_footprint_salt_folds_into_stage_code_salt():
+    spec = build_stage_graph()["classification"]
+    plain = stage_code_salt(spec)
+    folded = stage_code_salt(spec, module_footprint_salt="abc123")
+    assert plain != folded
+    # the empty footprint reproduces the footprint-less salt exactly
+    assert stage_code_salt(spec, module_footprint_salt="") == plain
+
+
+def test_synthetic_graph_without_model_coverage_gets_no_footprint():
+    def plan(world, products):
+        return [("s0", None)]
+
+    def run(world, products, payload):
+        return None
+
+    def merge(world, products, shards):
+        return None
+
+    graph = StageGraph()
+    graph.add(StageSpec(
+        name="synthetic", axis=None, inputs=(), outputs=("out",),
+        plan=plan, run=run, merge=merge,
+    ))
+    # test-local functions have '<locals>' qualnames: no footprint, and
+    # effective_salts degrades to the footprint-less behavior
+    footprints = stage_footprints(graph)
+    assert footprints == {}
+    salts = effective_salts(graph, footprint_salts(footprints))
+    assert salts["synthetic"] == effective_salts(graph)["synthetic"]
+
+
+def test_manifest_records_footprints():
+    run = run_study(WorldConfig.small(), workers=1)
+    manifest = run.manifest
+    assert manifest is not None
+    footprints = manifest["footprints"]
+    assert set(footprints) == set(STAGE_NAMES)
+    entry = footprints["classification"]
+    assert entry["salt"]
+    assert "repro.core.classify" in entry["modules"]
+    assert entry["exempted"] == []
