@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report run-smoke trace-smoke calibrate sweep clean
+.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,9 +18,14 @@ test:
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro --graph-json build/program-graph.json
 
+# The JSON report (build/bench.json) feeds scripts/bench_to_ledger.py,
+# which folds the timing statistics into the run ledger as a
+# kind="bench" record (see docs/ledger.md).
 bench:
 	@if $(PYTHON) -c "import pytest_benchmark" >/dev/null 2>&1; then \
-		$(PYTHON) -m pytest benchmarks/ --benchmark-only; \
+		mkdir -p build; \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+			--benchmark-json build/bench.json; \
 	else \
 		echo "pytest-benchmark is not installed; cannot run benchmarks" >&2; \
 		exit 1; \
@@ -39,6 +44,14 @@ run-smoke:
 # untraced run must agree on every metric (see docs/observability.md).
 trace-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/trace_smoke.py
+
+# Ledger/diff smoke: two traced `repro run` invocations against one
+# cache, then `repro obs diff` between them must report zero
+# unexplained drift, both trace-event exports must validate and the
+# budget gate must pass/fail correctly (see docs/ledger.md).  Leaves
+# the ledger, diff JSON and trace events in build/diff-smoke for CI.
+diff-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/diff_smoke.py
 
 calibrate:
 	$(PYTHON) scripts/calibrate.py medium

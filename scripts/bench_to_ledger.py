@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Fold a pytest-benchmark report into the run ledger.
+
+Usage::
+
+    python scripts/bench_to_ledger.py build/bench.json .repro-cache/ledger.jsonl
+
+Reads the JSON report ``make bench`` writes (``--benchmark-json``) and
+appends one ``kind="bench"`` ledger record whose metrics are gauges
+keyed ``bench.time_s{benchmark=<name>,stat=<stat>}`` — one per
+benchmark per summary statistic.  Performance history then lives in the
+same auditable journal as the engine runs, and ``repro obs diff``
+classifies any ``bench.*`` delta as *timing* (never drift), while
+``repro obs check`` can put budget envelopes on the statistics.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.errors import ObservabilityError
+from repro.obs import LEDGER_SCHEMA, append_record
+from repro.obs.metrics import metric_key
+from repro.obs.names import BENCH_TIME
+
+#: the pytest-benchmark summary statistics folded into the ledger
+STATS = ("min", "median", "mean", "max")
+
+
+def bench_record(report: dict) -> dict:
+    """A ``kind="bench"`` ledger record from a pytest-benchmark report.
+
+    Identity fields (``seq``/``run_id``) are stamped at append time by
+    :func:`repro.obs.ledger.append_record`.
+    """
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ObservabilityError(
+            "benchmark report carries no 'benchmarks' entries"
+        )
+    metrics = {}
+    for entry in benchmarks:
+        name = entry.get("name")
+        stats = entry.get("stats")
+        if not isinstance(name, str) or not isinstance(stats, dict):
+            raise ObservabilityError(
+                f"malformed benchmark entry: {entry!r:.120}"
+            )
+        for stat in STATS:
+            if stat not in stats:
+                raise ObservabilityError(
+                    f"benchmark {name!r} is missing stat {stat!r}"
+                )
+            key = metric_key(BENCH_TIME, {"benchmark": name, "stat": stat})
+            metrics[key] = {"kind": "gauge", "value": float(stats[stat])}
+    return {
+        "schema": LEDGER_SCHEMA,
+        "kind": "bench",
+        "metrics": metrics,
+        "n_benchmarks": len(benchmarks),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="pytest-benchmark JSON report")
+    parser.add_argument("ledger", help="ledger file to append to")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        print(f"bench_to_ledger: cannot read report: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(
+            f"bench_to_ledger: {args.report!r} is not valid JSON: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        record = append_record(args.ledger, bench_record(report))
+    except ObservabilityError as exc:
+        print(f"bench_to_ledger: {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"ledger: appended bench record {record['run_id']} "
+        f"(seq {record['seq']}, {record['n_benchmarks']} benchmarks, "
+        f"{len(record['metrics'])} metrics)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

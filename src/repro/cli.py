@@ -20,7 +20,16 @@ Commands
     when warm — and print headline numbers plus per-stage wall-time and
     cache-hit counters.  With ``--trace out.json`` the run records a
     full span tree, writes the provenance manifest to ``out.json`` and
-    prints a text flamegraph of where the time went.
+    prints a text flamegraph of where the time went; with
+    ``--trace-events out.json`` it exports the same span tree as
+    Chrome trace-event JSON (load it in Perfetto / ``chrome://tracing``).
+``obs``
+    Inspect the run ledger (``<cache_dir>/ledger.jsonl``) that every
+    cached engine run appends to: ``list`` / ``show`` the records,
+    ``diff`` two of them with every metric delta classified as
+    config-driven, code-driven or unexplained drift, ``check`` a record
+    against a budgets file (CI gate), and get/set the ``baseline``
+    selector.  See ``docs/ledger.md``.
 
 Every command accepts ``--preset small|medium|paper`` and ``--seed N``.
 """
@@ -114,6 +123,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=pathlib.Path, default=None, metavar="OUT",
         help="record spans and write the provenance manifest to OUT",
     )
+    run_command.add_argument(
+        "--trace-events", type=pathlib.Path, default=None, metavar="OUT",
+        help="record spans and export them as Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing loadable) to OUT",
+    )
+
+    obs_command = commands.add_parser(
+        "obs", help="inspect the run ledger: list/show/diff/check/baseline"
+    )
+    obs_command.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".repro-cache"),
+        help="cache directory whose ledger.jsonl to read "
+        "(default: .repro-cache)",
+    )
+    obs_command.add_argument(
+        "--ledger", type=pathlib.Path, default=None,
+        help="explicit ledger file (overrides --cache-dir)",
+    )
+    obs_subcommands = obs_command.add_subparsers(
+        dest="obs_command", required=True
+    )
+    obs_subcommands.add_parser("list", help="one line per ledger record")
+    obs_show = obs_subcommands.add_parser(
+        "show", help="print one record as JSON"
+    )
+    obs_show.add_argument("selector", nargs="?", default="latest")
+    obs_diff = obs_subcommands.add_parser(
+        "diff", help="classify every metric delta between two records "
+        "(exit 1 on unexplained drift)",
+    )
+    obs_diff.add_argument("run_a", help="selector for the left-hand run")
+    obs_diff.add_argument(
+        "run_b", nargs="?", default="latest",
+        help="selector for the right-hand run (default: latest)",
+    )
+    obs_diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    obs_diff.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the JSON diff report to this file",
+    )
+    obs_check = obs_subcommands.add_parser(
+        "check", help="fail (exit 1) when a record leaves its budgets"
+    )
+    obs_check.add_argument(
+        "--budgets", type=pathlib.Path, required=True,
+        help="budgets file (schema repro.obs/budgets/v1)",
+    )
+    obs_check.add_argument(
+        "--run", default="latest", help="record selector (default: latest)"
+    )
+    obs_check.add_argument(
+        "--json", action="store_true", help="emit violations as JSON"
+    )
+    obs_baseline = obs_subcommands.add_parser(
+        "baseline", help="show or set the baseline selector's target"
+    )
+    obs_baseline.add_argument(
+        "selector", nargs="?", default=None,
+        help="record to mark as baseline (omit to show the current one)",
+    )
     return parser
 
 
@@ -128,11 +199,12 @@ def _make_study(args: argparse.Namespace) -> Study:
 
 def _command_run(args: argparse.Namespace) -> str:
     from repro.io import run_metrics_to_json
-    from repro.obs import Tracer, write_manifest
+    from repro.obs import Tracer, write_manifest, write_trace_events
     from repro.runtime import run_study
 
     cache_dir = str(args.cache_dir) if args.cache_dir is not None else None
-    tracer = Tracer() if args.trace is not None else None
+    traced = args.trace is not None or args.trace_events is not None
+    tracer = Tracer() if traced else None
     run = run_study(
         _make_config(args),
         workers=args.workers,
@@ -141,6 +213,8 @@ def _command_run(args: argparse.Namespace) -> str:
     )
     if args.trace is not None:
         write_manifest(run.manifest, args.trace)
+    if args.trace_events is not None:
+        write_trace_events(tracer.spans, args.trace_events)
     if args.metrics_out is not None:
         # Run totals come from the registry fold (RunResult.cache_hits /
         # cache_misses) — the CLI never sums per-stage rows itself.
@@ -174,10 +248,118 @@ def _command_run(args: argparse.Namespace) -> str:
     shares = run.eu28_destination_regions()
     confined = shares.get("EU 28", 0.0)
     lines.append(f"EU28-confined tracking flows: {confined:.1f}%")
-    if args.trace is not None:
+    if traced:
         lines.extend(["", run.trace_report()])
+    if args.trace is not None:
         lines.append(f"\nmanifest written to {args.trace}")
+    if args.trace_events is not None:
+        lines.append(f"trace events written to {args.trace_events}")
+    if run.ledger_record is not None:
+        lines.append(
+            f"ledger: appended run {run.ledger_record['run_id']} "
+            f"(seq {run.ledger_record['seq']})"
+        )
     return "\n".join(lines)
+
+
+def _obs_ledger_path(args: argparse.Namespace) -> str:
+    from repro.obs import ledger_path
+
+    if args.ledger is not None:
+        return str(args.ledger)
+    return ledger_path(str(args.cache_dir))
+
+
+def _obs_list(records) -> str:
+    lines = [
+        f"{'seq':>4} {'run_id':<16} {'kind':<5} {'digest':<12} "
+        f"{'workers':>7} {'wall':>9}"
+    ]
+    for record in records:
+        digest = record.get("config", {}).get("digest", "")[:12]
+        wall = sum(
+            float(stage.get("wall_s", 0.0))
+            for stage in record.get("stages", ())
+        )
+        lines.append(
+            f"{record['seq']:>4} {record['run_id']:<16} "
+            f"{record['kind']:<5} {digest:<12} "
+            f"{record.get('workers', '-'):>7} {wall:>8.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    """The ``repro obs`` family; returns the process exit code."""
+    from repro.errors import ObservabilityError
+    from repro.obs import (
+        check_budgets,
+        diff_records,
+        load_budgets,
+        load_ledger,
+        read_baseline,
+        render_budget_text,
+        render_diff_text,
+        select_record,
+        write_baseline,
+    )
+    from repro.obs.persist import atomic_write_json
+
+    path = _obs_ledger_path(args)
+    try:
+        records = load_ledger(path)
+        baseline_id = read_baseline(path)
+        if args.obs_command == "list":
+            print(_obs_list(records))
+        elif args.obs_command == "show":
+            record = select_record(records, args.selector, baseline_id)
+            print(json.dumps(record, indent=1, sort_keys=True))
+        elif args.obs_command == "diff":
+            record_a = select_record(records, args.run_a, baseline_id)
+            record_b = select_record(records, args.run_b, baseline_id)
+            diff = diff_records(record_a, record_b)
+            if args.out is not None:
+                atomic_write_json(diff.to_dict(), args.out)
+            if args.json:
+                print(json.dumps(diff.to_dict(), indent=1, sort_keys=True))
+            else:
+                print(render_diff_text(diff))
+            return 1 if diff.unexplained() else 0
+        elif args.obs_command == "check":
+            record = select_record(records, args.run, baseline_id)
+            budgets = load_budgets(args.budgets)
+            violations = check_budgets(record, budgets)
+            if args.json:
+                print(json.dumps(
+                    {
+                        "run_id": record.get("run_id"),
+                        "violations": [v.to_dict() for v in violations],
+                    },
+                    indent=1, sort_keys=True,
+                ))
+            else:
+                print(render_budget_text(record, violations))
+            return 1 if violations else 0
+        elif args.obs_command == "baseline":
+            if args.selector is None:
+                if baseline_id is None:
+                    print(
+                        "baseline: unset "
+                        "(the selector falls back to the first record)"
+                    )
+                else:
+                    print(f"baseline: {baseline_id}")
+            else:
+                record = select_record(records, args.selector, baseline_id)
+                write_baseline(path, record["run_id"])
+                print(f"baseline set to {record['run_id']}")
+    except ObservabilityError as exc:
+        # Degrade gracefully — a missing ledger, an unresolvable
+        # selector or a corrupt line is a diagnosable message on
+        # stderr, never a traceback.
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _command_world(study: Study) -> str:
@@ -220,6 +402,8 @@ def _command_export(study: Study, directory: pathlib.Path) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "obs":
+        return _command_obs(args)
     if args.command == "run":
         print(_command_run(args))
         return 0

@@ -12,12 +12,54 @@ Three small, composable pieces:
 * :mod:`repro.obs.manifest` — the per-run provenance manifest schema,
   validator and atomic writer.
 
+On top of those, the persistent layer added for longitudinal work:
+
+* :mod:`repro.obs.ledger` — the append-only JSONL **run ledger**
+  (schema ``repro.obs/ledger/v1``) with selectors
+  (``latest``/``latest~N``/``baseline``/seq/run-id prefix);
+* :mod:`repro.obs.diff` — the regression **diff engine** classifying
+  every metric delta as config-driven, code-driven or unexplained
+  drift, plus the CI **budget checker**;
+* :mod:`repro.obs.export` — span trees as Chrome **trace-event JSON**
+  (Perfetto / ``chrome://tracing`` loadable);
+* :mod:`repro.obs.persist` — the shared crash-safe write primitives.
+
 Layering: this package sits below every simulation and runtime layer
 (it imports only :mod:`repro.errors`), so core/dnssim/geoloc/runtime
 may all instrument themselves through it without cycles.
 """
 
 from repro.obs.clock import NullClock, SystemClock, TickClock
+from repro.obs.diff import (
+    BUDGETS_SCHEMA,
+    BudgetViolation,
+    LedgerDiff,
+    MetricDelta,
+    check_budgets,
+    diff_records,
+    load_budgets,
+    render_budget_text,
+    render_diff_text,
+)
+from repro.obs.export import (
+    TRACE_EVENTS_SCHEMA,
+    load_trace_events,
+    trace_document,
+    trace_events,
+    validate_trace_events,
+    write_trace_events,
+)
+from repro.obs.ledger import (
+    LEDGER_FILENAME,
+    LEDGER_SCHEMA,
+    append_record,
+    ledger_path,
+    load_ledger,
+    read_baseline,
+    select_record,
+    validate_record,
+    write_baseline,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     load_manifest,
@@ -48,6 +90,30 @@ __all__ = [
     "NullClock",
     "SystemClock",
     "TickClock",
+    "BUDGETS_SCHEMA",
+    "BudgetViolation",
+    "LedgerDiff",
+    "MetricDelta",
+    "check_budgets",
+    "diff_records",
+    "load_budgets",
+    "render_budget_text",
+    "render_diff_text",
+    "TRACE_EVENTS_SCHEMA",
+    "load_trace_events",
+    "trace_document",
+    "trace_events",
+    "validate_trace_events",
+    "write_trace_events",
+    "LEDGER_FILENAME",
+    "LEDGER_SCHEMA",
+    "append_record",
+    "ledger_path",
+    "load_ledger",
+    "read_baseline",
+    "select_record",
+    "validate_record",
+    "write_baseline",
     "MANIFEST_SCHEMA",
     "load_manifest",
     "validate_manifest",

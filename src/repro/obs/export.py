@@ -1,0 +1,191 @@
+"""Standard-format trace export: span trees as Chrome trace events.
+
+The text flamegraph (:meth:`~repro.obs.trace.Tracer.report`) is fine in
+a terminal, but the ecosystem's trace viewers — ``chrome://tracing``
+and `Perfetto <https://ui.perfetto.dev>`_ — speak the Chrome
+trace-event JSON format.  This module converts a recorded span tree
+into that format so a run can be inspected interactively:
+``repro run --trace-events out.json`` then *Open trace file* in
+Perfetto.
+
+Every span becomes one **complete event** (``"ph": "X"``): a name, a
+category (the prefix before ``:`` in the span name), a start timestamp
+``ts`` and duration ``dur`` in integer microseconds, on one
+pid/tid track.  Spans are recorded in opening order, so the emitted
+``ts`` sequence is non-decreasing — the property
+:func:`validate_trace_events` checks, alongside B/E begin/end matching
+for documents produced by other tools.
+
+Wall-clock origins are rebased to the first span's start, so exported
+timestamps are small, stable offsets rather than epoch seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.persist import atomic_write_json
+from repro.obs.trace import Span
+
+#: schema marker embedded in the exported document's otherData
+TRACE_EVENTS_SCHEMA = "repro.obs/trace-events/v1"
+
+#: trace-event phases the validator accepts
+_PHASES = ("X", "B", "E", "I", "M")
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _category(name: str) -> str:
+    """The span-name prefix before ``:``, or the name itself."""
+    colon = name.find(":")
+    return name if colon < 0 else name[:colon]
+
+
+def trace_events(
+    spans: Sequence[Span], pid: int = 1, tid: int = 1
+) -> List[Dict[str, Any]]:
+    """One complete (``X``) trace event per span, in opening order."""
+    if not spans:
+        return []
+    origin = spans[0].wall_start
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.wall_end < span.wall_start:
+            raise ObservabilityError(
+                f"span {span.name!r} closes before it opens "
+                f"({span.wall_end} < {span.wall_start}); "
+                "was the tracer's clock monotonic?"
+            )
+        args: Dict[str, Any] = dict(sorted(span.attrs.items()))
+        args["depth"] = span.depth
+        args["cpu_ms"] = round(span.cpu_s * 1000.0, 3)
+        events.append({
+            "name": span.name,
+            "cat": _category(span.name),
+            "ph": "X",
+            "ts": int(round((span.wall_start - origin) * 1e6)),
+            "dur": int(round(span.wall_s * 1e6)),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def trace_document(
+    spans: Sequence[Span], pid: int = 1, tid: int = 1
+) -> Dict[str, Any]:
+    """The full JSON-object-format trace document for a span tree."""
+    return {
+        "traceEvents": trace_events(spans, pid=pid, tid=tid),
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_EVENTS_SCHEMA},
+    }
+
+
+def write_trace_events(
+    spans: Sequence[Span], path: PathLike, pid: int = 1, tid: int = 1
+) -> int:
+    """Validate and atomically write the trace document; returns the
+    event count."""
+    document = trace_document(spans, pid=pid, tid=tid)
+    validate_trace_events(document)
+    atomic_write_json(document, path)
+    return len(document["traceEvents"])
+
+
+def load_trace_events(path: PathLike) -> Dict[str, Any]:
+    """Load and validate a trace document written by
+    :func:`write_trace_events` (or any Chrome-trace-format producer)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(
+            f"cannot read trace events {os.fspath(path)!r}: {exc}"
+        ) from exc
+    validate_trace_events(payload)
+    return payload
+
+
+def validate_trace_events(payload: Any) -> None:
+    """Check a document against the Chrome trace-event format.
+
+    Enforced invariants: the JSON-object form with a ``traceEvents``
+    list; every event a mapping with ``ph``/``ts``; non-decreasing
+    ``ts`` in emission order; non-negative integer ``ts``/``dur``;
+    complete (``X``) events carry ``dur``; ``B``/``E`` events balance
+    per ``(pid, tid)`` with matching names.
+    """
+    if isinstance(payload, list):
+        events = payload  # the array form is also legal Chrome trace
+    elif isinstance(payload, Mapping):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise ObservabilityError(
+                "trace document carries no 'traceEvents' list"
+            )
+    else:
+        raise ObservabilityError(
+            f"trace document must be an object or array, "
+            f"got {type(payload).__name__}"
+        )
+    last_ts = None
+    open_stacks: Dict[Any, List[str]] = {}
+    for position, event in enumerate(events):
+        where = f"trace event #{position}"
+        if not isinstance(event, Mapping):
+            raise ObservabilityError(f"{where} must be a mapping")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise ObservabilityError(
+                f"{where} has unsupported phase {phase!r}"
+            )
+        if phase == "M":
+            continue  # metadata events carry no timestamp contract
+        ts = event.get("ts")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            raise ObservabilityError(
+                f"{where} needs a non-negative integer 'ts', got {ts!r}"
+            )
+        if last_ts is not None and ts < last_ts:
+            raise ObservabilityError(
+                f"{where} breaks timestamp ordering ({ts} < {last_ts})"
+            )
+        last_ts = ts
+        track = (event.get("pid"), event.get("tid"))
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, int) or duration < 0:
+                raise ObservabilityError(
+                    f"{where} is a complete event without a "
+                    f"non-negative integer 'dur' (got {duration!r})"
+                )
+        elif phase == "B":
+            open_stacks.setdefault(track, []).append(
+                str(event.get("name", ""))
+            )
+        elif phase == "E":
+            stack = open_stacks.get(track, [])
+            if not stack:
+                raise ObservabilityError(
+                    f"{where}: 'E' event with no open 'B' on track {track}"
+                )
+            opened = stack.pop()
+            name = event.get("name")
+            if name is not None and str(name) != opened:
+                raise ObservabilityError(
+                    f"{where}: 'E' event name {name!r} does not match "
+                    f"open 'B' event {opened!r}"
+                )
+    unbalanced = {
+        str(track): stack for track, stack in open_stacks.items() if stack
+    }
+    if unbalanced:
+        raise ObservabilityError(
+            f"unbalanced 'B' events at end of trace: {unbalanced}"
+        )

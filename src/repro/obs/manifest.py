@@ -22,6 +22,7 @@ import os
 from typing import Any, Dict, Mapping, Union
 
 from repro.errors import ObservabilityError
+from repro.obs.persist import atomic_write_json
 
 #: schema identifier stamped into (and required of) every manifest
 MANIFEST_SCHEMA = "repro.obs/manifest/v1"
@@ -112,20 +113,13 @@ def validate_manifest(payload: Mapping[str, Any]) -> None:
 def write_manifest(payload: Mapping[str, Any], path: PathLike) -> None:
     """Validate ``payload`` and write it atomically as JSON.
 
-    The write goes through a ``.tmp.<pid>`` sibling and ``os.replace``,
-    mirroring the artifact cache's discipline: a crashed run can never
-    leave a truncated manifest where a complete one is expected.
+    The write goes through a ``.tmp.<pid>`` sibling and ``os.replace``
+    (:func:`repro.obs.persist.atomic_write_json`), mirroring the
+    artifact cache's discipline: a crashed run can never leave a
+    truncated manifest where a complete one is expected.
     """
     validate_manifest(payload)
-    path = os.fspath(path)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    atomic_write_json(payload, path)
 
 
 def load_manifest(path: PathLike) -> Dict[str, Any]:

@@ -155,6 +155,46 @@ class Histogram:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimated by linear interpolation within
+        buckets.
+
+        Samples are only known up to their bucket, so the estimate
+        assumes a uniform spread inside each bucket — the standard
+        histogram-quantile trade-off.  The recorded exact ``min`` and
+        ``max`` tighten the edges: the first populated bucket starts at
+        ``min``, the overflow bucket ends at ``max``, and the result is
+        clamped into ``[min, max]``.  An empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q!r}"
+            )
+        if not self.count:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count < target:
+                cumulative += bucket_count
+                continue
+            lower = self.min if index == 0 else self.bounds[index - 1]
+            upper = (
+                self.max if index == len(self.bounds)
+                else self.bounds[index]
+            )
+            lower = max(lower, self.min)
+            upper = min(upper, self.max)
+            if upper <= lower:
+                return float(lower)
+            fraction = (target - cumulative) / bucket_count
+            value = lower + fraction * (upper - lower)
+            return float(min(max(value, self.min), self.max))
+        return float(self.max)
+
     def merge(self, other: "Histogram") -> None:
         if self.bounds != other.bounds:
             raise ObservabilityError(
@@ -254,6 +294,15 @@ class MetricsRegistry:
         """The raw value of one instrument (0 for an absent counter)."""
         instrument = self._instruments.get(metric_key(name, labels))
         return 0 if instrument is None else instrument.to_value()
+
+    def histograms(self) -> List[Tuple[str, Histogram]]:
+        """Every histogram instrument as ``(key, histogram)``, sorted by
+        key — the iteration surface for quantile summaries."""
+        return [
+            (key, instrument)
+            for key, instrument in sorted(self._instruments.items())
+            if instrument.kind == "histogram"
+        ]
 
     # -- snapshots and merging -------------------------------------------
     def to_dict(self) -> Dict[str, Dict[str, Any]]:

@@ -64,6 +64,11 @@ RUNTIME_CACHE_MISSES = "runtime.cache.misses"
 #: damaged cache artifacts discarded on load (runtime/cache.py)
 RUNTIME_CACHE_CORRUPT = "runtime.cache.corrupt"
 
+#: per-benchmark wall-time statistics folded into the run ledger
+#: (scripts/bench_to_ledger.py); the diff engine classifies these as
+#: timing, never drift
+BENCH_TIME = "bench.time_s"
+
 #: (name, kind, label names, description) — the closed declaration list.
 #: ``kind`` is counter | gauge | histogram.  O602 compares call-site
 #: label keywords against the label tuple as a *set*: every declared
@@ -93,6 +98,8 @@ _METRIC_DECLS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
      "artifact-cache misses per stage"),
     (RUNTIME_CACHE_CORRUPT, "counter", ("stage",),
      "damaged cache artifacts discarded on load"),
+    (BENCH_TIME, "gauge", ("benchmark", "stat"),
+     "pytest-benchmark wall-time statistic per benchmark"),
 )
 
 # -- span names -------------------------------------------------------------

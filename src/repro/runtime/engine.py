@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.config import WorldConfig
 from repro.datasets.builder import World, cached_build_world
 from repro.obs import names as obs_names
+from repro.obs.ledger import append_record, ledger_path
 from repro.obs.manifest import write_manifest
 from repro.obs.metrics import MetricsRegistry, collecting
 from repro.obs.trace import NULL_TRACER, Tracer, tracing
@@ -50,7 +51,7 @@ from repro.runtime.cache import ArtifactCache, config_digest, effective_salts
 from repro.runtime.executor import ShardExecutor
 from repro.runtime.footprint import footprint_salts, stage_footprints
 from repro.runtime.graph import StageGraph
-from repro.runtime.provenance import build_manifest
+from repro.runtime.provenance import build_ledger_record, build_manifest
 from repro.runtime.stages import STAGE_GRAPH, product_record_counts
 
 #: filename of the per-run provenance manifest inside the cache dir
@@ -86,9 +87,13 @@ class StageMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_s: float = 0.0
+    cpu_s: float = 0.0
     shard_keys: List[str] = field(default_factory=list)
     records_in: Dict[str, Any] = field(default_factory=dict)
     records_out: Dict[str, int] = field(default_factory=dict)
+    #: metric keys this stage's shard snapshots touched — the ownership
+    #: evidence the ledger diff engine attributes metric deltas with
+    metric_keys: List[str] = field(default_factory=list)
 
     @property
     def executed_shards(self) -> int:
@@ -107,6 +112,8 @@ class RunResult:
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer = NULL_TRACER
     manifest: Optional[Dict[str, Any]] = None
+    #: the ledger record appended for this run (None without a cache dir)
+    ledger_record: Optional[Dict[str, Any]] = None
 
     @property
     def total_wall_s(self) -> float:
@@ -161,8 +168,31 @@ class RunResult:
         return "\n".join(lines)
 
     def trace_report(self) -> str:
-        """The tracer's text flamegraph (see :meth:`Tracer.report`)."""
-        return self.tracer.report()
+        """The tracer's text flamegraph plus histogram quantiles.
+
+        Stage summaries gain a distribution block: every histogram in
+        the run registry is rendered with its sample count, p50 and p95
+        (:meth:`~repro.obs.metrics.Histogram.quantile`), so the report
+        answers "how skewed was it?" and not just "how long did it
+        take?".
+        """
+        flame = self.tracer.report()
+        if not self.tracer.spans:
+            return flame  # untraced runs stay "(tracing disabled)"
+        lines = [flame]
+        histograms = self.registry.histograms()
+        if histograms:
+            lines.append("")
+            lines.append(
+                f"{'histogram':<42} {'count':>7} {'p50':>9} {'p95':>9}"
+            )
+            for key, histogram in histograms:
+                lines.append(
+                    f"{key:<42} {histogram.count:>7} "
+                    f"{histogram.quantile(0.5):>9.4f} "
+                    f"{histogram.quantile(0.95):>9.4f}"
+                )
+        return "\n".join(lines)
 
 
 class ExecutionEngine:
@@ -247,6 +277,16 @@ class ExecutionEngine:
                 result.manifest,
                 os.path.join(str(self.cache.root), MANIFEST_FILENAME),
             )
+            # The run ledger accumulates where the manifest overwrites:
+            # every cached run appends one record (config digest, salts,
+            # footprints, registry snapshot, per-stage timings), which
+            # is what `repro obs diff` compares across runs.
+            result.ledger_record = append_record(
+                ledger_path(str(self.cache.root)),
+                build_ledger_record(
+                    result, digest, self._salts, self._footprints
+                ),
+            )
         return result
 
     def _run_stage(
@@ -265,6 +305,7 @@ class ExecutionEngine:
             for dep in spec.inputs
         }
         start = time.perf_counter()
+        cpu_start = time.process_time()
         with tracer.span(f"stage:{name}") as stage_span:
             with tracer.span(obs_names.SPAN_PLAN, stage=name):
                 shards = spec.plan(world, products)
@@ -326,6 +367,11 @@ class ExecutionEngine:
             # so the merged registry is invariant to worker count.
             for shard_key, _ in shards:
                 registry.merge(snapshots.get(shard_key, {}))
+            metrics.metric_keys = sorted({
+                key
+                for snapshot in snapshots.values()
+                for key in (snapshot or {})
+            })
 
             # Merge in canonical plan order, mixing hits and fresh results.
             ordered: List[Tuple[str, Any]] = [
@@ -346,4 +392,9 @@ class ExecutionEngine:
                 misses=metrics.cache_misses,
             )
         metrics.wall_s = time.perf_counter() - start
+        # Parent-process CPU only: worker CPU is deliberately excluded
+        # (it would make cpu_s depend on the worker count), so cpu_s
+        # reads as "coordination cost" under fan-out and as true stage
+        # cost on the inline workers=1 path.
+        metrics.cpu_s = time.process_time() - cpu_start
         return metrics

@@ -190,6 +190,13 @@ class RuntimeRun:
         return self.result.manifest
 
     @property
+    def ledger_record(self) -> Optional[Dict[str, Any]]:
+        """The run-ledger record this run appended (None without a
+        cache dir); ``ledger_record["run_id"]`` is the handle
+        ``repro obs diff`` / ``show`` resolve."""
+        return self.result.ledger_record
+
+    @property
     def cache_hits(self) -> int:
         """Run-total cache hits (registry-aggregated, see
         :attr:`RunResult.cache_hits`)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.obs.ledger import LEDGER_SCHEMA
 from repro.obs.manifest import MANIFEST_SCHEMA
 from repro.util.rng import derive_seed
 
@@ -97,3 +98,47 @@ def build_manifest(
             for name, fp in sorted(footprints.items())
         }
     return manifest
+
+
+def build_ledger_record(
+    result: Any,
+    digest: str,
+    salts: Dict[str, str],
+    footprints: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a run-kind ledger record from a finished run.
+
+    Where the manifest is the *full* audit document of one run (spans,
+    shard keys, seed lineage), the ledger record is the *comparable*
+    subset that must line up across months of runs: config digest,
+    effective salts, footprint salts, the registry snapshot, and
+    per-stage timings / cache counts / metric ownership.  Identity
+    fields (``seq``/``run_id``) are stamped by
+    :func:`repro.obs.ledger.append_record` at append time.
+    """
+    stages: List[Dict[str, Any]] = []
+    for metrics in result.metrics.values():
+        stages.append({
+            "stage": metrics.name,
+            "shards": metrics.n_shards,
+            "cache_hits": metrics.cache_hits,
+            "cache_misses": metrics.cache_misses,
+            "wall_s": round(metrics.wall_s, 6),
+            "cpu_s": round(metrics.cpu_s, 6),
+            "metric_keys": list(metrics.metric_keys),
+        })
+    record: Dict[str, Any] = {
+        "schema": LEDGER_SCHEMA,
+        "kind": "run",
+        "config": {"digest": digest, "seed": result.config.seed},
+        "workers": result.workers,
+        "salts": dict(salts),
+        "stages": stages,
+        "metrics": result.registry.to_dict(),
+        "world_build_s": round(result.world_build_s, 6),
+    }
+    if footprints:
+        record["footprints"] = {
+            name: fp.salt for name, fp in sorted(footprints.items())
+        }
+    return record

@@ -126,11 +126,43 @@ class TestCLI:
             "--cache-dir", str(tmp_path / "cache"),
             "--metrics-out", str(tmp_path / "metrics.json"),
             "--trace", str(tmp_path / "trace.json"),
+            "--trace-events", str(tmp_path / "events.json"),
             "--json",
         ])
         assert args.workers == 4
         assert args.trace == tmp_path / "trace.json"
+        assert args.trace_events == tmp_path / "events.json"
         assert args.cache_dir == tmp_path / "cache"
+
+    def test_obs_subcommands_parse(self, tmp_path):
+        # The `repro obs` family the ledger docs advertise (docs/ledger.md).
+        parser = build_parser()
+        args = parser.parse_args(["obs", "list"])
+        assert args.obs_command == "list"
+        args = parser.parse_args(["obs", "show"])
+        assert args.selector == "latest"
+        args = parser.parse_args([
+            "obs", "--cache-dir", str(tmp_path),
+            "diff", "baseline", "latest",
+            "--json", "--out", str(tmp_path / "diff.json"),
+        ])
+        assert (args.run_a, args.run_b) == ("baseline", "latest")
+        args = parser.parse_args([
+            "obs", "--ledger", str(tmp_path / "ledger.jsonl"),
+            "check", "--budgets", str(tmp_path / "budgets.json"),
+        ])
+        assert args.run == "latest"
+        args = parser.parse_args(["obs", "baseline", "latest~1"])
+        assert args.selector == "latest~1"
+
+    def test_obs_missing_ledger_degrades_gracefully(self, tmp_path, capsys):
+        # No traceback, exit code 1, a one-line friendly message.
+        status = main([
+            "obs", "--cache-dir", str(tmp_path / "absent"), "diff", "latest",
+        ])
+        assert status == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro obs:")
 
 
 class TestCLIReporting:

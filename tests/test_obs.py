@@ -369,3 +369,61 @@ class TestNamesCatalog:
         from repro.obs import names
 
         assert "stage:*" in names.SPAN_NAMES
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_reports_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+
+    def test_single_sample_pins_every_quantile(self):
+        histogram = Histogram()
+        histogram.observe(0.4)
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == 0.4
+
+    def test_uniform_samples_interpolate(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 3.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            histogram.observe(value)
+        # Each bucket holds one sample; the median falls on the
+        # boundary between the second and third buckets.
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+
+    def test_result_clamped_to_observed_range(self):
+        histogram = Histogram(buckets=(10.0,))
+        for value in (2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) >= histogram.min
+        assert histogram.quantile(1.0) <= histogram.max
+
+    def test_edges_tightened_by_min_max(self):
+        # All samples land in the overflow bucket; without the recorded
+        # max the upper edge would be unbounded.
+        histogram = Histogram(buckets=(1.0,))
+        for value in (5.0, 6.0, 7.0):
+            histogram.observe(value)
+        assert 5.0 <= histogram.quantile(0.5) <= 7.0
+
+    def test_skewed_distribution_orders_quantiles(self):
+        histogram = Histogram()
+        for value in [0.05] * 90 + [5.0] * 10:
+            histogram.observe(value)
+        p50, p95 = histogram.quantile(0.5), histogram.quantile(0.95)
+        assert p50 < 0.1 < p95
+
+    def test_registry_histograms_accessor(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.histogram("lat", stage="b").observe(1.0)
+        registry.histogram("lat", stage="a").observe(2.0)
+        keys = [key for key, _ in registry.histograms()]
+        assert keys == ["lat{stage=a}", "lat{stage=b}"]  # sorted, no counter

@@ -1,0 +1,324 @@
+"""Unit tests for :mod:`repro.obs.diff` — delta classification and budgets.
+
+The classification matrix under test (see docs/ledger.md): config
+changes own every delta; code changes are attributed to the owning
+stages whose salts moved; cache-behaviour counters never count as
+drift; ``bench.*`` is timing; anything left is unexplained drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    BUDGETS_SCHEMA,
+    check_budgets,
+    diff_records,
+    load_budgets,
+    render_budget_text,
+    render_diff_text,
+)
+from repro.obs.metrics import Histogram
+
+
+def make_record(
+    run_id="run-a",
+    digest="abc123",
+    salts=None,
+    footprints=None,
+    metrics=None,
+    stages=None,
+):
+    """A diff-ready run record (identity fields included directly)."""
+    if stages is None:
+        stages = [
+            {
+                "stage": "panel",
+                "shards": 8,
+                "cache_hits": 0,
+                "cache_misses": 8,
+                "wall_s": 2.0,
+                "cpu_s": 1.5,
+                "metric_keys": ["web.requests"],
+            },
+            {
+                "stage": "classification",
+                "shards": 8,
+                "cache_hits": 0,
+                "cache_misses": 8,
+                "wall_s": 1.0,
+                "cpu_s": 0.8,
+                "metric_keys": ["classify.flows{stage=list}"],
+            },
+        ]
+    return {
+        "schema": "repro.obs/ledger/v1",
+        "kind": "run",
+        "run_id": run_id,
+        "seq": 0,
+        "config": {"digest": digest, "seed": 7},
+        "workers": 2,
+        "salts": salts or {"panel": "s1", "classification": "s2"},
+        "footprints": footprints if footprints is not None else {},
+        "stages": stages,
+        "metrics": metrics or {
+            "web.requests": {"kind": "counter", "value": 100},
+            "classify.flows{stage=list}": {"kind": "counter", "value": 40},
+        },
+    }
+
+
+def counter(value):
+    return {"kind": "counter", "value": value}
+
+
+class TestClassification:
+    def test_identical_records_have_no_deltas(self):
+        diff = diff_records(make_record(), make_record(run_id="run-b"))
+        assert diff.deltas == []
+        assert diff.unchanged == 2
+        assert diff.unexplained() == []
+        assert not diff.config_changed
+        assert "no unexplained drift" in render_diff_text(diff)
+
+    def test_config_change_owns_every_delta(self):
+        b = make_record(
+            run_id="run-b",
+            digest="def456",
+            metrics={
+                "web.requests": counter(200),
+                "classify.flows{stage=list}": counter(80),
+            },
+        )
+        diff = diff_records(make_record(), b)
+        assert diff.config_changed
+        assert {d.classification for d in diff.deltas} == {"config"}
+        assert diff.unexplained() == []
+
+    def test_code_change_attributed_to_owning_stage(self):
+        a = make_record(footprints={"panel": "f1", "classification": "f2"})
+        b = make_record(
+            run_id="run-b",
+            salts={"panel": "s1'", "classification": "s2"},
+            footprints={"panel": "f1'", "classification": "f2"},
+            metrics={
+                "web.requests": counter(120),  # owned by panel
+                "classify.flows{stage=list}": counter(40),  # unchanged
+            },
+        )
+        diff = diff_records(a, b)
+        assert diff.changed_salts == ("panel",)
+        assert diff.changed_footprints == ("panel",)
+        (delta,) = diff.deltas
+        assert delta.classification == "code"
+        assert delta.stages == ("panel",)
+        assert delta.caused_by == ("panel",)
+        assert diff.unexplained() == []
+
+    def test_code_change_without_footprints_blames_salts(self):
+        b = make_record(
+            run_id="run-b",
+            salts={"panel": "s1'", "classification": "s2"},
+            metrics={
+                "web.requests": counter(120),
+                "classify.flows{stage=list}": counter(40),
+            },
+        )
+        diff = diff_records(make_record(), b)
+        (delta,) = diff.deltas
+        assert delta.classification == "code"
+        assert delta.caused_by == ("panel",)
+
+    def test_delta_in_untouched_stage_is_drift(self):
+        # panel's salt changed, but the delta belongs to classification
+        # — a changed salt does not excuse other stages' metrics.
+        b = make_record(
+            run_id="run-b",
+            salts={"panel": "s1'", "classification": "s2"},
+            metrics={
+                "web.requests": counter(100),
+                "classify.flows{stage=list}": counter(99),
+            },
+        )
+        diff = diff_records(make_record(), b)
+        (delta,) = diff.deltas
+        assert delta.classification == "drift"
+        assert delta.stages == ("classification",)
+
+    def test_same_config_same_salts_delta_is_drift(self):
+        b = make_record(run_id="run-b", metrics={
+            "web.requests": counter(101),
+            "classify.flows{stage=list}": counter(40),
+        })
+        diff = diff_records(make_record(), b)
+        (delta,) = diff.deltas
+        assert delta.classification == "drift"
+        assert diff.unexplained() == [delta]
+        assert "UNEXPLAINED DRIFT" in render_diff_text(diff)
+
+    def test_cache_counters_never_drift(self):
+        extra = {
+            "runtime.cache.hits{stage=panel}": counter(0),
+            "runtime.cache.misses{stage=panel}": counter(8),
+            "runtime.shards.executed{stage=panel}": counter(8),
+        }
+        warm = {
+            "runtime.cache.hits{stage=panel}": counter(8),
+            "runtime.cache.misses{stage=panel}": counter(0),
+            "runtime.shards.executed{stage=panel}": counter(0),
+        }
+        base = make_record()["metrics"]
+        a = make_record(metrics={**base, **extra})
+        b = make_record(run_id="run-b", metrics={**base, **warm})
+        diff = diff_records(a, b)
+        assert {d.classification for d in diff.deltas} == {"cache"}
+        # runtime.* metrics are attributed via their stage label.
+        assert all(d.stages == ("panel",) for d in diff.deltas)
+        assert diff.unexplained() == []
+
+    def test_bench_metrics_are_timing(self):
+        a = make_record(metrics={
+            "bench.time_s{benchmark=t,stat=mean}": {
+                "kind": "gauge", "value": 0.5,
+            },
+        })
+        b = make_record(run_id="run-b", metrics={
+            "bench.time_s{benchmark=t,stat=mean}": {
+                "kind": "gauge", "value": 0.7,
+            },
+        })
+        (delta,) = diff_records(a, b).deltas
+        assert delta.classification == "timing"
+
+    def test_metric_missing_on_one_side(self):
+        b = make_record(run_id="run-b")
+        del b["metrics"]["classify.flows{stage=list}"]
+        diff = diff_records(make_record(), b)
+        (delta,) = diff.deltas
+        assert delta.b is None
+        assert delta.classification == "drift"
+        assert "(absent)" in render_diff_text(diff)
+
+    def test_timings_section(self):
+        b = make_record(run_id="run-b")
+        b["stages"][0]["wall_s"] = 3.0
+        diff = diff_records(make_record(), b)
+        panel = next(t for t in diff.timings if t["stage"] == "panel")
+        assert panel["wall_a_s"] == 2.0 and panel["wall_b_s"] == 3.0
+        assert panel["wall_delta_pct"] == 50.0
+
+    def test_to_dict_is_json_able(self):
+        b = make_record(run_id="run-b", metrics={
+            "web.requests": counter(101),
+            "classify.flows{stage=list}": counter(40),
+        })
+        payload = diff_records(make_record(), b).to_dict()
+        assert payload["schema"] == "repro.obs/diff/v1"
+        assert payload["counts"]["drift"] == 1
+        assert len(payload["unexplained"]) == 1
+        json.dumps(payload)  # must serialize cleanly
+
+
+class TestBudgets:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "budgets.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_load_valid(self, tmp_path):
+        path = self.write(tmp_path, {
+            "schema": BUDGETS_SCHEMA,
+            "metrics": {"web.requests": {"min": 1, "max": 1000}},
+            "stage_wall_s": {"panel": {"max": 60.0}},
+            "total_wall_s": {"max": 120.0},
+        })
+        assert load_budgets(path)["total_wall_s"] == {"max": 120.0}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"schema": "repro.obs/budgets/v0"},
+            {"schema": BUDGETS_SCHEMA, "metrics": {"m": {}}},
+            {"schema": BUDGETS_SCHEMA, "metrics": {"m": {"max": "big"}}},
+            {"schema": BUDGETS_SCHEMA, "metrics": {"m": 5}},
+            {"schema": BUDGETS_SCHEMA,
+             "metrics": {"m": {"max": 1, "stat": "p9x"}}},
+            {"schema": BUDGETS_SCHEMA, "stage_wall_s": "fast"},
+            {"schema": BUDGETS_SCHEMA, "total_wall_s": {"stat": "mean"}},
+        ],
+    )
+    def test_load_rejects_malformed(self, tmp_path, payload):
+        path = self.write(tmp_path, payload)
+        with pytest.raises(ObservabilityError):
+            load_budgets(path)
+
+    def test_load_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        path.write_text("{nope")
+        with pytest.raises(ObservabilityError):
+            load_budgets(path)
+        with pytest.raises(ObservabilityError):
+            load_budgets(tmp_path / "absent.json")
+
+    def test_within_budget_passes(self):
+        budgets = {
+            "schema": BUDGETS_SCHEMA,
+            "metrics": {"web.requests": {"min": 100, "max": 100}},
+            "stage_wall_s": {"panel": {"max": 10.0}},
+            "total_wall_s": {"max": 10.0},
+        }
+        record = make_record()
+        assert check_budgets(record, budgets) == []
+        assert "budgets OK" in render_budget_text(record, [])
+
+    def test_min_max_and_missing_violations(self):
+        budgets = {
+            "schema": BUDGETS_SCHEMA,
+            "metrics": {
+                "web.requests": {"min": 500},          # actual 100
+                "classify.flows{stage=list}": {"max": 10},  # actual 40
+                "never.recorded": {"min": 1},          # absent
+            },
+            "stage_wall_s": {"panel": {"max": 1.0}},   # actual 2.0
+            "total_wall_s": {"max": 2.5},              # actual 3.0
+        }
+        record = make_record()
+        violations = check_budgets(record, budgets)
+        by_subject = {v.subject: v for v in violations}
+        assert by_subject["web.requests"].bound == "min"
+        assert by_subject["classify.flows{stage=list}"].bound == "max"
+        assert by_subject["never.recorded"].kind == "missing"
+        assert by_subject["stage:panel"].kind == "stage_wall_s"
+        assert by_subject["total"].actual == 3.0
+        text = render_budget_text(record, violations)
+        assert "budget violations" in text
+        assert "never.recorded: required by budget but absent" in text
+
+    def test_histogram_stats(self):
+        histogram = Histogram(buckets=(0.5, 1.0))
+        for value in (0.2, 0.4, 0.6, 0.8, 2.0):
+            histogram.observe(value)
+        record = make_record(metrics={
+            "lat": {"kind": "histogram", "value": histogram.to_value()},
+        })
+        budgets = {
+            "schema": BUDGETS_SCHEMA,
+            "metrics": {
+                "lat": {"stat": "count", "min": 5, "max": 5},
+            },
+        }
+        assert check_budgets(record, budgets) == []
+        for stat, bound in (
+            ("mean", {"max": 0.5}),       # mean 0.8
+            ("max", {"max": 1.0}),        # max 2.0
+            ("min", {"min": 0.3}),        # min 0.2
+            ("p95", {"max": 0.5}),        # p95 well above 0.5
+        ):
+            budgets = {
+                "schema": BUDGETS_SCHEMA,
+                "metrics": {"lat": dict(bound, stat=stat)},
+            }
+            assert check_budgets(record, budgets), stat

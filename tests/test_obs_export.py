@@ -1,0 +1,162 @@
+"""Unit tests for :mod:`repro.obs.export` — Chrome trace-event export.
+
+The exporter runs against deterministic :class:`TickClock` tracers, so
+timestamps and durations are exact; the validator is additionally
+exercised on hand-built documents the exporter would never emit (B/E
+pairs, metadata events, broken orderings).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    TRACE_EVENTS_SCHEMA,
+    TickClock,
+    Tracer,
+    load_trace_events,
+    trace_document,
+    trace_events,
+    validate_trace_events,
+    write_trace_events,
+)
+
+
+def make_tracer():
+    tracer = Tracer(TickClock(step=0.5))
+    with tracer.span("run", digest="abc"):
+        with tracer.span("stage:panel", shard="users[0:8]"):
+            pass
+        with tracer.span("stage:classification"):
+            pass
+    return tracer
+
+
+class TestExport:
+    def test_one_complete_event_per_span(self):
+        tracer = make_tracer()
+        events = trace_events(tracer.spans)
+        assert [e["name"] for e in events] == [
+            "run", "stage:panel", "stage:classification",
+        ]
+        assert all(e["ph"] == "X" for e in events)
+        assert [e["cat"] for e in events] == ["run", "stage", "stage"]
+
+    def test_timestamps_rebased_integer_microseconds(self):
+        events = trace_events(make_tracer().spans)
+        assert events[0]["ts"] == 0  # rebased to the first span's start
+        for event in events:
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 0
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_args_carry_attrs_depth_and_cpu(self):
+        events = trace_events(make_tracer().spans)
+        assert events[0]["args"]["digest"] == "abc"
+        assert events[1]["args"]["shard"] == "users[0:8]"
+        assert events[1]["args"]["depth"] == 1
+        assert "cpu_ms" in events[0]["args"]
+
+    def test_empty_tracer_exports_no_events(self):
+        assert trace_events(Tracer(TickClock()).spans) == []
+
+    def test_negative_duration_span_rejected(self):
+        tracer = make_tracer()
+        tracer.spans[1].wall_end = tracer.spans[1].wall_start - 1.0
+        with pytest.raises(ObservabilityError):
+            trace_events(tracer.spans)
+
+    def test_document_schema_marker(self):
+        document = trace_document(make_tracer().spans)
+        assert document["otherData"]["schema"] == TRACE_EVENTS_SCHEMA
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "events.json"
+        count = write_trace_events(make_tracer().spans, path)
+        assert count == 3
+        payload = load_trace_events(path)
+        assert len(payload["traceEvents"]) == 3
+        # The written document is plain JSON any viewer can parse.
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "events.json"
+        path.write_text("{not json")
+        with pytest.raises(ObservabilityError):
+            load_trace_events(path)
+        with pytest.raises(ObservabilityError):
+            load_trace_events(tmp_path / "absent.json")
+
+
+def event(ph="X", ts=0, dur=1, name="s", pid=1, tid=1, **extra):
+    payload = {"name": name, "ph": ph, "ts": ts, "pid": pid, "tid": tid}
+    if ph == "X":
+        payload["dur"] = dur
+    payload.update(extra)
+    return payload
+
+
+class TestValidator:
+    def test_array_form_is_legal(self):
+        validate_trace_events([event(ts=0), event(ts=5)])
+
+    def test_b_e_pairs_balance(self):
+        validate_trace_events([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 2, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 3, "pid": 1, "tid": 1},
+        ])
+
+    def test_metadata_events_skip_timestamp_contract(self):
+        validate_trace_events([
+            {"name": "process_name", "ph": "M", "pid": 1},
+            event(ts=0),
+        ])
+
+    @pytest.mark.parametrize(
+        "payload,message",
+        [
+            (42, "object or array"),
+            ({"displayTimeUnit": "ms"}, "traceEvents"),
+            (["not-a-mapping"], "mapping"),
+            ([event(ph="Q")], "phase"),
+            ([event(ts=-1)], "non-negative integer 'ts'"),
+            ([event(ts=1.5)], "non-negative integer 'ts'"),
+            ([event(ts=True)], "non-negative integer 'ts'"),
+            ([event(ts=10), event(ts=5)], "timestamp ordering"),
+            ([event(dur=None)], "dur"),
+            (
+                [{"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 1}],
+                "no open 'B'",
+            ),
+            (
+                [
+                    {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+                    {"name": "b", "ph": "E", "ts": 1, "pid": 1, "tid": 1},
+                ],
+                "does not match",
+            ),
+            (
+                [{"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1}],
+                "unbalanced",
+            ),
+        ],
+    )
+    def test_rejections(self, payload, message):
+        with pytest.raises(ObservabilityError) as excinfo:
+            validate_trace_events(payload)
+        assert message in str(excinfo.value)
+
+    def test_b_e_tracks_are_independent(self):
+        # An E on one track must not close a B on another.
+        with pytest.raises(ObservabilityError):
+            validate_trace_events([
+                {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+                {"name": "a", "ph": "E", "ts": 1, "pid": 1, "tid": 2},
+            ])

@@ -189,3 +189,53 @@ class TestHydratedStudyConsistency:
             study.eu28_destination_regions("RIPE IPmap")
             == serial_run.eu28_destination_regions("RIPE IPmap")
         )
+
+
+class TestLedgerIntegration:
+    # The acceptance criterion for the run ledger: two identical-config
+    # runs (cold then warm, same cache dir) diff to zero unexplained
+    # drift — every delta classifies as cache behaviour.
+
+    def test_cached_runs_append_ledger_records(
+        self, cache_dir, parallel_cold_run, parallel_warm_run
+    ):
+        from repro.obs import ledger_path, load_ledger
+
+        records = load_ledger(ledger_path(cache_dir))
+        assert [r["run_id"] for r in records] == [
+            parallel_cold_run.ledger_record["run_id"],
+            parallel_warm_run.ledger_record["run_id"],
+        ]
+        assert [r["seq"] for r in records] == [0, 1]
+        for record in records:
+            assert [s["stage"] for s in record["stages"]] == list(STAGE_NAMES)
+            # The ownership map the diff engine attributes domain
+            # metrics with: instrumented stages list the registry keys
+            # their shards touched, and only keys the run recorded.
+            owned = {
+                key for s in record["stages"] for key in s["metric_keys"]
+            }
+            assert owned and owned <= set(record["metrics"])
+
+    def test_uncached_run_appends_nothing(self, serial_run):
+        assert serial_run.ledger_record is None
+
+    def test_cold_vs_warm_diff_has_zero_drift(
+        self, parallel_cold_run, parallel_warm_run
+    ):
+        from repro.obs import diff_records
+
+        diff = diff_records(
+            parallel_cold_run.ledger_record,
+            parallel_warm_run.ledger_record,
+        )
+        assert not diff.config_changed
+        assert diff.changed_salts == ()
+        assert diff.unexplained() == []
+        counts = diff.counts()
+        assert counts["cache"] > 0 and counts["drift"] == 0
+
+    def test_trace_report_summarizes_histograms(self, traced_run):
+        report = traced_run.trace_report()
+        assert "p50" in report and "p95" in report
+        assert "ipmap.country_agreement" in report
