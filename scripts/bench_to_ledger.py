@@ -12,6 +12,11 @@ benchmark per summary statistic.  Performance history then lives in the
 same auditable journal as the engine runs, and ``repro obs diff``
 classifies any ``bench.*`` delta as *timing* (never drift), while
 ``repro obs check`` can put budget envelopes on the statistics.
+
+With ``--lint-report build/dataflow-report.json`` the wall time of the
+reprolint run (the ``time_s`` key the linter writes alongside its
+dataflow analysis) is folded into the same record as a ``lint.time_s``
+gauge, so linter performance is tracked in the ledger too.
 """
 
 import argparse
@@ -21,10 +26,21 @@ import sys
 from repro.errors import ObservabilityError
 from repro.obs import LEDGER_SCHEMA, append_record
 from repro.obs.metrics import metric_key
-from repro.obs.names import BENCH_TIME
+from repro.obs.names import BENCH_TIME, LINT_TIME
 
 #: the pytest-benchmark summary statistics folded into the ledger
 STATS = ("min", "median", "mean", "max")
+
+
+def lint_time_from(report: dict) -> float:
+    """The linter wall time recorded in a reprolint dataflow report
+    (``--dataflow-json``; key ``time_s``)."""
+    time_s = report.get("time_s")
+    if not isinstance(time_s, (int, float)) or isinstance(time_s, bool):
+        raise ObservabilityError(
+            "lint report carries no numeric 'time_s' field"
+        )
+    return float(time_s)
 
 
 def bench_record(report: dict) -> dict:
@@ -65,23 +81,41 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="pytest-benchmark JSON report")
     parser.add_argument("ledger", help="ledger file to append to")
+    parser.add_argument(
+        "--lint-report",
+        metavar="PATH",
+        help=(
+            "reprolint dataflow report (--dataflow-json) whose time_s is "
+            "folded in as a lint.time_s gauge"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    def read_json(path: str) -> dict:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
     try:
-        with open(args.report, "r", encoding="utf-8") as handle:
-            report = json.load(handle)
+        report = read_json(args.report)
+        lint = read_json(args.lint_report) if args.lint_report else None
     except OSError as exc:
         print(f"bench_to_ledger: cannot read report: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:
         print(
-            f"bench_to_ledger: {args.report!r} is not valid JSON: {exc}",
+            f"bench_to_ledger: report is not valid JSON: {exc}",
             file=sys.stderr,
         )
         return 1
 
     try:
-        record = append_record(args.ledger, bench_record(report))
+        record = bench_record(report)
+        if lint is not None:
+            key = metric_key(LINT_TIME, {})
+            record["metrics"][key] = {
+                "kind": "gauge", "value": lint_time_from(lint),
+            }
+        record = append_record(args.ledger, record)
     except ObservabilityError as exc:
         print(f"bench_to_ledger: {exc}", file=sys.stderr)
         return 1

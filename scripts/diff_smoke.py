@@ -27,6 +27,7 @@ import os
 import sys
 
 from repro.cli import main as cli_main
+from repro.errors import ObservabilityError
 from repro.obs import diff_records, load_ledger, load_trace_events
 from repro.obs.ledger import ledger_path
 from repro.obs.persist import atomic_write_json
@@ -39,7 +40,7 @@ def _budgets_from(record: dict, slack: float = 10.0) -> dict:
         if entry["kind"] == "counter"
     )
     if not counters:
-        raise AssertionError("run record carries no counters to budget")
+        raise ObservabilityError("run record carries no counters to budget")
     exact = counters[0]
     value = record["metrics"][exact]["value"]
     total_wall = sum(stage["wall_s"] for stage in record["stages"])

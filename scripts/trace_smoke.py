@@ -72,7 +72,7 @@ def main() -> int:
         untraced_metrics = untraced.registry.to_dict()
         drift = {
             key
-            for key in set(traced_metrics) | set(untraced_metrics)
+            for key in sorted(set(traced_metrics) | set(untraced_metrics))
             if not key.startswith("runtime.cache")
             and traced_metrics.get(key) != untraced_metrics.get(key)
         }

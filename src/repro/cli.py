@@ -50,6 +50,7 @@ from repro.analysis.report import (
     full_report,
     paper_vs_measured,
 )
+from repro.errors import ReproError
 
 _TABLES: Dict[int, Callable] = {
     1: T.table1, 2: T.table2, 3: T.table3, 4: T.table4, 5: T.table5,
@@ -402,25 +403,31 @@ def _command_export(study: Study, directory: pathlib.Path) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "obs":
-        return _command_obs(args)
-    if args.command == "run":
-        print(_command_run(args))
-        return 0
-    study = _make_study(args)
-    if args.command == "report":
-        print(full_report(study))
-    elif args.command == "summary":
-        print(json.dumps(experiment_summary(study), indent=1, sort_keys=True))
-        print("\n" + paper_vs_measured(study), file=sys.stderr)
-    elif args.command == "world":
-        print(_command_world(study))
-    elif args.command == "table":
-        print(_TABLES[args.number](study)["text"])
-    elif args.command == "figure":
-        print(_FIGURES[args.number](study)["text"])
-    elif args.command == "export":
-        print(_command_export(study, args.directory))
+    try:
+        if args.command == "obs":
+            return _command_obs(args)
+        if args.command == "run":
+            print(_command_run(args))
+            return 0
+        study = _make_study(args)
+        if args.command == "report":
+            print(full_report(study))
+        elif args.command == "summary":
+            print(
+                json.dumps(experiment_summary(study), indent=1, sort_keys=True)
+            )
+            print("\n" + paper_vs_measured(study), file=sys.stderr)
+        elif args.command == "world":
+            print(_command_world(study))
+        elif args.command == "table":
+            print(_TABLES[args.number](study)["text"])
+        elif args.command == "figure":
+            print(_FIGURES[args.number](study)["text"])
+        elif args.command == "export":
+            print(_command_export(study, args.directory))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -113,7 +113,9 @@ class FqdnService:
             return endpoint
         # WEIGHTED: continent-fenced load balancing.
         if rng is None:
-            rng = fixed_rng()
+            # Test-convenience default only: every runtime path injects
+            # the shard's seeded stream through MappingService.
+            rng = fixed_rng()  # reprolint: disable=S703
         candidates: Sequence[Endpoint] = self.endpoints
         candidate_weights = self.weights or [1.0] * len(self.endpoints)
         if rng.random() < self.GEOFENCE_PROBABILITY:

@@ -77,7 +77,9 @@ class RecursiveResolver:
         self._authorities = authorities
         self._collectors: List[PassiveDNSDatabase] = list(collectors)
         self._public_resolver = public_resolver
-        self._rng = rng or fixed_rng()
+        # Test-convenience default only: every runtime path injects the
+        # shard's seeded stream through MappingService.
+        self._rng = rng or fixed_rng()  # reprolint: disable=S703
 
     def attach_collector(self, collector: PassiveDNSDatabase) -> None:
         self._collectors.append(collector)

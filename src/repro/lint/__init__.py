@@ -1,6 +1,6 @@
 """reprolint — AST-based invariant checks for the reproduction.
 
-Three rule families guard the properties the paper's tables depend on:
+Nine rule families guard the properties the paper's tables depend on:
 
 * **D-rules** (determinism): no shared/ad-hoc RNG state, no wall-clock
   or environment reads in simulation layers, no ``hash()`` seeding, no
@@ -8,11 +8,26 @@ Three rule families guard the properties the paper's tables depend on:
 * **E-rules** (error discipline): every raise inside the ReproError
   taxonomy, no bare excepts, no assert-based input validation;
 * **A-rules** (layering): the package import DAG points strictly down,
-  with no cycles.
+  with no cycles;
+* **C-rules** (cache integrity): every stage's footprint salt covers
+  the code its callables can execute;
+* **P-rules** (shard purity): no globals, module mutation or ambient
+  reads on a stage's run path;
+* **O-rules** (observability): metric and span names/labels match the
+  declared catalog;
+* **S-rules** (seed lineage): every RNG on a run path descends from
+  the shard's seeded root, no double-spent stream names;
+* **X-rules** (exception escape): no builtin exception leaves a public
+  entrypoint un-wrapped, CLIs never exit with raw tracebacks;
+* **I-rules** (resource discipline): file I/O through the atomic
+  helpers only, no sockets or subprocesses.
 
-Run ``python -m repro.lint src/repro`` (or ``make lint``); see
-``docs/linting.md`` for pragmas, the baseline workflow, and how to add
-a rule.
+The C/P/O families read the whole-program import/call graph
+(:mod:`repro.lint.program`); the S/X/I families ride the
+interprocedural dataflow engine on top of it
+(:mod:`repro.lint.dataflow`). Run ``python -m repro.lint src/repro``
+(or ``make lint``); see ``docs/linting.md`` for pragmas, the baseline
+workflow, and how to add a rule.
 """
 
 from repro.lint.baseline import load_baseline, partition, write_baseline

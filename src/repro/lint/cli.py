@@ -25,7 +25,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "reprolint: AST-based invariant checks for determinism "
-            "(D-rules), error discipline (E-rules) and layering (A-rules)."
+            "(D-rules), error discipline (E-rules), layering (A-rules), "
+            "caching (C-rules), observability (O-rules), shard purity "
+            "(P-rules), seed lineage (S-rules), exception escape "
+            "(X-rules) and resource discipline (I-rules)."
         ),
     )
     parser.add_argument(
@@ -60,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline from current findings: keep entries "
+            "still observed, drop stale ones; new findings are NOT "
+            "absorbed (use --write-baseline for that)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan per-file rule passes out over N worker processes "
+            "(0 = CPU count; default: serial)"
+        ),
+    )
+    parser.add_argument(
         "--select",
         default="",
         help="comma-separated rule codes or family prefixes (e.g. D,E201)",
@@ -87,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also write the whole-program import/call graph as JSON to "
             "OUT ('-' for stdout)"
+        ),
+    )
+    parser.add_argument(
+        "--dataflow-json",
+        metavar="OUT",
+        help=(
+            "also write the interprocedural dataflow report (entrypoint "
+            "escape sets, per-stage RNG lineage trees, taint traces) as "
+            "JSON to OUT ('-' for stdout)"
         ),
     )
     parser.add_argument(
@@ -123,18 +154,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         paths.append(path)
 
-    result = run_lint(paths, rules=rules)
+    if args.update_baseline and (args.no_baseline or args.write_baseline):
+        print(
+            "error: --update-baseline conflicts with "
+            "--no-baseline/--write-baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = run_lint(paths, rules=rules, jobs=args.jobs)
     baseline_path = Path(args.baseline)
 
     if args.graph_json and result.project is not None:
         graph = result.project.program_model().graph_json()
-        payload = json.dumps(graph, indent=2, sort_keys=True)
-        if args.graph_json == "-":
-            print(payload)
-        else:
-            out = Path(args.graph_json)
-            out.parent.mkdir(parents=True, exist_ok=True)
-            out.write_text(payload + "\n", encoding="utf-8")
+        _emit(args.graph_json, graph)
+
+    if args.dataflow_json and result.project is not None:
+        from repro.lint.dataflow import dataflow_for
+
+        report = dataflow_for(result.project).report_json()
+        report["time_s"] = round(result.wall_s, 6)
+        _emit(args.dataflow_json, report)
 
     if args.write_baseline:
         baseline_mod.write_baseline(baseline_path, result.findings)
@@ -152,6 +192,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     new, grandfathered, stale = baseline_mod.partition(result.findings, baseline)
+
+    if args.update_baseline:
+        baseline_mod.write_baseline(baseline_path, grandfathered)
+        print(
+            f"updated {baseline_path}: kept {len(grandfathered)} "
+            f"entr{'y' if len(grandfathered) == 1 else 'ies'}, dropped "
+            f"{len(stale)} stale",
+        )
+        stale = []
+
     renderer = render_json if args.format == "json" else render_text
-    print(renderer(new, grandfathered, stale, result.files_checked))
+    print(
+        renderer(
+            new, grandfathered, stale, result.files_checked,
+            time_s=result.wall_s,
+        )
+    )
     return 1 if new else 0
+
+
+def _emit(destination: str, document: dict) -> None:
+    """Write a JSON document to a path, or stdout for ``-``."""
+    payload = json.dumps(document, indent=2, sort_keys=True)
+    if destination == "-":
+        print(payload)
+        return
+    out = Path(destination)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(payload + "\n", encoding="utf-8")

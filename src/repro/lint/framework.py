@@ -16,7 +16,10 @@ owned by the framework, never by rules:
 from __future__ import annotations
 
 import ast
+import concurrent.futures
+import os
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
@@ -217,9 +220,12 @@ def load_builtin_rules() -> None:
         rules_cache,
         rules_determinism,
         rules_errors,
+        rules_escape,
         rules_layering,
         rules_obs,
         rules_purity,
+        rules_resources,
+        rules_seeds,
     )
 
 
@@ -277,27 +283,79 @@ class LintResult:
     #: the project the run analyzed — lets callers (the CLI's
     #: ``--graph-json``) reuse the already-built program model
     project: Optional[ProjectContext] = None
+    #: wall-clock duration of the run, for the JSON report / ledger
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means the CPU count, ``None``
+    (or anything below 2) means serial."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs or 1)
+
+
+def _lint_file_worker(
+    task: Tuple[str, str, Tuple[str, ...]]
+) -> List[Finding]:
+    """Per-file rule pass in a worker process: re-parse the file and run
+    every registered rule in ``codes``.  Top-level (picklable) and
+    registry-driven — rule instances never cross the process boundary,
+    only their codes do."""
+    path_str, rel, codes = task
+    wanted = set(codes)
+    active = [rule for rule in all_rules() if rule.code in wanted]
+    path = Path(path_str)
+    ctx = FileContext(path, rel, path.read_text(encoding="utf-8"))
+    if ctx.parse_error is not None:
+        # The parent's own context carries the parse error; nothing to
+        # run here.
+        return []
+    findings: List[Finding] = []
+    for rule in active:
+        for finding in rule.check_file(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def _poolable(rules: Sequence[Rule]) -> bool:
+    """Per-file passes can fan out only when every rule is recoverable
+    from the registry by code inside a worker process."""
+    return all(
+        type(rule) is _REGISTRY.get(rule.code) for rule in rules
+    )
+
+
 def run_lint(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
+    jobs: Optional[int] = None,
 ) -> LintResult:
     """Lint every Python file under ``paths`` and return the findings.
 
     ``root`` anchors the relative paths used in reports and baselines;
-    it defaults to the current working directory.
+    it defaults to the current working directory.  ``jobs`` fans the
+    per-file rule passes out over worker processes (``0`` = CPU count);
+    the program-model build and every ``finalize`` pass stay
+    single-threaded in the parent, so whole-program rules see one
+    consistent model either way.
     """
+    started = time.monotonic()
     active = list(rules) if rules is not None else all_rules()
     root = (root or Path.cwd()).resolve()
     project = ProjectContext()
     findings: List[Finding] = []
     files_checked = 0
+    workers = resolve_jobs(jobs)
+    fan_out = workers > 1 and _poolable(active)
+    tasks: List[Tuple[str, str, Tuple[str, ...]]] = []
+    codes = tuple(sorted(rule.code for rule in active))
     for path in iter_python_files(paths):
         files_checked += 1
         resolved = path.resolve()
@@ -310,10 +368,23 @@ def run_lint(
         if ctx.parse_error is not None:
             findings.append(ctx.parse_error)
             continue
+        if fan_out:
+            tasks.append((str(resolved), rel, codes))
+            continue
         for rule in active:
             for finding in rule.check_file(ctx):
                 if not ctx.is_suppressed(finding):
                     findings.append(finding)
+    if fan_out and tasks:
+        n_workers = min(workers, len(tasks))
+        chunksize = max(1, len(tasks) // (n_workers * 4))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers
+        ) as pool:
+            for batch in pool.map(
+                _lint_file_worker, tasks, chunksize=chunksize
+            ):
+                findings.extend(batch)
     for rule in active:
         for finding in rule.finalize(project):
             ctx = project.files.get(finding.path)
@@ -323,5 +394,8 @@ def run_lint(
     # rule may emit when scopes overlap.
     findings = sorted(set(findings))
     return LintResult(
-        findings=findings, files_checked=files_checked, project=project
+        findings=findings,
+        files_checked=files_checked,
+        project=project,
+        wall_s=time.monotonic() - started,
     )

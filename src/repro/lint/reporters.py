@@ -5,7 +5,7 @@ return the full report string."""
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.lint.baseline import Fingerprint
 from repro.lint.findings import Finding
@@ -16,6 +16,7 @@ def render_text(
     grandfathered: Sequence[Finding],
     stale: Sequence[Fingerprint],
     files_checked: int,
+    time_s: Optional[float] = None,
 ) -> str:
     lines: List[str] = []
     for finding in new:
@@ -30,6 +31,8 @@ def render_text(
         f"{len(new)} finding(s), {len(grandfathered)} baselined, "
         f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
     )
+    if time_s is not None:
+        summary += f" in {time_s:.2f}s"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -39,6 +42,7 @@ def render_json(
     grandfathered: Sequence[Finding],
     stale: Sequence[Fingerprint],
     files_checked: int,
+    time_s: Optional[float] = None,
 ) -> str:
     payload = {
         "files_checked": files_checked,
@@ -50,4 +54,6 @@ def render_json(
         ],
         "ok": not new,
     }
+    if time_s is not None:
+        payload["time_s"] = round(time_s, 6)
     return json.dumps(payload, indent=2)

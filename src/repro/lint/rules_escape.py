@@ -1,0 +1,196 @@
+"""X-rules: exception escape.
+
+The CLI contract (docs/errors.md) is that user-facing failures surface
+as one-line ``ReproError`` messages, never raw tracebacks, and that
+library code wraps environmental failures (``OSError``, ``KeyError``
+from malformed inputs, ...) into the taxonomy with ``raise ... from``.
+The dataflow engine computes the *escaping exception set* of every
+public entrypoint — CLI ``main`` functions and their subcommands, the
+``run_study`` facade, and stage ``run`` functions — by propagating
+``raise`` sites minus enclosing handlers along the call graph; these
+rules judge the result:
+
+* **X801** — a builtin exception can escape a public entrypoint
+  un-wrapped in the ``ReproError`` hierarchy;
+* **X802** — a CLI ``main`` can exit with a raw traceback (its escape
+  set is non-empty — every CLI must catch ``ReproError`` at top level
+  and translate it to an exit code);
+* **X803** — a wrapping ``raise`` inside an ``except`` handler without
+  ``from`` (breaks the causal chain the first two rules rely on to
+  keep context attached).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.lint.dataflow import dataflow_for
+from repro.lint.findings import Finding
+from repro.lint.framework import FileContext, ProjectContext, Rule, register
+
+
+def _witness(chain: List[str], limit: int = 3) -> str:
+    hops = chain[:limit]
+    if len(chain) > limit:
+        hops.append("...")
+    return " -> ".join(hops) if hops else "<no static witness>"
+
+
+class _EscapeRule(Rule):
+    """Shared driver over the engine's entrypoint escape sets."""
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        if not project.files:
+            return
+        df = dataflow_for(project)
+        model = df.model
+        for key in sorted(df.entrypoints()):
+            record = df.entrypoints()[key]
+            if "subcommand" in record:
+                # Subcommands share their dispatcher's escape set; one
+                # finding on ``main`` covers them all.
+                continue
+            ref = (record["module"], record["function"])
+            fn = model.function(ref)
+            ctx = project.context_for_module(ref[0])
+            if fn is None or ctx is None:
+                continue
+            line = getattr(fn.node, "lineno", 1)
+            col = getattr(fn.node, "col_offset", 0)
+            for message in self._judge(key, record):
+                snippet = (
+                    ctx.lines[line - 1].strip()
+                    if 0 < line <= len(ctx.lines)
+                    else ""
+                )
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=line,
+                    col=col,
+                    rule=self.code,
+                    message=message,
+                    snippet=snippet,
+                )
+
+    def _judge(self, key: str, record: dict) -> Iterator[str]:
+        return iter(())
+
+
+@register
+class BuiltinEscapeRule(_EscapeRule):
+    """X801 — builtin exceptions escaping a public entrypoint."""
+
+    code = "X801"
+    name = "escape-unwrapped-builtin"
+    description = (
+        "a builtin exception can escape a public entrypoint (CLI, "
+        "run_study, stage run) without being wrapped in the ReproError "
+        "taxonomy"
+    )
+
+    def _judge(self, key: str, record: dict) -> Iterator[str]:
+        for name, data in sorted(record["escapes"].items()):
+            if data["category"] == "repro":
+                continue
+            yield (
+                f"builtin {name} can escape entrypoint '{key}' "
+                f"un-wrapped; raise a ReproError subclass from it "
+                f"[witness: {_witness(data['witness'])}]"
+            )
+
+
+@register
+class CliTracebackRule(_EscapeRule):
+    """X802 — a CLI ``main`` that can exit with a raw traceback."""
+
+    code = "X802"
+    name = "escape-cli-traceback"
+    description = (
+        "a CLI main() has a non-empty escaping exception set: wrap the "
+        "dispatch in a top-level except ReproError that prints the "
+        "message and returns an exit code"
+    )
+
+    def _judge(self, key: str, record: dict) -> Iterator[str]:
+        if record["kind"] != "cli":
+            return
+        escapes = record["escapes"]
+        if not escapes:
+            return
+        names = ", ".join(sorted(escapes))
+        first = sorted(escapes)[0]
+        yield (
+            f"CLI entrypoint '{key}' can exit with a raw traceback "
+            f"({names}); catch ReproError at top level "
+            f"[witness: {_witness(escapes[first]['witness'])}]"
+        )
+
+
+@register
+class UnchainedWrapRule(Rule):
+    """X803 — wrapping ``raise`` in a handler without ``from``."""
+
+    code = "X803"
+    name = "escape-unchained-wrap"
+    description = (
+        "raise of a new exception inside an except handler without "
+        "'from': the original traceback is detached from the wrapped "
+        "error"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        for handler in self._handlers(ctx.tree):
+            for node in self._handler_raises(handler.body):
+                if node.exc is None or node.cause is not None:
+                    continue
+                if not isinstance(node.exc, ast.Call):
+                    # ``raise exc`` / ``raise name`` re-raises are the
+                    # chain itself, not a wrap.
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    "exception wrapped inside an except handler without "
+                    "'from': use 'raise ...(...) from <cause>' to keep "
+                    "the causal chain",
+                )
+
+    @staticmethod
+    def _handlers(tree: ast.AST) -> Iterator[ast.ExceptHandler]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield node
+
+    @classmethod
+    def _handler_raises(
+        cls, body: List[ast.stmt]
+    ) -> Iterator[ast.Raise]:
+        """Raise statements belonging to this handler — not those of
+        nested ``try`` statements (they have their own handlers)."""
+        for stmt in body:
+            if isinstance(stmt, ast.Raise):
+                yield stmt
+                continue
+            if isinstance(
+                stmt,
+                (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ) or (
+                hasattr(ast, "TryStar")
+                and isinstance(stmt, getattr(ast, "TryStar"))
+            ):
+                continue
+            for block in cls._stmt_blocks(stmt):
+                yield from cls._handler_raises(block)
+
+    @staticmethod
+    def _stmt_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        blocks: List[List[ast.stmt]] = []
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, list) and value and all(
+                isinstance(item, ast.stmt) for item in value
+            ):
+                blocks.append(value)
+        return blocks

@@ -1,0 +1,125 @@
+"""I-rules: resource discipline.
+
+Stage shards may run in worker subprocesses and may be skipped entirely
+on a cache hit, so shard code must not acquire ambient resources: every
+file lands through the atomic helpers in :mod:`repro.io` /
+``repro.obs.persist`` (write-temp-then-rename, so a crashed worker
+never leaves a half-written artifact), and a simulated study never
+opens sockets or spawns subprocesses at all.  This is the prerequisite
+for the always-on ``repro serve`` shape on the roadmap: a handler that
+leaks file handles or shells out works in a one-shot CLI and falls over
+in a long-lived process.
+
+* **I901** — raw ``open()`` reachable from a stage ``run`` outside the
+  sanctioned I/O modules;
+* **I902** — ``socket`` / ``subprocess`` / ``os.system`` use anywhere
+  in non-test code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.dataflow import (
+    DataflowAnalysis,
+    dataflow_for,
+    is_io_sanctioned,
+    is_test_module,
+)
+from repro.lint.findings import Finding
+from repro.lint.framework import ProjectContext, Rule, register
+
+
+class _ResourceRule(Rule):
+    """Shared driver over the dataflow engine's raw-I/O site table."""
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        if not project.files:
+            return
+        df = dataflow_for(project)
+        yield from self._check(project, df)
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        return ()
+
+
+@register
+class UnmanagedOpenRule(_ResourceRule):
+    """I901 — raw ``open()`` on a stage run path."""
+
+    code = "I901"
+    name = "io-unmanaged-open"
+    description = (
+        "open() in code reachable from a stage's run, outside repro.io/"
+        "obs.persist: shard artifacts must land through the atomic "
+        "helpers"
+    )
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        run_reach = df.run_reachable()
+        sites = df.io_sites()
+        for ref in sorted(run_reach):
+            if is_io_sanctioned(ref[0]):
+                continue
+            ctx = project.context_for_module(ref[0])
+            if ctx is None or is_test_module(ctx.rel_path, ref[0]):
+                continue
+            for site in sites.get(ref, ()):
+                if site.rendered != "open":
+                    continue
+                for stage in run_reach[ref]:
+                    chain = df.run_path_chain(stage, ref)
+                    witness = " -> ".join(
+                        chain + [f"{ctx.rel_path}:{site.line}"]
+                    )
+                    yield Finding(
+                        path=ctx.rel_path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.code,
+                        message=(
+                            f"raw open() on the run path of stage "
+                            f"'{stage}'; use repro.io / obs.persist "
+                            f"atomic helpers [witness: {witness}]"
+                        ),
+                        snippet=site.snippet,
+                    )
+
+
+@register
+class ProcessEscapeRule(_ResourceRule):
+    """I902 — sockets or subprocesses in non-test code."""
+
+    code = "I902"
+    name = "io-process-escape"
+    description = (
+        "socket/subprocess/os.system call in library code: a simulated "
+        "study must not touch the network or spawn processes"
+    )
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        for ref, sites in sorted(df.io_sites().items()):
+            ctx = project.context_for_module(ref[0])
+            if ctx is None or is_test_module(ctx.rel_path, ref[0]):
+                continue
+            for site in sites:
+                if site.rendered == "open":
+                    continue
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.code,
+                    message=(
+                        f"{site.rendered}(...) in {site.function[1]}: "
+                        "the simulation is hermetic — no sockets, no "
+                        "subprocesses"
+                    ),
+                    snippet=site.snippet,
+                )

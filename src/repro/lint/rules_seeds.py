@@ -1,0 +1,269 @@
+"""S-rules: seed lineage.
+
+Replays are only cold-equals-warm because every ``random.Random`` in
+shard code descends from the shard's seeded root through the
+:mod:`repro.util.rng` derivation APIs (``seeded_rng`` / ``spawn_rng`` /
+``RngStreams.spawn``/``fork``).  A raw ``random.Random()`` three helpers
+below a stage ``run`` draws from process entropy and silently breaks
+that guarantee; a stream *name* derived in two places makes two
+components draw correlated values; ``fixed_rng`` outside tests hides a
+missing injection point.  These rules ride the interprocedural engine
+(:mod:`repro.lint.dataflow`), so the witness for each finding is a real
+static call chain from the stage's ``run`` seed down to the offending
+``file:line``.
+
+* **S701** — raw ``random.Random(...)`` reachable from a stage ``run``;
+* **S702** — the same literal stream name derived at two different call
+  sites in the same API family (a double-spent seed);
+* **S703** — ``fixed_rng`` use outside test code;
+* **S704** — a stage ``run`` returning an RNG or stream object (the
+  shard boundary must carry data, not generators).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.dataflow import (
+    _DERIVE_FAMILIES,
+    _RNG_PRODUCERS,
+    DataflowAnalysis,
+    RngSite,
+    dataflow_for,
+    is_rng_module,
+    is_test_module,
+)
+from repro.lint.findings import Finding
+from repro.lint.framework import ProjectContext, Rule, register
+
+
+def _site_ctx(project: ProjectContext, site: RngSite):
+    """(FileContext, module-is-exempt) for one RNG site."""
+    module = site.function[0]
+    ctx = project.context_for_module(module)
+    if ctx is None:
+        return None, True
+    exempt = is_rng_module(module) or is_test_module(ctx.rel_path, module)
+    return ctx, exempt
+
+
+class _SeedRule(Rule):
+    """Shared driver over the dataflow engine's RNG-site table."""
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        if not project.files:
+            return
+        df = dataflow_for(project)
+        yield from self._check(project, df)
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        return ()
+
+
+@register
+class TaintedRngRule(_SeedRule):
+    """S701 — raw ``random.Random`` on a stage run path."""
+
+    code = "S701"
+    name = "seed-tainted-rng"
+    description = (
+        "random.Random(...) reachable from a stage's run is not derived "
+        "from the shard's seeded root; use seeded_rng/spawn_rng or the "
+        "world's RngStreams"
+    )
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        run_reach = df.run_reachable()
+        sites = df.rng_sites()
+        for ref in sorted(run_reach):
+            if is_rng_module(ref[0]):
+                continue
+            ctx = project.context_for_module(ref[0])
+            if ctx is None:
+                continue
+            for site in sites.get(ref, ()):
+                if site.api != "raw":
+                    continue
+                for stage in run_reach[ref]:
+                    chain = df.run_path_chain(stage, ref)
+                    witness = " -> ".join(
+                        chain + [f"{ctx.rel_path}:{site.line}"]
+                    )
+                    yield Finding(
+                        path=ctx.rel_path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.code,
+                        message=(
+                            f"random.Random(...) on the run path of stage "
+                            f"'{stage}' is not derived from the shard's "
+                            f"seeded root [witness: {witness}]"
+                        ),
+                        snippet=site.snippet,
+                    )
+
+
+@register
+class DoubleSpentSeedRule(_SeedRule):
+    """S702 — one literal stream name derived at two call sites."""
+
+    code = "S702"
+    name = "seed-double-spent"
+    description = (
+        "the same literal stream name is derived at two different call "
+        "sites in one API family: two consumers would draw correlated "
+        "values from one seed"
+    )
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        groups: Dict[Tuple[str, str], List[Tuple[RngSite, object]]] = {}
+        for ref, sites in sorted(df.rng_sites().items()):
+            for site in sites:
+                family = _DERIVE_FAMILIES.get(site.api)
+                if family is None or not site.literal or site.name is None:
+                    continue
+                ctx, exempt = _site_ctx(project, site)
+                if ctx is None or exempt:
+                    continue
+                groups.setdefault((family, site.name), []).append((site, ctx))
+        for (family, name), members in sorted(groups.items()):
+            distinct = {
+                (ctx.rel_path, site.line, site.col) for site, ctx in members
+            }
+            if len(distinct) < 2:
+                continue
+            locations = ", ".join(
+                f"{ctx.rel_path}:{site.line}"
+                for site, ctx in sorted(
+                    members, key=lambda m: (m[1].rel_path, m[0].line)
+                )
+            )
+            for site, ctx in members:
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.code,
+                    message=(
+                        f"stream name '{name}' ({family} family) is "
+                        f"derived at {len(distinct)} sites: {locations}; "
+                        "each seed must have exactly one consumer"
+                    ),
+                    snippet=site.snippet,
+                )
+
+
+@register
+class FixedRngOutsideTestsRule(_SeedRule):
+    """S703 — ``fixed_rng`` in non-test code."""
+
+    code = "S703"
+    name = "seed-fixed-rng"
+    description = (
+        "fixed_rng(...) outside tests: library code must take an "
+        "injected rng (or derive one from the world's streams), not "
+        "fabricate a constant-seed generator"
+    )
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        for ref, sites in sorted(df.rng_sites().items()):
+            for site in sites:
+                if site.api != "fixed_rng":
+                    continue
+                ctx, exempt = _site_ctx(project, site)
+                if ctx is None or exempt:
+                    continue
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.code,
+                    message=(
+                        f"fixed_rng(...) in {site.function[1]} is outside "
+                        "test code; inject the rng from the caller or "
+                        "derive it from the shard's streams"
+                    ),
+                    snippet=site.snippet,
+                )
+
+
+@register
+class RngEscapesShardRule(_SeedRule):
+    """S704 — a stage ``run`` returning an RNG/stream object."""
+
+    code = "S704"
+    name = "seed-rng-escapes-shard"
+    description = (
+        "a stage run function returns an RNG or RngStreams value: shard "
+        "results must be data, generator state does not survive the "
+        "merge boundary deterministically"
+    )
+
+    def _check(
+        self, project: ProjectContext, df: DataflowAnalysis
+    ) -> Iterable[Finding]:
+        model = df.model
+        sites = df.rng_sites()
+        for decl in model.discover_stages():
+            run_seed = decl.seeds.get("run")
+            fn = model.function(run_seed) if run_seed else None
+            if run_seed is None or fn is None:
+                continue
+            ctx = project.context_for_module(run_seed[0])
+            if ctx is None:
+                continue
+            producer_at = {
+                (site.line, site.col)
+                for site in sites.get(run_seed, ())
+                if site.api in _RNG_PRODUCERS
+            }
+            rng_names: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                if (
+                    node.value.lineno,
+                    node.value.col_offset,
+                ) not in producer_at:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        rng_names.add(target.id)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                leaked = self._leaked_rng(node.value, rng_names, producer_at)
+                if leaked is None:
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"stage '{decl.name}' run returns {leaked}; return "
+                    "drawn values instead of the generator",
+                )
+
+    @staticmethod
+    def _leaked_rng(
+        expr: ast.expr,
+        rng_names: Set[str],
+        producer_at: Set[Tuple[int, int]],
+    ):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id in rng_names:
+                return f"the RNG bound to '{sub.id}'"
+            if isinstance(sub, ast.Call) and (
+                (sub.lineno, sub.col_offset) in producer_at
+            ):
+                return "a freshly derived RNG"
+        return None

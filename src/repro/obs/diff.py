@@ -57,7 +57,7 @@ CACHE_VARIABLE_METRICS = frozenset({
 })
 
 #: metric name prefixes that carry wall-time statistics (never drift)
-TIMING_METRIC_PREFIXES = ("bench.",)
+TIMING_METRIC_PREFIXES = ("bench.", "lint.")
 
 #: classification labels, in report order
 CLASSIFICATIONS = ("config", "code", "cache", "timing", "drift")
@@ -109,6 +109,7 @@ class LedgerDiff:
     workers_changed: bool
     changed_salts: Tuple[str, ...]
     changed_footprints: Tuple[str, ...]
+    changed_lineages: Tuple[str, ...] = ()
     deltas: List[MetricDelta] = field(default_factory=list)
     timings: List[Dict[str, Any]] = field(default_factory=list)
     unchanged: int = 0
@@ -138,6 +139,7 @@ class LedgerDiff:
             "workers_changed": self.workers_changed,
             "changed_salts": list(self.changed_salts),
             "changed_footprints": list(self.changed_footprints),
+            "changed_lineages": list(self.changed_lineages),
             "counts": self.counts(),
             "deltas": [delta.to_dict() for delta in self.deltas],
             "unexplained": [
@@ -186,10 +188,20 @@ def diff_records(
     changed_footprints = _changed_keys(
         record_a.get("footprints", {}), record_b.get("footprints", {})
     )
+    changed_lineages = _changed_keys(
+        record_a.get("rng_lineage", {}), record_b.get("rng_lineage", {})
+    )
     # Effective salts fold dependencies, so footprint changes surface in
     # changed_salts too; when footprints were never recorded, attribute
-    # causes to the effective-salt changes themselves.
+    # causes to the effective-salt changes themselves.  A moved RNG
+    # lineage digest names the stages whose seed-derivation structure
+    # changed — the sharpest cause a code delta can carry.
     causes = changed_footprints if changed_footprints else changed_salts
+    if changed_lineages:
+        causes = tuple(sorted(
+            set(causes)
+            | {f"rng_lineage:{stage}" for stage in changed_lineages}
+        ))
 
     owners_a = _metric_owners(record_a)
     owners_b = _metric_owners(record_b)
@@ -205,6 +217,7 @@ def diff_records(
         workers_changed=workers_changed,
         changed_salts=changed_salts,
         changed_footprints=changed_footprints,
+        changed_lineages=changed_lineages,
     )
     changed_salt_set = set(changed_salts)
     for key in sorted(set(metrics_a) | set(metrics_b)):
@@ -298,6 +311,10 @@ def render_diff_text(diff: LedgerDiff) -> str:
     if diff.changed_salts:
         lines.append(
             "  changed effective salts: " + ", ".join(diff.changed_salts)
+        )
+    if diff.changed_lineages:
+        lines.append(
+            "  changed RNG lineages: " + ", ".join(diff.changed_lineages)
         )
     counts = diff.counts()
     lines.append(

@@ -69,6 +69,10 @@ RUNTIME_CACHE_CORRUPT = "runtime.cache.corrupt"
 #: timing, never drift
 BENCH_TIME = "bench.time_s"
 
+#: wall time of one full reprolint run, folded into the ledger from the
+#: dataflow report (scripts/bench_to_ledger.py --lint-report)
+LINT_TIME = "lint.time_s"
+
 #: (name, kind, label names, description) — the closed declaration list.
 #: ``kind`` is counter | gauge | histogram.  O602 compares call-site
 #: label keywords against the label tuple as a *set*: every declared
@@ -100,6 +104,8 @@ _METRIC_DECLS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
      "damaged cache artifacts discarded on load"),
     (BENCH_TIME, "gauge", ("benchmark", "stat"),
      "pytest-benchmark wall-time statistic per benchmark"),
+    (LINT_TIME, "gauge", (),
+     "wall time of one full reprolint run"),
 )
 
 # -- span names -------------------------------------------------------------
@@ -160,5 +166,5 @@ def metric_labels(name: str) -> Tuple[str, ...]:
     """The declared label set of ``name`` (raises on unknown metrics)."""
     try:
         return METRICS[name][1]
-    except KeyError:
-        raise ObservabilityError(f"undeclared metric: {name!r}")
+    except KeyError as exc:
+        raise ObservabilityError(f"undeclared metric: {name!r}") from exc

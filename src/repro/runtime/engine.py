@@ -49,7 +49,11 @@ from repro.obs.metrics import MetricsRegistry, collecting
 from repro.obs.trace import NULL_TRACER, Tracer, tracing
 from repro.runtime.cache import ArtifactCache, config_digest, effective_salts
 from repro.runtime.executor import ShardExecutor
-from repro.runtime.footprint import footprint_salts, stage_footprints
+from repro.runtime.footprint import (
+    footprint_salts,
+    stage_footprints,
+    stage_lineages,
+)
 from repro.runtime.graph import StageGraph
 from repro.runtime.provenance import build_ledger_record, build_manifest
 from repro.runtime.stages import STAGE_GRAPH, product_record_counts
@@ -217,6 +221,12 @@ class ExecutionEngine:
         self._salts = effective_salts(
             self.graph, footprint_salts(self._footprints)
         )
+        # RNG lineage trees close the same loop for randomness: the
+        # dataflow engine's per-stage derivation structure is embedded
+        # in manifests, so a change in how a stage derives its streams
+        # shows up as code-driven in `repro obs diff`.  Computed from
+        # the same memoized program model as the footprints.
+        self._lineages = stage_lineages(self.graph)
 
     @property
     def workers(self) -> int:
@@ -270,7 +280,8 @@ class ExecutionEngine:
                             registry,
                         )
         result.manifest = build_manifest(
-            result, digest, self._salts, self._footprints
+            result, digest, self._salts, self._footprints,
+            lineages=self._lineages,
         )
         if self.cache.enabled:
             write_manifest(
@@ -284,7 +295,8 @@ class ExecutionEngine:
             result.ledger_record = append_record(
                 ledger_path(str(self.cache.root)),
                 build_ledger_record(
-                    result, digest, self._salts, self._footprints
+                    result, digest, self._salts, self._footprints,
+                    lineages=self._lineages,
                 ),
             )
         return result

@@ -22,6 +22,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.lint.dataflow import dataflow_for_model
 from repro.lint.program import Footprint, ProgramModel
 
 #: process-wide model memo, keyed by resolved source root
@@ -81,3 +82,37 @@ def stage_footprints(
 def footprint_salts(footprints: Dict[str, Footprint]) -> Dict[str, str]:
     """Just the salt strings, shaped for :func:`effective_salts`."""
     return {name: fp.salt for name, fp in footprints.items()}
+
+
+def stage_lineages(
+    graph: Any, root: Optional[Path] = None
+) -> Dict[str, Dict[str, Any]]:
+    """Per-stage RNG lineage trees for a live :class:`StageGraph`.
+
+    The dataflow engine (:mod:`repro.lint.dataflow`) walks the call
+    graph from each stage's ``run`` callable and collects every RNG
+    derivation site it can reach — which stream names are spawned or
+    forked, through which API, in which function.  The tree's digest is
+    purely structural (no line numbers), so it moves exactly when the
+    derivation *shape* changes, and the manifest can show a lineage
+    change as code-driven in ``repro obs diff``.  Stages the model
+    cannot see (synthetic test graphs) get no lineage, mirroring
+    :func:`stage_footprints`.
+    """
+    model = program_model(root)
+    df = dataflow_for_model(model)
+    lineages: Dict[str, Dict[str, Any]] = {}
+    for spec in graph.stages:
+        module = getattr(spec.run, "__module__", None)
+        qualname = getattr(spec.run, "__qualname__", None)
+        if (
+            not module
+            or not qualname
+            or "<locals>" in qualname
+            or model.function((module, qualname)) is None
+        ):
+            continue
+        lineages[spec.name] = df.stage_lineage(
+            spec.name, (module, qualname)
+        )
+    return lineages

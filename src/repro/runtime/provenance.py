@@ -44,6 +44,7 @@ def build_manifest(
     digest: str,
     salts: Dict[str, str],
     footprints: Optional[Mapping[str, Any]] = None,
+    lineages: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a v1 manifest from a finished :class:`RunResult`.
 
@@ -52,8 +53,13 @@ def build_manifest(
     the run executed under.  ``footprints`` optionally maps stage names
     to :class:`~repro.lint.program.Footprint` records; when present the
     manifest gains a ``footprints`` section recording which modules each
-    stage's salt covered — the v1 schema is open, so manifests without
-    it stay valid.  The output validates against
+    stage's salt covered.  ``lineages`` optionally maps stage names to
+    the dataflow engine's RNG lineage trees
+    (:func:`repro.runtime.footprint.stage_lineages`); when present the
+    manifest gains an ``rng_lineage`` section whose per-stage digests
+    move exactly when a stage's seed-derivation structure changes.  The
+    v1 schema is open, so manifests without either section stay valid.
+    The output validates against
     :func:`repro.obs.manifest.validate_manifest` by construction.
     """
     stages: List[Dict[str, Any]] = []
@@ -97,6 +103,15 @@ def build_manifest(
             }
             for name, fp in sorted(footprints.items())
         }
+    if lineages:
+        manifest["rng_lineage"] = {
+            name: {
+                "digest": tree["digest"],
+                "root": tree["root"],
+                "streams": [dict(entry) for entry in tree["streams"]],
+            }
+            for name, tree in sorted(lineages.items())
+        }
     return manifest
 
 
@@ -105,6 +120,7 @@ def build_ledger_record(
     digest: str,
     salts: Dict[str, str],
     footprints: Optional[Mapping[str, Any]] = None,
+    lineages: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a run-kind ledger record from a finished run.
 
@@ -140,5 +156,9 @@ def build_ledger_record(
     if footprints:
         record["footprints"] = {
             name: fp.salt for name, fp in sorted(footprints.items())
+        }
+    if lineages:
+        record["rng_lineage"] = {
+            name: tree["digest"] for name, tree in sorted(lineages.items())
         }
     return record

@@ -217,3 +217,88 @@ def test_graph_json_to_stdout(project, capsys):
     start = payload.index("{")
     graph = json.loads(payload[start:])
     assert graph["schema"] == "repro.lint/program-graph/v1"
+
+
+# ---------------------------------------------------------------------------
+# --jobs / --dataflow-json / --update-baseline / time_s
+# ---------------------------------------------------------------------------
+
+
+def json_findings(project, argv, capsys):
+    code = main(argv + ["--format", "json", "--no-baseline"])
+    payload = json.loads(capsys.readouterr().out)
+    return code, payload
+
+
+def test_jobs_matches_serial_findings(project, capsys):
+    write(project, "pkg/dirty.py", DIRTY)
+    write(project, "pkg/other.py", DIRTY.replace("f(n)", "g(n)"))
+    serial_code, serial = json_findings(project, ["pkg"], capsys)
+    jobs_code, parallel = json_findings(
+        project, ["pkg", "--jobs", "2"], capsys
+    )
+    assert serial_code == jobs_code == 1
+    assert parallel["findings"] == serial["findings"]
+
+
+def test_jobs_zero_means_cpu_count(project, capsys):
+    write(project, "pkg/clean.py", CLEAN)
+    assert main(["pkg", "--jobs", "0"]) == 0
+
+
+def test_reports_carry_wall_time(project, capsys):
+    write(project, "pkg/clean.py", CLEAN)
+    assert main(["pkg", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload["time_s"], float)
+    assert payload["time_s"] >= 0.0
+    assert main(["pkg"]) == 0
+    assert " in " in capsys.readouterr().out
+
+
+def test_dataflow_json_writes_report(project, capsys):
+    write(project, "pkg/__init__.py", "")
+    write(project, "pkg/clean.py", CLEAN)
+    assert main(["pkg", "--dataflow-json", "dataflow.json"]) == 0
+    report = json.loads((project / "dataflow.json").read_text())
+    assert report["schema"] == "repro.lint/dataflow/v1"
+    assert isinstance(report["time_s"], float)
+    assert set(report["summary"]) >= {
+        "modules", "functions", "entrypoints", "stages", "taints",
+    }
+
+
+def test_update_baseline_drops_stale_entries(project, capsys):
+    path = write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--write-baseline"]) == 0
+    path.write_text(CLEAN)
+    assert main(["pkg", "--update-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "dropped" in out
+    # The rewritten baseline has no stale entries left to report.
+    assert main(["pkg"]) == 0
+    assert "stale baseline entry" not in capsys.readouterr().out
+
+
+def test_update_baseline_does_not_absorb_new_findings(project, capsys):
+    path = write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--write-baseline"]) == 0
+    path.write_text(DIRTY + "\ny = random.choice([1, 2])\n")
+    assert main(["pkg", "--update-baseline"]) == 1
+    # The new finding still fails the next plain run.
+    assert main(["pkg"]) == 1
+
+
+def test_update_baseline_on_clean_tree_writes_empty_baseline(project):
+    path = write(project, "pkg/dirty.py", DIRTY)
+    assert main(["pkg", "--write-baseline"]) == 0
+    path.write_text(CLEAN)
+    assert main(["pkg", "--update-baseline"]) == 0
+    baseline = load_baseline(project / ".reprolint-baseline.json")
+    assert baseline == {}
+
+
+def test_update_baseline_conflicts_with_no_baseline(project, capsys):
+    write(project, "pkg/clean.py", CLEAN)
+    assert main(["pkg", "--update-baseline", "--no-baseline"]) == 2
+    assert main(["pkg", "--update-baseline", "--write-baseline"]) == 2

@@ -1,0 +1,661 @@
+"""The interprocedural dataflow engine and the S/X/I rule families.
+
+Engine tests build a :class:`ProgramModel` over small fixture trees and
+probe the escape/lineage/I-O analyses directly; rule tests run the same
+fixtures through the real lint framework; and two regression locks tie
+the analysis to the shipped tree — a copied-tree test that plants a raw
+``random.Random`` inside ``panel_run`` and demands an S701 finding with
+a witness chain (mirroring the footprint-salt copied-tree test), and a
+report tripwire that cross-checks the ``repro.lint/dataflow/v1``
+document against the live CLI parser and the stage roster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint import Finding, run_lint, select_rules
+from repro.lint.dataflow import (
+    DATAFLOW_SCHEMA,
+    DataflowAnalysis,
+    dataflow_for_model,
+)
+from repro.lint.program import ProgramModel
+from repro.runtime.footprint import default_root, program_model
+from repro.runtime.stages import STAGE_NAMES
+
+
+def write_tree(tmp_path: Path, files) -> Path:
+    """Write a {relpath: source} tree with ``__init__.py`` chains."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        parent = path.parent
+        while parent != tmp_path:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    return tmp_path
+
+
+def analysis_for(tmp_path: Path, files) -> DataflowAnalysis:
+    write_tree(tmp_path, files)
+    model = ProgramModel.from_paths([tmp_path], root=tmp_path)
+    return DataflowAnalysis(model)
+
+
+def lint_tree(
+    tmp_path: Path, files, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    write_tree(tmp_path, files)
+    rules = select_rules(select) if select else None
+    return run_lint([tmp_path], rules=rules, root=tmp_path).findings
+
+
+def codes(findings: Sequence[Finding]) -> List[str]:
+    return [finding.rule for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# fixture building blocks
+# ---------------------------------------------------------------------------
+
+RNG_MODULE = {
+    "pkg/util/rng.py": """
+        import random
+
+        def seeded_rng(seed, name):
+            return random.Random((seed, name))
+
+        def fixed_rng(seed=0):
+            return random.Random(seed)
+    """,
+}
+
+
+def stage_tree(helper_source: str, run_body: str = "helpers.crunch(payload)"):
+    """A one-stage fixture whose ``run`` calls ``helpers.crunch``."""
+    files = dict(RNG_MODULE)
+    files["pkg/helpers.py"] = helper_source
+    files["pkg/stages.py"] = f"""
+        from pkg import helpers
+
+        def _plan(world, products):
+            return [("s0", None)]
+
+        def _run(world, products, payload):
+            return {run_body}
+
+        def _merge(world, products, shards):
+            return shards
+
+        SPEC = StageSpec(
+            name="alpha", plan=_plan, run=_run, merge=_merge,
+        )
+    """
+    return files
+
+
+# ---------------------------------------------------------------------------
+# escape analysis (engine level)
+# ---------------------------------------------------------------------------
+
+
+def test_escape_set_subtracts_enclosing_handlers(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/mod.py": """
+            def guarded():
+                try:
+                    raise ValueError("caught")
+                except ValueError:
+                    return None
+
+            def unguarded():
+                raise ValueError("free")
+
+            def wrong_handler():
+                try:
+                    raise ValueError("still free")
+                except KeyError:
+                    return None
+        """,
+    })
+    escapes = df.escapes()
+    assert escapes[("pkg.mod", "guarded")] == {}
+    assert set(escapes[("pkg.mod", "unguarded")]) == {"ValueError"}
+    assert set(escapes[("pkg.mod", "wrong_handler")]) == {"ValueError"}
+
+
+def test_escape_handler_body_and_finally_are_unprotected(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/mod.py": """
+            def in_finally():
+                try:
+                    return 1
+                except ValueError:
+                    return 2
+                finally:
+                    raise ValueError("finally is outside the guard")
+        """,
+    })
+    assert set(df.escapes()[("pkg.mod", "in_finally")]) == {"ValueError"}
+
+
+def test_escape_propagates_along_the_call_graph(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/mod.py": """
+            def leaf():
+                raise KeyError("deep")
+
+            def caller():
+                return leaf()
+
+            def catcher():
+                try:
+                    return leaf()
+                except KeyError:
+                    return None
+        """,
+    })
+    escapes = df.escapes()
+    origin = escapes[("pkg.mod", "caller")]["KeyError"]
+    assert origin.kind == "call"
+    assert origin.callee == ("pkg.mod", "leaf")
+    assert escapes[("pkg.mod", "catcher")] == {}
+
+
+def test_escape_base_class_handler_catches_subclass(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/mod.py": """
+            def handled():
+                try:
+                    raise KeyError("lookup")
+                except Exception:
+                    return None
+        """,
+    })
+    assert df.escapes()[("pkg.mod", "handled")] == {}
+
+
+def test_escape_bare_reraise_escapes_the_caught_types(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/mod.py": """
+            def reraises():
+                try:
+                    return 1
+                except (OSError, KeyError):
+                    raise
+        """,
+    })
+    assert set(df.escapes()[("pkg.mod", "reraises")]) == {
+        "OSError", "KeyError",
+    }
+
+
+def test_escape_control_exceptions_are_excluded(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/mod.py": """
+            def exits():
+                raise SystemExit(2)
+        """,
+    })
+    assert df.escapes()[("pkg.mod", "exits")] == {}
+
+
+def test_witness_chain_walks_from_entry_to_raise_site(tmp_path):
+    df = analysis_for(tmp_path, {
+        "pkg/cli.py": """
+            def work():
+                raise ValueError("boom")
+
+            def main(argv=None):
+                work()
+                return 0
+        """,
+    })
+    chain = df.witness_chain(("pkg.cli", "main"), "ValueError")
+    assert len(chain) == 2
+    assert chain[0].startswith("pkg/cli.py:") and "work()" in chain[0]
+    assert chain[1].startswith("pkg/cli.py:") and "raise ValueError" in chain[1]
+
+
+def test_entrypoints_cover_cli_subcommands_and_stage_runs(tmp_path):
+    files = stage_tree("""
+        def crunch(payload):
+            return payload
+    """)
+    files["pkg/cli.py"] = """
+        import argparse
+
+        def main(argv=None):
+            parser = argparse.ArgumentParser()
+            commands = parser.add_subparsers(dest="command")
+            commands.add_parser("report")
+            commands.add_parser("run")
+            return 0
+    """
+    df = analysis_for(tmp_path, files)
+    entries = df.entrypoints()
+    assert "cli:pkg.cli" in entries
+    assert entries["cli:pkg.cli:report"]["subcommand"] == "report"
+    assert "cli:pkg.cli:run" in entries
+    assert entries["stage:alpha:run"]["kind"] == "stage"
+
+
+# ---------------------------------------------------------------------------
+# lineage trees (engine level)
+# ---------------------------------------------------------------------------
+
+
+def test_stage_lineage_records_reachable_derivations(tmp_path):
+    df = analysis_for(tmp_path, stage_tree("""
+        from pkg.util.rng import seeded_rng
+
+        def crunch(payload):
+            rng = seeded_rng(payload, "alpha:crunch")
+            return rng.random()
+    """))
+    tree = df.stage_lineages()["alpha"]
+    assert tree["root"] == "pkg.stages:_run"
+    assert tree["digest"]
+    streams = [s for s in tree["streams"] if s["api"] == "seeded_rng"]
+    assert streams and streams[0]["name"] == "alpha:crunch"
+    assert streams[0]["literal"] is True
+    assert streams[0]["chain"][0] == "pkg.stages:_run"
+
+
+def test_lineage_digest_survives_line_drift(tmp_path):
+    helper = """
+        from pkg.util.rng import seeded_rng
+
+        def crunch(payload):
+            rng = seeded_rng(payload, "alpha:crunch")
+            return rng.random()
+    """
+    before = analysis_for(
+        tmp_path / "a", stage_tree(helper)
+    ).stage_lineages()["alpha"]
+    drifted = stage_tree(helper)
+    drifted["pkg/helpers.py"] = "# a new leading comment\n" + textwrap.dedent(
+        drifted["pkg/helpers.py"]
+    )
+    after = analysis_for(
+        tmp_path / "b", drifted
+    ).stage_lineages()["alpha"]
+    assert before["digest"] == after["digest"]
+
+
+def test_lineage_digest_moves_when_a_stream_changes(tmp_path):
+    base = """
+        from pkg.util.rng import seeded_rng
+
+        def crunch(payload):
+            rng = seeded_rng(payload, "alpha:crunch")
+            return rng.random()
+    """
+    before = analysis_for(
+        tmp_path / "a", stage_tree(base)
+    ).stage_lineages()["alpha"]
+    after = analysis_for(
+        tmp_path / "b",
+        stage_tree(base.replace("alpha:crunch", "alpha:renamed")),
+    ).stage_lineages()["alpha"]
+    assert before["digest"] != after["digest"]
+
+
+# ---------------------------------------------------------------------------
+# S-rules
+# ---------------------------------------------------------------------------
+
+
+def test_s701_fires_on_raw_rng_in_run_path_helper(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree("""
+        import random
+
+        def crunch(payload):
+            rng = random.Random(0)
+            return rng.random()
+    """), select=["S701"])
+    assert codes(findings) == ["S701"]
+    finding = findings[0]
+    assert finding.path == "pkg/helpers.py"
+    assert "stage 'alpha'" in finding.message
+    assert "witness:" in finding.message
+    assert "pkg.stages:_run -> pkg.helpers:crunch" in finding.message
+    assert f"pkg/helpers.py:{finding.line}" in finding.message
+
+
+def test_s701_quiet_on_derived_rng(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree("""
+        from pkg.util.rng import seeded_rng
+
+        def crunch(payload):
+            return seeded_rng(payload, "alpha:crunch").random()
+    """), select=["S701"])
+    assert findings == []
+
+
+def test_s701_pragma_disable(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree("""
+        import random
+
+        def crunch(payload):
+            rng = random.Random(0)  # reprolint: disable=S701
+            return rng.random()
+    """), select=["S701"])
+    assert findings == []
+
+
+def test_s702_fires_on_double_spent_stream_name(tmp_path):
+    files = dict(RNG_MODULE)
+    files["pkg/consumers.py"] = """
+        from pkg.util.rng import seeded_rng
+
+        def one(seed):
+            return seeded_rng(seed, "panel:dup")
+
+        def two(seed):
+            return seeded_rng(seed, "panel:dup")
+    """
+    findings = lint_tree(tmp_path, files, select=["S702"])
+    assert codes(findings) == ["S702", "S702"]
+    assert "panel:dup" in findings[0].message
+    assert "2 sites" in findings[0].message
+
+
+def test_s702_quiet_on_distinct_stream_names(tmp_path):
+    files = dict(RNG_MODULE)
+    files["pkg/consumers.py"] = """
+        from pkg.util.rng import seeded_rng
+
+        def one(seed):
+            return seeded_rng(seed, "panel:one")
+
+        def two(seed):
+            return seeded_rng(seed, "panel:two")
+    """
+    assert lint_tree(tmp_path, files, select=["S702"]) == []
+
+
+def test_s703_fires_outside_tests_and_stays_quiet_inside(tmp_path):
+    files = dict(RNG_MODULE)
+    files["pkg/lib.py"] = """
+        from pkg.util.rng import fixed_rng
+
+        def sample():
+            return fixed_rng().random()
+    """
+    files["tests/test_lib.py"] = """
+        from pkg.util.rng import fixed_rng
+
+        def test_sample():
+            assert fixed_rng().random() is not None
+    """
+    findings = lint_tree(tmp_path, files, select=["S703"])
+    assert codes(findings) == ["S703"]
+    assert findings[0].path == "pkg/lib.py"
+
+
+def test_s704_fires_when_a_run_returns_the_rng(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree(
+        """
+        def crunch(payload):
+            return payload
+        """,
+        run_body="_draw(payload)",
+    ) | {
+        "pkg/stages.py": """
+            from pkg.util.rng import seeded_rng
+
+            def _plan(world, products):
+                return [("s0", None)]
+
+            def _run(world, products, payload):
+                rng = seeded_rng(payload, "alpha:run")
+                return rng
+
+            def _merge(world, products, shards):
+                return shards
+
+            SPEC = StageSpec(
+                name="alpha", plan=_plan, run=_run, merge=_merge,
+            )
+        """,
+    }, select=["S704"])
+    assert codes(findings) == ["S704"]
+    assert "returns the RNG bound to 'rng'" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# X-rules
+# ---------------------------------------------------------------------------
+
+
+def test_x801_fires_on_builtin_escaping_a_stage_run(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree("""
+        def crunch(payload):
+            if payload is None:
+                raise KeyError("missing payload")
+            return payload
+    """), select=["X801"])
+    assert codes(findings) == ["X801"]
+    assert "builtin KeyError" in findings[0].message
+    assert "stage:alpha:run" in findings[0].message
+    assert "witness:" in findings[0].message
+
+
+def test_x801_quiet_when_wrapped_into_the_taxonomy(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree("""
+        from repro.errors import ValidationError
+
+        def crunch(payload):
+            try:
+                return payload["key"]
+            except KeyError as exc:
+                raise ValidationError("missing payload") from exc
+    """), select=["X801"])
+    assert findings == []
+
+
+def test_x802_fires_on_cli_main_with_escapes(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "pkg/cli.py": """
+            def work():
+                raise ValueError("boom")
+
+            def main(argv=None):
+                work()
+                return 0
+        """,
+    }, select=["X802"])
+    assert codes(findings) == ["X802"]
+    assert "raw traceback" in findings[0].message
+    assert "ValueError" in findings[0].message
+
+
+def test_x802_quiet_when_main_catches_at_top_level(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "pkg/cli.py": """
+            def work():
+                raise ValueError("boom")
+
+            def main(argv=None):
+                try:
+                    work()
+                except ValueError:
+                    return 1
+                return 0
+        """,
+    }, select=["X802"])
+    assert findings == []
+
+
+def test_x803_fires_on_unchained_wrap(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "pkg/mod.py": """
+            from repro.errors import ValidationError
+
+            def f(payload):
+                try:
+                    return payload["key"]
+                except KeyError:
+                    raise ValidationError("missing key")
+        """,
+    }, select=["X803"])
+    assert codes(findings) == ["X803"]
+    assert "'from'" in findings[0].message
+
+
+def test_x803_quiet_on_chained_wrap_and_bare_reraise(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "pkg/mod.py": """
+            from repro.errors import ValidationError
+
+            def f(payload):
+                try:
+                    return payload["key"]
+                except KeyError as exc:
+                    raise ValidationError("missing key") from exc
+
+            def g(payload):
+                try:
+                    return payload["key"]
+                except KeyError:
+                    raise
+        """,
+    }, select=["X803"])
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# I-rules
+# ---------------------------------------------------------------------------
+
+
+def test_i901_fires_on_raw_open_in_run_path(tmp_path):
+    findings = lint_tree(tmp_path, stage_tree("""
+        def crunch(payload):
+            with open("artifact.json") as handle:
+                return handle.read()
+    """), select=["I901"])
+    assert codes(findings) == ["I901"]
+    assert "stage 'alpha'" in findings[0].message
+    assert "witness:" in findings[0].message
+
+
+def test_i901_quiet_in_sanctioned_io_module(tmp_path):
+    files = stage_tree("""
+        from pkg.io.files import load
+
+        def crunch(payload):
+            return load(payload)
+    """)
+    files["pkg/io/files.py"] = """
+        def load(path):
+            with open(path) as handle:
+                return handle.read()
+    """
+    assert lint_tree(tmp_path, files, select=["I901"]) == []
+
+
+def test_i902_fires_on_subprocess_anywhere(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "pkg/mod.py": """
+            import subprocess
+
+            def shell(cmd):
+                return subprocess.run(cmd)
+        """,
+    }, select=["I902"])
+    assert codes(findings) == ["I902"]
+    assert "hermetic" in findings[0].message
+
+
+def test_i902_quiet_in_test_code(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "tests/test_mod.py": """
+            import subprocess
+
+            def test_shell():
+                assert subprocess.run(["true"]) is not None
+        """,
+    }, select=["I902"])
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# copied-tree S701 regression (mirrors the footprint-salt lock)
+# ---------------------------------------------------------------------------
+
+
+def test_planted_raw_rng_in_panel_run_yields_s701_with_witness(tmp_path):
+    target = tmp_path / "edited" / "repro"
+    shutil.copytree(default_root(), target)
+    stages = target / "runtime" / "stages.py"
+    source = stages.read_text()
+    anchor = "    lo, hi = payload\n"
+    start = source.index("def panel_run(")
+    planted = source.index(anchor, start) + len(anchor)
+    stages.write_text(
+        "import random\n"
+        + source[:planted]
+        + "    _rogue = random.Random(0)\n"
+        + source[planted:]
+    )
+    findings = run_lint(
+        [target], rules=select_rules(["S701"]), root=target.parent
+    ).findings
+    assert findings, "planted random.Random(0) was not detected"
+    panel = [f for f in findings if "'panel'" in f.message]
+    assert panel, [f.message for f in findings]
+    finding = panel[0]
+    assert finding.path == "repro/runtime/stages.py"
+    assert "witness:" in finding.message
+    assert f"repro/runtime/stages.py:{finding.line}" in finding.message
+    assert "repro.runtime.stages:panel_run" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# report tripwire against the live tree
+# ---------------------------------------------------------------------------
+
+
+def test_dataflow_report_matches_cli_and_stage_roster():
+    df = dataflow_for_model(program_model())
+    report = df.report_json()
+    assert report["schema"] == DATAFLOW_SCHEMA
+
+    # Every live CLI subcommand must appear in the entrypoint map.
+    from repro.cli import build_parser
+
+    subparsers = next(
+        action
+        for action in build_parser()._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    entry_keys = set(report["entrypoints"])
+    assert "cli:repro.cli" in entry_keys
+    for name in subparsers.choices:
+        assert f"cli:repro.cli:{name}" in entry_keys, name
+
+    # Every stage has a run entrypoint with a non-empty, fully wrapped
+    # escape set and a lineage tree with digest and root.
+    assert set(report["stages"]) == set(STAGE_NAMES)
+    for name in STAGE_NAMES:
+        record = report["entrypoints"][f"stage:{name}:run"]
+        assert record["escapes"], name
+        for exc_name, data in record["escapes"].items():
+            assert data["category"] == "repro", (name, exc_name)
+            assert data["witness"], (name, exc_name)
+        lineage = report["stages"][name]["lineage"]
+        assert lineage["digest"] and lineage["root"], name
+
+    # The shipped tree carries no taints.
+    assert report["taints"] == []
+    assert report["summary"]["stages"] == len(STAGE_NAMES)

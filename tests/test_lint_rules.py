@@ -1001,7 +1001,14 @@ def test_repo_tree_is_lint_clean():
     source_tree = repo_root / "src" / "repro"
     if not source_tree.exists():  # pragma: no cover - exotic layouts
         pytest.skip("source tree not present")
-    result = run_lint([source_tree], root=repo_root)
+    # The same roster `make lint` checks: the package plus the scripts
+    # and benchmarks that ride in CI, against an empty baseline.
+    paths = [source_tree] + [
+        extra
+        for extra in (repo_root / "scripts", repo_root / "benchmarks")
+        if extra.exists()
+    ]
+    result = run_lint(paths, root=repo_root)
     assert result.findings == [], [
         f"{f.location()}: {f.rule} {f.message}" for f in result.findings
     ]

@@ -1,0 +1,115 @@
+"""RNG lineage in manifests and ledger records.
+
+The per-stage lineage trees are computed statically from the program
+model, so they must be byte-identical across worker counts and across
+cold/warm cache runs — any difference would mean the provenance layer
+is leaking execution details into what is supposed to be a pure
+code-shape digest.  The diff engine then treats a moved lineage digest
+as a *code* cause, never drift.
+"""
+
+from __future__ import annotations
+
+from repro import WorldConfig
+from repro.obs.diff import diff_records, render_diff_text
+from repro.runtime import run_study
+from repro.runtime.stages import STAGE_NAMES
+
+
+def lineage_digests(manifest) -> dict:
+    return {
+        name: tree["digest"]
+        for name, tree in manifest["rng_lineage"].items()
+    }
+
+
+def test_manifest_lineage_covers_every_stage():
+    run = run_study(WorldConfig.small(), workers=1)
+    lineage = run.manifest["rng_lineage"]
+    assert set(lineage) == set(STAGE_NAMES)
+    for name, tree in lineage.items():
+        assert tree["digest"], name
+        assert tree["root"].startswith("repro.runtime.stages:"), name
+        for stream in tree["streams"]:
+            assert stream["api"] and stream["function"], name
+    # Stages draw through distinct derivation shapes — digests differ.
+    digests = lineage_digests(run.manifest)
+    assert len(set(digests.values())) == len(digests)
+
+
+def test_lineage_digests_invariant_across_worker_counts():
+    config = WorldConfig.small()
+    serial = run_study(config, workers=1)
+    fanned = run_study(config, workers=4)
+    assert lineage_digests(serial.manifest) == lineage_digests(
+        fanned.manifest
+    )
+
+
+def test_lineage_digests_invariant_cold_vs_warm_cache(tmp_path):
+    config = WorldConfig.small()
+    cold = run_study(config, workers=1, cache_dir=str(tmp_path))
+    warm = run_study(config, workers=1, cache_dir=str(tmp_path))
+    assert lineage_digests(cold.manifest) == lineage_digests(warm.manifest)
+    # The ledger record carries the digest map, shaped for diffing.
+    for run in (cold, warm):
+        record = run.result.ledger_record
+        assert record is not None
+        assert record["rng_lineage"] == lineage_digests(run.manifest)
+
+
+def _record(salt: str, lineage: str, value: int) -> dict:
+    return {
+        "run_id": f"run-{salt}",
+        "config": {"digest": "cfg", "seed": 7},
+        "workers": 1,
+        "salts": {"panel": salt},
+        "footprints": {"panel": salt},
+        "rng_lineage": {"panel": lineage},
+        "stages": [{
+            "stage": "panel",
+            "shards": 1,
+            "cache_hits": 0,
+            "cache_misses": 1,
+            "wall_s": 0.1,
+            "cpu_s": 0.1,
+            "metric_keys": ["panel.count"],
+        }],
+        "metrics": {"panel.count": {"kind": "counter", "value": value}},
+    }
+
+
+def test_diff_classifies_lineage_change_as_code_cause():
+    diff = diff_records(
+        _record("salt-a", "lineage-a", 1),
+        _record("salt-b", "lineage-b", 2),
+    )
+    assert diff.changed_lineages == ("panel",)
+    assert diff.unexplained() == []
+    (delta,) = diff.deltas
+    assert delta.classification == "code"
+    assert "rng_lineage:panel" in delta.caused_by
+    assert diff.to_dict()["changed_lineages"] == ["panel"]
+    assert "changed RNG lineages: panel" in render_diff_text(diff)
+
+
+def test_diff_without_lineage_sections_stays_backward_compatible():
+    record_a = _record("salt", "lineage", 1)
+    record_b = _record("salt", "lineage", 1)
+    for record in (record_a, record_b):
+        del record["rng_lineage"]
+    diff = diff_records(record_a, record_b)
+    assert diff.changed_lineages == ()
+    assert diff.deltas == []
+
+
+def test_diff_classifies_lint_wall_time_as_timing():
+    record_a = _record("salt", "lineage", 1)
+    record_b = _record("salt", "lineage", 1)
+    record_a["metrics"]["lint.time_s"] = {"kind": "gauge", "value": 4.0}
+    record_b["metrics"]["lint.time_s"] = {"kind": "gauge", "value": 9.0}
+    diff = diff_records(record_a, record_b)
+    (delta,) = diff.deltas
+    assert delta.key == "lint.time_s"
+    assert delta.classification == "timing"
+    assert diff.unexplained() == []
