@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke calibrate sweep clean
+.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke serve-smoke serve-load calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -52,6 +52,22 @@ trace-smoke:
 # the ledger, diff JSON and trace events in build/diff-smoke for CI.
 diff-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/diff_smoke.py
+
+# Study-service smoke: start `repro serve` on an ephemeral port, submit
+# the same small config twice (cold fill, then warm replay with hit
+# rate 1.0 on /metrics), assert both SSE streams are well-formed and
+# terminal, that the HTTP ledger diff matches `repro obs diff` with
+# zero unexplained drift, and that shutdown is clean (see
+# docs/service.md).  Leaves the server log, event streams and diff in
+# build/serve-smoke for CI.
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_smoke.py
+
+# Service load benchmark: concurrent clients vs a warm server; the JSON
+# report feeds bench_to_ledger.py --serve-report (serve.requests_per_s
+# gauges in the run ledger).
+serve-load:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_load.py
 
 calibrate:
 	$(PYTHON) scripts/calibrate.py medium

@@ -17,6 +17,12 @@ With ``--lint-report build/dataflow-report.json`` the wall time of the
 reprolint run (the ``time_s`` key the linter writes alongside its
 dataflow analysis) is folded into the same record as a ``lint.time_s``
 gauge, so linter performance is tracked in the ledger too.
+
+With ``--serve-report build/serve-load.json`` each endpoint's
+throughput from a ``scripts/serve_load.py`` run (schema
+``repro.serve/load/v1``) is folded in as a
+``serve.requests_per_s{endpoint=...}`` gauge — study-service
+performance history lands in the same journal.
 """
 
 import argparse
@@ -26,7 +32,7 @@ import sys
 from repro.errors import ObservabilityError
 from repro.obs import LEDGER_SCHEMA, append_record
 from repro.obs.metrics import metric_key
-from repro.obs.names import BENCH_TIME, LINT_TIME
+from repro.obs.names import BENCH_TIME, LINT_TIME, SERVE_REQUESTS_PER_S
 
 #: the pytest-benchmark summary statistics folded into the ledger
 STATS = ("min", "median", "mean", "max")
@@ -41,6 +47,30 @@ def lint_time_from(report: dict) -> float:
             "lint report carries no numeric 'time_s' field"
         )
     return float(time_s)
+
+
+def serve_gauges_from(report: dict) -> dict:
+    """Per-endpoint throughput gauges from a serve load report
+    (``scripts/serve_load.py``, schema ``repro.serve/load/v1``)."""
+    if report.get("schema") != "repro.serve/load/v1":
+        raise ObservabilityError(
+            f"serve report carries schema {report.get('schema')!r} "
+            "(expected 'repro.serve/load/v1')"
+        )
+    endpoints = report.get("endpoints")
+    if not isinstance(endpoints, dict) or not endpoints:
+        raise ObservabilityError("serve report carries no 'endpoints'")
+    gauges = {}
+    for endpoint, stats in sorted(endpoints.items()):
+        value = stats.get("requests_per_s") if isinstance(stats, dict) else None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ObservabilityError(
+                f"serve report endpoint {endpoint!r} carries no numeric "
+                "'requests_per_s'"
+            )
+        key = metric_key(SERVE_REQUESTS_PER_S, {"endpoint": endpoint})
+        gauges[key] = {"kind": "gauge", "value": float(value)}
+    return gauges
 
 
 def bench_record(report: dict) -> dict:
@@ -89,6 +119,14 @@ def main(argv=None) -> int:
             "folded in as a lint.time_s gauge"
         ),
     )
+    parser.add_argument(
+        "--serve-report",
+        metavar="PATH",
+        help=(
+            "serve load report (scripts/serve_load.py) whose per-endpoint "
+            "throughput is folded in as serve.requests_per_s gauges"
+        ),
+    )
     args = parser.parse_args(argv)
 
     def read_json(path: str) -> dict:
@@ -98,6 +136,7 @@ def main(argv=None) -> int:
     try:
         report = read_json(args.report)
         lint = read_json(args.lint_report) if args.lint_report else None
+        serve = read_json(args.serve_report) if args.serve_report else None
     except OSError as exc:
         print(f"bench_to_ledger: cannot read report: {exc}", file=sys.stderr)
         return 1
@@ -115,6 +154,8 @@ def main(argv=None) -> int:
             record["metrics"][key] = {
                 "kind": "gauge", "value": lint_time_from(lint),
             }
+        if serve is not None:
+            record["metrics"].update(serve_gauges_from(serve))
         record = append_record(args.ledger, record)
     except ObservabilityError as exc:
         print(f"bench_to_ledger: {exc}", file=sys.stderr)

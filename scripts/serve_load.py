@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Load benchmark: concurrent clients against a warm study server.
+
+Usage::
+
+    python scripts/serve_load.py [--clients 8] [--requests 25] \
+        [--out build/serve-load.json]
+
+Starts a :class:`repro.serve.StudyServer` on an ephemeral port, warms
+its cache with one small study (submitted twice, so the second run
+verifies the cache really is warm), then hammers the read endpoints —
+``/healthz``, ``/metrics``, ``/runs`` — with ``--clients`` concurrent
+threads issuing ``--requests`` requests each per endpoint, and reports
+requests/sec per endpoint plus the server's warm-cache hit rate.
+
+The JSON report (schema ``repro.serve/load/v1``) feeds
+``scripts/bench_to_ledger.py --serve-report``, which folds each
+endpoint's throughput into the run ledger as a
+``serve.requests_per_s{endpoint=...}`` gauge — service performance
+history then lives in the same auditable journal as the engine runs
+and the pytest benchmarks.
+"""
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.errors import ServeError
+from repro.serve import StudyServer, decode_events
+
+#: the read endpoints the benchmark hammers
+ENDPOINTS = ("/healthz", "/metrics", "/runs")
+
+LOAD_SCHEMA = "repro.serve/load/v1"
+
+
+def request(port, method, path, body=None, timeout=300):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def warm(port) -> float:
+    """Submit the same small study twice; returns the warm hit rate."""
+    done = {}
+    for label in ("cold", "warm"):
+        status, text = request(
+            port, "POST", "/studies", json.dumps({"preset": "small"})
+        )
+        if status != 202:
+            raise ServeError(f"{label} submit failed: {status} {text}")
+        job_id = json.loads(text)["job_id"]
+        _status, raw = request(port, "GET", f"/studies/{job_id}/events")
+        events = decode_events(raw)
+        if events[-1]["data"].get("state") != "done":
+            raise ServeError(f"{label} job failed: {events[-1]['data']}")
+        done[label] = events[-1]["data"]
+    return done["warm"]["warm_hit_rate"]
+
+
+def hammer(port, endpoint, clients, requests_each):
+    """``clients`` threads, ``requests_each`` GETs each; returns stats."""
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client():
+        barrier.wait()
+        for _ in range(requests_each):
+            status, _text = request(port, "GET", endpoint, timeout=60)
+            if status != 200:
+                errors.append(status)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    total = clients * requests_each
+    return {
+        "requests": total,
+        "errors": len(errors),
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(total / wall_s, 3) if wall_s > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default: 8)")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client per endpoint (default: 25)")
+    parser.add_argument("--out", default="build/serve-load.json",
+                        help="JSON report path (default: build/serve-load.json)")
+    parser.add_argument("--cache-dir", default="build/serve-load-cache",
+                        help="cache directory (default: build/serve-load-cache)")
+    args = parser.parse_args(argv)
+
+    server = StudyServer(cache_dir=args.cache_dir, port=0, workers=2)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=server.run,
+        kwargs={"on_ready": lambda _server: ready.set()},
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(timeout=60):
+        print("serve_load: server did not become ready", file=sys.stderr)
+        return 1
+
+    try:
+        warm_hit_rate = warm(server.port)
+        report = {
+            "schema": LOAD_SCHEMA,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "warm_hit_rate": warm_hit_rate,
+            "endpoints": {
+                endpoint: hammer(
+                    server.port, endpoint, args.clients, args.requests
+                )
+                for endpoint in ENDPOINTS
+            },
+        }
+    except ServeError as exc:
+        print(f"serve_load: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        server.request_stop()
+        thread.join(timeout=30)
+
+    failures = {
+        endpoint: stats["errors"]
+        for endpoint, stats in report["endpoints"].items()
+        if stats["errors"]
+    }
+    if failures:
+        print(f"serve_load: non-200 responses: {failures}", file=sys.stderr)
+        return 1
+    if warm_hit_rate != 1.0:
+        print(f"serve_load: cache not warm (hit rate {warm_hit_rate})",
+              file=sys.stderr)
+        return 1
+
+    parent = os.path.dirname(args.out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    lines = [
+        f"{endpoint}: {stats['requests_per_s']:.0f} req/s "
+        f"({stats['requests']} requests, {args.clients} clients)"
+        for endpoint, stats in sorted(report["endpoints"].items())
+    ]
+    print("\n".join(lines))
+    print(f"warm hit rate {warm_hit_rate}; report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

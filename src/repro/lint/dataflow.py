@@ -104,6 +104,18 @@ def is_io_sanctioned(module: str) -> bool:
     return "io" in parts or parts[-1] == "persist"
 
 
+def is_serve_module(module: str) -> bool:
+    """Modules inside a ``serve`` package: the study service transport.
+
+    This is the **only** carve-out from the I902 no-sockets rule, and it
+    is deliberately narrow: the service must listen on a socket to be a
+    service, but the exemption covers the ``serve`` layer alone (socket
+    calls only — subprocess escapes stay flagged everywhere), so the
+    simulation underneath it remains hermetic.
+    """
+    return "serve" in module.split(".")
+
+
 # ---------------------------------------------------------------------------
 # records
 # ---------------------------------------------------------------------------

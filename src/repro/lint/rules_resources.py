@@ -24,6 +24,7 @@ from repro.lint.dataflow import (
     DataflowAnalysis,
     dataflow_for,
     is_io_sanctioned,
+    is_serve_module,
     is_test_module,
 )
 from repro.lint.findings import Finding
@@ -98,7 +99,9 @@ class ProcessEscapeRule(_ResourceRule):
     name = "io-process-escape"
     description = (
         "socket/subprocess/os.system call in library code: a simulated "
-        "study must not touch the network or spawn processes"
+        "study must not touch the network or spawn processes (sole "
+        "carve-out: socket use inside a serve package — the service "
+        "transport has to listen somewhere)"
     )
 
     def _check(
@@ -110,6 +113,14 @@ class ProcessEscapeRule(_ResourceRule):
                 continue
             for site in sites:
                 if site.rendered == "open":
+                    continue
+                # The serve layer's listening socket is the one
+                # sanctioned network touchpoint; subprocess/os.system
+                # stay forbidden even there.
+                if is_serve_module(ref[0]) and (
+                    site.rendered == "socket"
+                    or site.rendered.startswith("socket.")
+                ):
                     continue
                 yield Finding(
                     path=ctx.rel_path,

@@ -79,6 +79,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import (
     NULL_TRACER,
+    CallbackTracer,
     NullTracer,
     Span,
     Tracer,
@@ -128,6 +129,7 @@ __all__ = [
     "observe",
     "set_gauge",
     "NULL_TRACER",
+    "CallbackTracer",
     "NullTracer",
     "Span",
     "Tracer",

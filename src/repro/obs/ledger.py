@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.errors import ObservabilityError
@@ -74,6 +75,11 @@ _RUN_FIELDS: Dict[str, Any] = {
 }
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: serializes count-then-append within this process: the serve job pool
+#: runs concurrent engine runs on threads sharing one ledger, and an
+#: unlocked interleaving would stamp two records with the same seq
+_APPEND_LOCK = threading.Lock()
 
 
 def ledger_path(cache_dir: PathLike) -> str:
@@ -173,11 +179,12 @@ def append_record(path: PathLike, payload: Mapping[str, Any]) -> Dict[str, Any]:
     record = dict(payload)
     record.pop("run_id", None)
     record.pop("seq", None)
-    seq = count_jsonl_lines(path)
-    record["seq"] = seq
-    record["run_id"] = run_id_for(record, seq)
-    validate_record(record)
-    append_jsonl_line(path, record)
+    with _APPEND_LOCK:
+        seq = count_jsonl_lines(path)
+        record["seq"] = seq
+        record["run_id"] = run_id_for(record, seq)
+        validate_record(record)
+        append_jsonl_line(path, record)
     return record
 
 

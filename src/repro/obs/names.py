@@ -73,6 +73,34 @@ BENCH_TIME = "bench.time_s"
 #: dataflow report (scripts/bench_to_ledger.py --lint-report)
 LINT_TIME = "lint.time_s"
 
+#: HTTP requests served, by route pattern (serve/server.py)
+SERVE_HTTP_REQUESTS = "serve.http.requests"
+
+#: study submissions accepted onto the job queue (serve/jobs.py)
+SERVE_JOBS_SUBMITTED = "serve.jobs.submitted"
+
+#: submissions rejected because the bounded queue was full (serve/jobs.py)
+SERVE_JOBS_REJECTED = "serve.jobs.rejected"
+
+#: jobs that reached a terminal state, by outcome (serve/jobs.py)
+SERVE_JOBS_COMPLETED = "serve.jobs.completed"
+
+#: jobs currently waiting on the queue (serve/jobs.py)
+SERVE_JOBS_QUEUED = "serve.jobs.queued"
+
+#: jobs currently executing (serve/jobs.py)
+SERVE_JOBS_RUNNING = "serve.jobs.running"
+
+#: headline service gauge: cache hit share of the most recent job's
+#: engine run — 1.0 means the study was served entirely warm
+#: (serve/jobs.py)
+SERVE_WARM_HIT_RATE = "serve.cache.warm_hit_rate"
+
+#: throughput of one serve load benchmark against a warm server, by
+#: endpoint (scripts/serve_load.py, folded into the ledger via
+#: scripts/bench_to_ledger.py --serve-report)
+SERVE_REQUESTS_PER_S = "serve.requests_per_s"
+
 #: (name, kind, label names, description) — the closed declaration list.
 #: ``kind`` is counter | gauge | histogram.  O602 compares call-site
 #: label keywords against the label tuple as a *set*: every declared
@@ -106,6 +134,22 @@ _METRIC_DECLS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
      "pytest-benchmark wall-time statistic per benchmark"),
     (LINT_TIME, "gauge", (),
      "wall time of one full reprolint run"),
+    (SERVE_HTTP_REQUESTS, "counter", ("route",),
+     "HTTP requests served, by route pattern"),
+    (SERVE_JOBS_SUBMITTED, "counter", (),
+     "study submissions accepted onto the job queue"),
+    (SERVE_JOBS_REJECTED, "counter", (),
+     "study submissions rejected by the bounded queue"),
+    (SERVE_JOBS_COMPLETED, "counter", ("outcome",),
+     "jobs that reached a terminal state, by outcome"),
+    (SERVE_JOBS_QUEUED, "gauge", (),
+     "jobs currently waiting on the queue"),
+    (SERVE_JOBS_RUNNING, "gauge", (),
+     "jobs currently executing"),
+    (SERVE_WARM_HIT_RATE, "gauge", (),
+     "cache hit share of the most recent job's engine run"),
+    (SERVE_REQUESTS_PER_S, "gauge", ("endpoint",),
+     "serve load-benchmark throughput, by endpoint"),
 )
 
 # -- span names -------------------------------------------------------------
@@ -116,6 +160,7 @@ SPAN_PLAN = "plan"
 SPAN_CACHE_PROBE = "cache:probe"
 SPAN_EXECUTE = "execute"
 SPAN_MERGE = "merge"
+SPAN_SERVE_JOB = "serve:job"
 SPAN_STUDY_PANEL = "study:panel"
 SPAN_STUDY_CLASSIFICATION = "study:classification"
 SPAN_STUDY_INVENTORY = "study:inventory"
@@ -132,6 +177,7 @@ SPAN_NAMES: Tuple[str, ...] = (
     SPAN_CACHE_PROBE,
     SPAN_EXECUTE,
     SPAN_MERGE,
+    SPAN_SERVE_JOB,
     SPAN_STUDY_PANEL,
     SPAN_STUDY_CLASSIFICATION,
     SPAN_STUDY_INVENTORY,

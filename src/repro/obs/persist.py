@@ -11,8 +11,9 @@ document**.  Two primitives cover every obs writer:
 * :func:`append_jsonl_line` — append-only journal write: the record is
   serialized first, then written with a *single* ``write`` call on a
   file opened in append mode, so concurrent readers see whole lines.
-  (The ledger is single-writer by design — one engine run appends one
-  record — so no cross-process lock is needed.)
+  (Within a process, concurrent appenders — the serve job pool —
+  serialize through the lock in :mod:`repro.obs.ledger`; across
+  processes the ledger stays single-writer by design.)
 
 Reading the journal back goes through :func:`read_jsonl_lines`, which
 converts any decoding failure into an :class:`ObservabilityError`

@@ -19,6 +19,7 @@ import inspect
 import json
 import os
 import pickle
+import threading
 from dataclasses import asdict, is_dataclass
 from typing import Any, Dict, Optional, Tuple
 
@@ -166,7 +167,13 @@ class ArtifactCache:
             return
         path = self._path(stage, key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # The temp name must be unique per *writer*, not just per
+        # process: the serve job pool runs concurrent engine runs on
+        # threads of one process, and two threads sharing a pid-only
+        # suffix would interleave writes into the same temp file and
+        # publish a corrupt artifact.  pid + thread id keeps the
+        # write-temp-then-rename slot exclusive in both worlds.
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as fh:
             pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)

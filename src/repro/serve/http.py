@@ -1,0 +1,235 @@
+"""Hand-rolled HTTP/1.1 over asyncio streams.
+
+``http.server`` is thread-per-request and hostile to SSE; frameworks
+are off the table (the tree is stdlib-only).  What the service actually
+needs from HTTP is small: parse one request from a stream pair, match
+it against a handful of literal-and-capture route patterns, and render
+a response — either a complete JSON document or a streamed event body.
+This module is exactly that and nothing more; connections are
+``Connection: close`` (one request per connection), which keeps the
+parser single-shot and makes client EOF the end-of-stream signal SSE
+consumers already expect.
+
+Errors are :class:`repro.errors.HttpError` — a
+:class:`~repro.errors.ServeError` carrying the status code (re-exported
+here) — so transport failures stay inside the repo's exception taxonomy
+while the server maps them onto the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from asyncio import IncompleteReadError, LimitOverrunError, StreamReader
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import HttpError, ServeError
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "Request",
+    "Router",
+    "STATUS_PHRASES",
+    "json_response",
+    "read_request",
+    "response_head",
+]
+
+#: request bodies beyond this are rejected with 413
+MAX_BODY_BYTES = 1 << 22
+
+#: reason phrases for the statuses the service emits
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body as JSON (:class:`HttpError` 400 on malformed)."""
+        if not self.body:
+            raise HttpError(400, "request body is empty; expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(
+                400, f"request body is not valid JSON: {exc}"
+            ) from exc
+
+
+async def read_request(
+    reader: StreamReader, max_body: int = MAX_BODY_BYTES
+) -> "Request | None":
+    """Parse one request off the stream; ``None`` on immediate EOF.
+
+    Malformed request lines, unparseable headers, bad Content-Length
+    and oversized bodies raise :class:`HttpError` with the appropriate
+    4xx status.  A connection the peer closed before sending anything
+    is a normal event, not an error.
+    """
+    try:
+        start_line = await reader.readline()
+    except (LimitOverrunError, ValueError) as exc:
+        raise HttpError(400, f"request line too long: {exc}") from exc
+    if not start_line:
+        return None
+    parts = start_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {start_line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HttpError(400, "connection closed inside request headers")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        if ":" not in text:
+            raise HttpError(400, f"malformed header line: {text!r}")
+        name, value = text.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(
+                400, f"bad Content-Length {headers['content-length']!r}"
+            ) from exc
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length}")
+        if length > max_body:
+            raise HttpError(
+                413, f"request body of {length} bytes exceeds {max_body}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except IncompleteReadError as exc:
+            raise HttpError(
+                400,
+                f"connection closed inside request body "
+                f"({len(exc.partial)}/{length} bytes)",
+            ) from exc
+
+    split = urllib.parse.urlsplit(target)
+    query = dict(urllib.parse.parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        path=urllib.parse.unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_head(
+    status: int,
+    content_type: str = "application/json",
+    content_length: "int | None" = None,
+) -> bytes:
+    """Status line + headers (+ blank line) for one response."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}; charset=utf-8",
+        "Connection: close",
+        "Cache-Control: no-store",
+    ]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """A complete JSON response (head + document)."""
+    body = (
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    ).encode("utf-8")
+    return response_head(status, content_length=len(body)) + body
+
+
+#: a route pattern: literal segments and ``{name}`` captures
+RoutePattern = Tuple[str, ...]
+
+
+class Router:
+    """Method + path-pattern dispatch over a fixed route table.
+
+    Patterns are literal paths whose ``{name}`` segments capture one
+    path segment each: ``/runs/{a}/diff/{b}`` matches ``/runs/0/diff/1``
+    with ``{"a": "0", "b": "1"}``.  Literal segments always win over
+    captures because patterns are matched in registration order and the
+    route table registers its literal-suffix routes first.
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, RoutePattern, str, Callable]] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        if not pattern.startswith("/"):
+            raise ServeError(f"route pattern must start with '/': {pattern!r}")
+        segments = tuple(pattern.strip("/").split("/")) if pattern != "/" else ()
+        self._routes.append((method.upper(), segments, pattern, handler))
+
+    def match(
+        self, method: str, path: str
+    ) -> Tuple[Callable, Dict[str, str], str]:
+        """``(handler, captures, pattern)`` for one request target.
+
+        Unknown paths are 404; a known path reached with the wrong
+        method is 405 (listing the methods that would have worked).
+        """
+        segments = tuple(path.strip("/").split("/")) if path != "/" else ()
+        allowed: List[str] = []
+        for route_method, route_segments, pattern, handler in self._routes:
+            captures = _match_segments(route_segments, segments)
+            if captures is None:
+                continue
+            if route_method != method.upper():
+                allowed.append(route_method)
+                continue
+            return handler, captures, pattern
+        if allowed:
+            raise HttpError(
+                405,
+                f"{method} not allowed on {path} "
+                f"(allowed: {', '.join(sorted(set(allowed)))})",
+            )
+        raise HttpError(404, f"no route matches {path}")
+
+
+def _match_segments(
+    pattern: RoutePattern, segments: Tuple[str, ...]
+) -> "Dict[str, str] | None":
+    if len(pattern) != len(segments):
+        return None
+    captures: Dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            if not actual:
+                return None
+            captures[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return captures

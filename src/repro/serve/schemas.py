@@ -1,0 +1,200 @@
+"""The service's wire schemas: submissions, jobs and progress events.
+
+Two document kinds cross the serve API:
+
+* ``repro.serve/job/v1`` — one scheduled study: its deterministic
+  ``job_id``, submission ``seq``, lifecycle ``state`` (see
+  :data:`JOB_STATES` in :mod:`repro.serve.jobs`), the config identity
+  it runs, and — once terminal — either a ``result`` summary or an
+  ``error`` message;
+* ``repro.serve/event/v1`` — one progress event on a job's SSE stream:
+  the ``event`` name (``job:queued``/``job:start``/``span:start``/
+  ``span:end``/``job:done``), its per-job ``seq`` and an event-specific
+  ``data`` object.
+
+A submission body (``POST /studies``) is deliberately *not* a full
+:class:`~repro.config.WorldConfig` dump: it names a preset, optionally
+a seed, and optionally sparse per-section field ``overrides``, which
+:func:`config_from_payload` validates strictly (unknown sections,
+unknown fields and type mismatches are :class:`~repro.errors.ServeError`
+— a 400, never a crashed job) before the queue ever sees the job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.config import WorldConfig
+from repro.errors import ServeError
+
+#: schema identifier of one scheduled study (submission + status bodies)
+JOB_SCHEMA = "repro.serve/job/v1"
+
+#: schema identifier of one SSE progress event
+EVENT_SCHEMA = "repro.serve/event/v1"
+
+#: submission presets; mirrors the CLI's --preset choices
+PRESETS = {
+    "small": WorldConfig.small,
+    "medium": WorldConfig.medium,
+    "paper": WorldConfig.paper_scale,
+}
+
+#: the keys a submission body may carry
+SUBMISSION_KEYS = ("schema", "preset", "seed", "overrides")
+
+#: config sections overridable per submission
+OVERRIDE_SECTIONS = ("panel", "ecosystem", "browsing", "geolocation", "isp")
+
+#: event names a job stream may emit, in lifecycle order (span events
+#: repeat; ``job:done`` is the unique terminal event)
+EVENT_NAMES = ("job:queued", "job:start", "span:start", "span:end", "job:done")
+
+
+def _apply_overrides(
+    section: Any, fields: Mapping[str, Any], name: str
+) -> Any:
+    """Sparse field overrides onto one frozen config section."""
+    declared = {f.name: f for f in dataclasses.fields(section)}
+    unknown = sorted(set(fields) - set(declared))
+    if unknown:
+        raise ServeError(
+            f"unknown override field(s) in section {name!r}: "
+            f"{', '.join(unknown)}"
+        )
+    coerced: Dict[str, Any] = {}
+    for key, value in fields.items():
+        current = getattr(section, key)
+        if isinstance(current, bool) or isinstance(value, bool):
+            ok = isinstance(current, bool) and isinstance(value, bool)
+        elif isinstance(current, (int, float)):
+            ok = isinstance(value, (int, float))
+        else:
+            ok = isinstance(value, type(current))
+        if not ok:
+            raise ServeError(
+                f"override {name}.{key} must be "
+                f"{type(current).__name__}-compatible, got "
+                f"{type(value).__name__}"
+            )
+        # Keep int-typed knobs int: JSON has one number type, the
+        # configs do not.
+        if isinstance(current, int) and not isinstance(current, bool):
+            value = int(value)
+        coerced[key] = value
+    return dataclasses.replace(section, **coerced)
+
+
+def config_from_payload(payload: Any) -> WorldConfig:
+    """A :class:`WorldConfig` from a ``POST /studies`` body, strictly.
+
+    ``{"preset": "small", "seed": 7, "overrides": {"panel":
+    {"visits_per_user": 20.0}}}`` — every part optional except that the
+    body must be a JSON object.  Consistency checks the config sections
+    themselves enforce (``__post_init__``) still apply and surface as
+    :class:`~repro.errors.ConfigError`.
+    """
+    if not isinstance(payload, Mapping):
+        raise ServeError(
+            f"study submission must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(SUBMISSION_KEYS))
+    if unknown:
+        raise ServeError(
+            f"unknown submission key(s): {', '.join(unknown)} "
+            f"(expected {', '.join(SUBMISSION_KEYS)})"
+        )
+    schema = payload.get("schema", JOB_SCHEMA)
+    if schema != JOB_SCHEMA:
+        raise ServeError(
+            f"unsupported submission schema {schema!r} "
+            f"(expected {JOB_SCHEMA!r})"
+        )
+    preset = payload.get("preset", "small")
+    if preset not in PRESETS:
+        raise ServeError(
+            f"unknown preset {preset!r} "
+            f"(expected one of {', '.join(sorted(PRESETS))})"
+        )
+    seed = payload.get("seed")
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        raise ServeError(f"seed must be an integer, got {seed!r}")
+    factory = PRESETS[preset]
+    config = factory(seed=seed) if seed is not None else factory()
+
+    overrides = payload.get("overrides", {})
+    if not isinstance(overrides, Mapping):
+        raise ServeError("overrides must be a JSON object keyed by section")
+    unknown = sorted(set(overrides) - set(OVERRIDE_SECTIONS))
+    if unknown:
+        raise ServeError(
+            f"unknown override section(s): {', '.join(unknown)} "
+            f"(expected {', '.join(OVERRIDE_SECTIONS)})"
+        )
+    replacements: Dict[str, Any] = {}
+    for name in OVERRIDE_SECTIONS:
+        if name not in overrides:
+            continue
+        fields = overrides[name]
+        if not isinstance(fields, Mapping):
+            raise ServeError(f"override section {name!r} must be an object")
+        replacements[name] = _apply_overrides(
+            getattr(config, name), fields, name
+        )
+    if replacements:
+        config = dataclasses.replace(config, **replacements)
+    return config
+
+
+def event_payload(
+    event: str, job_id: str, seq: int, data: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """One schema-stamped ``repro.serve/event/v1`` payload."""
+    if event not in EVENT_NAMES:
+        raise ServeError(
+            f"unknown event name {event!r} (expected one of {EVENT_NAMES})"
+        )
+    return {
+        "schema": EVENT_SCHEMA,
+        "event": event,
+        "job_id": job_id,
+        "seq": seq,
+        "data": dict(data),
+    }
+
+
+def validate_event(payload: Any) -> None:
+    """Check one event payload against the v1 schema; raise on violation."""
+    if not isinstance(payload, Mapping):
+        raise ServeError(
+            f"event must be a mapping, got {type(payload).__name__}"
+        )
+    for key, expected in (
+        ("schema", str), ("event", str), ("job_id", str),
+        ("seq", int), ("data", dict),
+    ):
+        if key not in payload:
+            raise ServeError(f"event is missing {key!r}")
+        if not isinstance(payload[key], expected) or isinstance(
+            payload[key], bool
+        ):
+            raise ServeError(
+                f"event field {key!r} must be {expected.__name__}, got "
+                f"{type(payload[key]).__name__}"
+            )
+    if payload["schema"] != EVENT_SCHEMA:
+        raise ServeError(
+            f"unsupported event schema {payload['schema']!r} "
+            f"(expected {EVENT_SCHEMA!r})"
+        )
+    if payload["event"] not in EVENT_NAMES:
+        raise ServeError(f"unknown event name {payload['event']!r}")
+    if payload["seq"] < 0:
+        raise ServeError(f"event seq must be >= 0, got {payload['seq']}")
+
+
+def config_identity(config: WorldConfig) -> Tuple[str, int]:
+    """The (digest, seed) identity pair job payloads advertise."""
+    return config.digest(), config.seed

@@ -1,0 +1,87 @@
+"""Server-Sent Events framing.
+
+One event on the wire is a few ``field: value`` lines and a blank-line
+terminator::
+
+    id: 3
+    event: span:end
+    data: {"data":{"span":"stage:panel","wall_s":0.41},...}
+
+:func:`encode_event` renders a ``repro.serve/event/v1`` payload (see
+:mod:`repro.serve.schemas`) into that frame; :func:`decode_events` is
+the exact inverse, used by the smoke/load clients and the tests so both
+directions of the protocol live — and are locked — together.  The
+``data`` field always carries the *whole* event payload as one compact
+JSON object, so a consumer never needs the ``id``/``event`` lines to
+reconstruct the event.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import ServeError
+
+#: the media type SSE responses must carry
+SSE_CONTENT_TYPE = "text/event-stream"
+
+
+def encode_event(payload: Mapping[str, Any]) -> bytes:
+    """One SSE frame from a ``repro.serve/event/v1`` payload.
+
+    The payload's ``event`` name becomes the ``event:`` field and its
+    per-job sequence number the ``id:`` field; the full payload is the
+    single-line ``data:`` field.  Compact JSON contains no raw
+    newlines, so one ``data:`` line always suffices.
+    """
+    for key in ("event", "seq"):
+        if key not in payload:
+            raise ServeError(f"SSE payload is missing {key!r}")
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return (
+        f"id: {payload['seq']}\n"
+        f"event: {payload['event']}\n"
+        f"data: {data}\n\n"
+    ).encode("utf-8")
+
+
+def encode_comment(text: str) -> bytes:
+    """An SSE comment frame (ignored by clients; keeps streams warm)."""
+    if "\n" in text:
+        raise ServeError("SSE comments must be single-line")
+    return f": {text}\n\n".encode("utf-8")
+
+
+def decode_events(raw: str) -> List[Dict[str, Any]]:
+    """Parse an SSE stream back into its ``data`` payloads, in order.
+
+    Comment frames are skipped.  A frame without a ``data`` field, or
+    whose data is not a JSON object, raises :class:`ServeError` — the
+    serve protocol always ships the full event payload in ``data``.
+    """
+    events: List[Dict[str, Any]] = []
+    for frame in raw.split("\n\n"):
+        lines = [line for line in frame.split("\n") if line]
+        if not lines or all(line.startswith(":") for line in lines):
+            continue
+        data_lines = [
+            line[len("data:"):].strip()
+            for line in lines
+            if line.startswith("data:")
+        ]
+        if not data_lines:
+            raise ServeError(f"SSE frame carries no data field: {frame!r}")
+        try:
+            payload = json.loads("\n".join(data_lines))
+        except ValueError as exc:
+            raise ServeError(
+                f"SSE data is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"SSE data must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        events.append(payload)
+    return events

@@ -589,6 +589,58 @@ def test_i902_quiet_in_test_code(tmp_path):
     assert findings == []
 
 
+SOCKET_SERVER = """
+    import socket
+
+    def listen(host, port):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind((host, port))
+        return sock
+"""
+
+
+def test_i902_serve_carveout_sanctions_socket_in_serve_modules(tmp_path):
+    # The one scoped exemption: the serve layer may bind its listening
+    # socket (docs/service.md).
+    findings = lint_tree(tmp_path, {
+        "pkg/serve/server.py": SOCKET_SERVER,
+    }, select=["I902"])
+    assert findings == []
+
+
+def test_i902_still_fires_on_socket_outside_serve(tmp_path):
+    # The carve-out is scoped to serve modules — socket anywhere else
+    # is still a raw-I/O finding.
+    findings = lint_tree(tmp_path, {
+        "pkg/core/net.py": SOCKET_SERVER,
+    }, select=["I902"])
+    assert codes(findings) == ["I902"]
+    assert "socket" in findings[0].message
+
+
+def test_i902_still_fires_on_subprocess_in_serve(tmp_path):
+    # ... and scoped to the socket family — subprocess stays banned
+    # even inside the serve layer.
+    findings = lint_tree(tmp_path, {
+        "pkg/serve/worker.py": """
+            import subprocess
+
+            def shell(cmd):
+                return subprocess.run(cmd)
+        """,
+    }, select=["I902"])
+    assert codes(findings) == ["I902"]
+
+
+def test_is_serve_module_matches_path_segments_only():
+    from repro.lint.dataflow import is_serve_module
+
+    assert is_serve_module("repro.serve.server")
+    assert is_serve_module("pkg.serve")
+    assert not is_serve_module("repro.core.observe")
+    assert not is_serve_module("repro.serveur.mod")
+
+
 # ---------------------------------------------------------------------------
 # copied-tree S701 regression (mirrors the footprint-salt lock)
 # ---------------------------------------------------------------------------

@@ -103,6 +103,34 @@ class TestAppendAndLoad:
         # A rejected append writes nothing.
         assert count_jsonl_lines(path) == 0
 
+    def test_concurrent_appends_get_unique_dense_seqs(self, tmp_path):
+        # Concurrent serve jobs append to one ledger from threads of
+        # one process; the append lock serializes the count-stamp-write
+        # critical section, so every record gets a unique seq and the
+        # journal stays dense and loadable.
+        import threading
+
+        path = ledger_path(tmp_path)
+        barrier = threading.Barrier(8)
+
+        def appender(worker):
+            barrier.wait()
+            for i in range(10):
+                append_record(path, make_run_payload(value=worker * 100 + i))
+
+        threads = [
+            threading.Thread(target=appender, args=(worker,))
+            for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        records = load_ledger(path)
+        assert [record["seq"] for record in records] == list(range(80))
+        assert len({record["run_id"] for record in records}) == 80
+
     def test_missing_ledger_raises_cleanly(self, tmp_path):
         # The CLI catches this and renders "repro obs: cannot read ..."
         # instead of a traceback — absence is an error, not an empty list.

@@ -183,6 +183,38 @@ class TestArtifactCache:
         assert base != cache.key("dig", "salt", "stage2", "shard")
         assert base != cache.key("dig", "salt", "stage", "shard2")
 
+    def test_concurrent_stores_of_same_key_never_corrupt(self, tmp_path):
+        # The serve job pool runs engine runs on threads of one
+        # process, so two threads can store the same artifact key at
+        # once.  The per-writer temp suffix (pid + thread id) keeps
+        # their write-temp-then-rename slots disjoint: whichever rename
+        # lands last, the published artifact is one writer's complete
+        # payload, never an interleaving, and no temp files survive.
+        import threading
+
+        cache = ArtifactCache(str(tmp_path))
+        payload = {"rows": list(range(2000))}
+        barrier = threading.Barrier(8)
+
+        def writer():
+            barrier.wait()
+            for _ in range(25):
+                cache.store("stage", "k1", payload)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        hit, artifact = cache.load("stage", "k1")
+        assert hit and artifact == payload
+        leftovers = [
+            p for p in (tmp_path / "stage").iterdir()
+            if not p.name.endswith(".pkl")
+        ]
+        assert leftovers == []
+
 
 class TestExecutorValidation:
     def test_rejects_non_positive_workers(self):

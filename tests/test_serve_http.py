@@ -1,0 +1,215 @@
+"""Unit tests for the service's transport: HTTP parsing, routing, SSE.
+
+The parser half runs against hand-fed ``asyncio.StreamReader`` byte
+streams — no sockets — so every malformed-wire path is exercised
+deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.http import (
+    HttpError,
+    Request,
+    Router,
+    json_response,
+    read_request,
+    response_head,
+)
+from repro.serve.sse import (
+    decode_events,
+    encode_comment,
+    encode_event,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Run :func:`read_request` over a pre-fed stream."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_query_and_percent_decoding(self):
+        request = parse(b"GET /runs%2Fx?a=1&b=&c=two%20words HTTP/1.1\r\n\r\n")
+        assert request.path == "/runs/x"
+        assert request.query == {"a": "1", "b": "", "c": "two words"}
+
+    def test_body_via_content_length(self):
+        body = b'{"preset": "small"}'
+        raw = (
+            b"POST /studies HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.json() == {"preset": "small"}
+
+    def test_immediate_eof_is_none_not_an_error(self):
+        assert parse(b"") is None
+
+    @pytest.mark.parametrize("raw, status", [
+        (b"GARBAGE\r\n\r\n", 400),
+        (b"GET /x NOTHTTP\r\n\r\n", 400),
+        (b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n", 400),
+        (b"GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400),
+        (b"GET /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+        (b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 400),
+        (b"GET /x HTTP/1.1\r\nHost: x\r\n", 400),
+    ])
+    def test_malformed_requests_raise_with_status(self, raw, status):
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == status
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body=10,
+            )
+        assert excinfo.value.status == 413
+
+
+class TestResponses:
+    def test_json_response_has_correct_content_length(self):
+        raw = json_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_response_head_sets_connection_close(self):
+        head = response_head(200, content_type="text/event-stream")
+        assert b"Connection: close" in head
+        assert b"text/event-stream" in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_empty_body_json_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            Request(method="POST", path="/x").json()
+        assert excinfo.value.status == 400
+
+    def test_malformed_body_json_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            Request(method="POST", path="/x", body=b"{nope").json()
+        assert excinfo.value.status == 400
+
+
+def handler(name):
+    async def h(*args):
+        return name
+    h.__name__ = name
+    return h
+
+
+class TestRouter:
+    def build(self):
+        router = Router()
+        # Literal-suffix routes registered first, as the server does.
+        router.add("GET", "/studies/{job_id}/events", handler("events"))
+        router.add("GET", "/studies/{job_id}", handler("study"))
+        router.add("GET", "/runs", handler("runs"))
+        router.add("GET", "/runs/{a}/diff/{b}", handler("diff"))
+        router.add("GET", "/runs/{selector}/check", handler("check"))
+        router.add("GET", "/runs/{selector}", handler("run"))
+        router.add("PUT", "/baseline", handler("baseline"))
+        return router
+
+    def test_literal_match(self):
+        h, captures, pattern = self.build().match("GET", "/runs")
+        assert (h.__name__, captures, pattern) == ("runs", {}, "/runs")
+
+    def test_captures(self):
+        h, captures, _ = self.build().match("GET", "/runs/0/diff/latest~1")
+        assert h.__name__ == "diff"
+        assert captures == {"a": "0", "b": "latest~1"}
+
+    def test_literal_suffix_beats_capture(self):
+        h, captures, _ = self.build().match("GET", "/runs/latest/check")
+        assert (h.__name__, captures) == ("check", {"selector": "latest"})
+        h, captures, _ = self.build().match("GET", "/studies/abc/events")
+        assert (h.__name__, captures) == ("events", {"job_id": "abc"})
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.build().match("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405_listing_allowed(self):
+        with pytest.raises(HttpError) as excinfo:
+            self.build().match("POST", "/baseline")
+        assert excinfo.value.status == 405
+        assert "PUT" in str(excinfo.value)
+
+    def test_pattern_must_be_rooted(self):
+        with pytest.raises(ServeError):
+            Router().add("GET", "runs", handler("x"))
+
+
+class TestSse:
+    def payload(self, seq=0):
+        return {
+            "schema": "repro.serve/event/v1",
+            "event": "span:end",
+            "job_id": "abc123",
+            "seq": seq,
+            "data": {"span": "stage:panel", "wall_s": 0.41},
+        }
+
+    def test_encode_decode_round_trip(self):
+        stream = (
+            encode_comment("hello")
+            + encode_event(self.payload(0))
+            + encode_event(self.payload(1))
+        )
+        assert decode_events(stream.decode("utf-8")) == [
+            self.payload(0), self.payload(1),
+        ]
+
+    def test_frame_shape(self):
+        frame = encode_event(self.payload(3)).decode("utf-8")
+        lines = frame.split("\n")
+        assert lines[0] == "id: 3"
+        assert lines[1] == "event: span:end"
+        assert lines[2].startswith("data: {")
+        assert frame.endswith("\n\n")
+
+    def test_encode_requires_event_and_seq(self):
+        with pytest.raises(ServeError):
+            encode_event({"event": "job:done"})
+        with pytest.raises(ServeError):
+            encode_event({"seq": 0})
+
+    def test_multiline_comment_rejected(self):
+        with pytest.raises(ServeError):
+            encode_comment("two\nlines")
+
+    @pytest.mark.parametrize("raw", [
+        "event: job:done\n\n",            # no data field
+        "data: {broken\n\n",              # data not JSON
+        "data: [1, 2]\n\n",               # data not an object
+    ])
+    def test_malformed_streams_rejected(self, raw):
+        with pytest.raises(ServeError):
+            decode_events(raw)
+
+    def test_comments_and_blank_frames_skipped(self):
+        assert decode_events(": warm-up\n\n\n\n") == []

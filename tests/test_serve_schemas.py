@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.serve.schemas` — submissions and events.
+
+The submission validator is the service's front door: everything it
+lets through lands on the job queue, so every rejection path below is
+a 400 the HTTP layer renders, never a crashed job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import WorldConfig
+from repro.errors import ConfigError, ServeError
+from repro.serve.schemas import (
+    EVENT_SCHEMA,
+    JOB_SCHEMA,
+    config_from_payload,
+    config_identity,
+    event_payload,
+    validate_event,
+)
+
+
+class TestConfigFromPayload:
+    def test_empty_body_is_the_small_preset(self):
+        assert config_from_payload({}) == WorldConfig.small()
+
+    def test_preset_and_seed(self):
+        config = config_from_payload({"preset": "small", "seed": 99})
+        assert config == WorldConfig.small(seed=99)
+
+    def test_explicit_schema_accepted(self):
+        assert (
+            config_from_payload({"schema": JOB_SCHEMA})
+            == WorldConfig.small()
+        )
+
+    def test_overrides_apply_sparsely(self):
+        config = config_from_payload({
+            "overrides": {"panel": {"visits_per_user": 3.5}},
+        })
+        assert config.panel.visits_per_user == 3.5
+        # Everything untouched stays at the preset's value.
+        assert config.browsing == WorldConfig.small().browsing
+
+    def test_int_typed_knobs_stay_int_through_json(self):
+        # JSON has one number type; 50.0 must land as int 50.
+        config = config_from_payload({
+            "overrides": {"geolocation": {"probes_per_campaign": 50.0}},
+        })
+        assert config.geolocation.probes_per_campaign == 50
+        assert isinstance(config.geolocation.probes_per_campaign, int)
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ([1, 2], "must be a JSON object"),
+        ({"presett": "small"}, "unknown submission key"),
+        ({"schema": "repro.serve/job/v0"}, "unsupported submission schema"),
+        ({"preset": "gigantic"}, "unknown preset"),
+        ({"seed": "7"}, "seed must be an integer"),
+        ({"seed": True}, "seed must be an integer"),
+        ({"overrides": [1]}, "overrides must be a JSON object"),
+        ({"overrides": {"dns": {}}}, "unknown override section"),
+        ({"overrides": {"panel": [1]}}, "must be an object"),
+        ({"overrides": {"panel": {"n_userz": 1}}}, "unknown override field"),
+        (
+            {"overrides": {"panel": {"visits_per_user": "many"}}},
+            "must be float-compatible",
+        ),
+        (
+            {"overrides": {"geolocation": {"probes_per_campaign": True}}},
+            "must be int-compatible",
+        ),
+    ])
+    def test_rejections_name_the_offender(self, payload, fragment):
+        with pytest.raises(ServeError) as excinfo:
+            config_from_payload(payload)
+        assert fragment in str(excinfo.value)
+
+    def test_section_consistency_checks_still_apply(self):
+        # The assembled config re-runs __post_init__ — an override that
+        # breaks a cross-field invariant is a ConfigError (also a 400).
+        with pytest.raises(ConfigError):
+            config_from_payload({"overrides": {"panel": {"n_users": 41}}})
+
+    def test_config_identity(self):
+        config = config_from_payload({"seed": 5})
+        assert config_identity(config) == (config.digest(), 5)
+
+
+class TestEvents:
+    def test_payload_round_trips_validation(self):
+        payload = event_payload("job:queued", "abc123", 0, {"state": "queued"})
+        assert payload["schema"] == EVENT_SCHEMA
+        validate_event(payload)
+
+    def test_unknown_event_name_rejected_at_both_ends(self):
+        with pytest.raises(ServeError):
+            event_payload("job:paused", "abc123", 0, {})
+        good = event_payload("job:done", "abc123", 3, {})
+        with pytest.raises(ServeError):
+            validate_event(dict(good, event="job:paused"))
+
+    @pytest.mark.parametrize("mutation", [
+        lambda e: e.pop("job_id"),
+        lambda e: e.update(schema="repro.serve/event/v0"),
+        lambda e: e.update(seq=-1),
+        lambda e: e.update(seq=True),
+        lambda e: e.update(seq="0"),
+        lambda e: e.update(data=[1]),
+    ])
+    def test_malformed_events_rejected(self, mutation):
+        payload = event_payload("span:end", "abc123", 2, {"wall_s": 0.1})
+        mutation(payload)
+        with pytest.raises(ServeError):
+            validate_event(payload)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ServeError):
+            validate_event("job:done")
