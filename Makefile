@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke serve-smoke serve-load calibrate sweep clean
+.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke serve-smoke serve-load scale-smoke calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -68,6 +68,14 @@ serve-smoke:
 # gauges in the run ledger).
 serve-load:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_load.py
+
+# Columnar record-path smoke: stream a 50k-user synthetic world
+# through the vectorized kernels under a hard peak-RSS limit, fold the
+# per-stage flows_per_s throughput into a ledger record, and gate it
+# against benchmarks/budgets_scale.json (see docs/scaling.md).  Leaves
+# the scale report and ledger in build/scale-smoke for CI.
+scale-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/scale_smoke.py
 
 calibrate:
 	$(PYTHON) scripts/calibrate.py medium

@@ -23,6 +23,16 @@ throughput from a ``scripts/serve_load.py`` run (schema
 ``repro.serve/load/v1``) is folded in as a
 ``serve.requests_per_s{endpoint=...}`` gauge — study-service
 performance history lands in the same journal.
+
+With ``--scale-report build/scale.json`` the per-stage throughput of a
+``scripts/scale_world.py`` run (schema ``repro.columnar/scale/v1``) is
+folded in as ``pipeline.flows_per_s{stage=...}`` gauges plus a
+``pipeline.max_rss_mb`` gauge, so columnar record-path performance is
+budget-gated like everything else.
+
+The positional pytest-benchmark report may be omitted when at least one
+``--*-report`` source is given; the appended record is then a bench
+record with only the side-channel gauges.
 """
 
 import argparse
@@ -32,7 +42,13 @@ import sys
 from repro.errors import ObservabilityError
 from repro.obs import LEDGER_SCHEMA, append_record
 from repro.obs.metrics import metric_key
-from repro.obs.names import BENCH_TIME, LINT_TIME, SERVE_REQUESTS_PER_S
+from repro.obs.names import (
+    BENCH_TIME,
+    LINT_TIME,
+    PIPELINE_FLOWS_PER_S,
+    PIPELINE_MAX_RSS_MB,
+    SERVE_REQUESTS_PER_S,
+)
 
 #: the pytest-benchmark summary statistics folded into the ledger
 STATS = ("min", "median", "mean", "max")
@@ -73,12 +89,53 @@ def serve_gauges_from(report: dict) -> dict:
     return gauges
 
 
-def bench_record(report: dict) -> dict:
+def scale_gauges_from(report: dict) -> dict:
+    """Per-stage throughput + peak-RSS gauges from a scale report
+    (``scripts/scale_world.py``, schema ``repro.columnar/scale/v1``)."""
+    if report.get("schema") != "repro.columnar/scale/v1":
+        raise ObservabilityError(
+            f"scale report carries schema {report.get('schema')!r} "
+            "(expected 'repro.columnar/scale/v1')"
+        )
+    stages = report.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        raise ObservabilityError("scale report carries no 'stages'")
+    gauges = {}
+    for stage, stats in sorted(stages.items()):
+        value = stats.get("flows_per_s") if isinstance(stats, dict) else None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ObservabilityError(
+                f"scale report stage {stage!r} carries no numeric "
+                "'flows_per_s'"
+            )
+        key = metric_key(PIPELINE_FLOWS_PER_S, {"stage": stage})
+        gauges[key] = {"kind": "gauge", "value": float(value)}
+    rss = report.get("max_rss_mb")
+    if not isinstance(rss, (int, float)) or isinstance(rss, bool):
+        raise ObservabilityError(
+            "scale report carries no numeric 'max_rss_mb'"
+        )
+    gauges[metric_key(PIPELINE_MAX_RSS_MB, {})] = {
+        "kind": "gauge", "value": float(rss),
+    }
+    return gauges
+
+
+def bench_record(report) -> dict:
     """A ``kind="bench"`` ledger record from a pytest-benchmark report.
 
-    Identity fields (``seq``/``run_id``) are stamped at append time by
+    ``report=None`` (benchmark report omitted) yields an empty bench
+    record for the side-channel gauges to land in.  Identity fields
+    (``seq``/``run_id``) are stamped at append time by
     :func:`repro.obs.ledger.append_record`.
     """
+    if report is None:
+        return {
+            "schema": LEDGER_SCHEMA,
+            "kind": "bench",
+            "metrics": {},
+            "n_benchmarks": 0,
+        }
     benchmarks = report.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         raise ObservabilityError(
@@ -109,7 +166,11 @@ def bench_record(report: dict) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="pytest-benchmark JSON report")
+    parser.add_argument(
+        "report", nargs="?", default=None,
+        help="pytest-benchmark JSON report (omit when only folding "
+             "--*-report sources)",
+    )
     parser.add_argument("ledger", help="ledger file to append to")
     parser.add_argument(
         "--lint-report",
@@ -127,16 +188,32 @@ def main(argv=None) -> int:
             "throughput is folded in as serve.requests_per_s gauges"
         ),
     )
+    parser.add_argument(
+        "--scale-report",
+        metavar="PATH",
+        help=(
+            "scale report (scripts/scale_world.py) whose per-stage "
+            "throughput is folded in as pipeline.flows_per_s gauges"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.report is None and not (
+        args.lint_report or args.serve_report or args.scale_report
+    ):
+        parser.error(
+            "nothing to fold: give a benchmark report or at least one "
+            "--*-report source"
+        )
 
     def read_json(path: str) -> dict:
         with open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)
 
     try:
-        report = read_json(args.report)
+        report = read_json(args.report) if args.report else None
         lint = read_json(args.lint_report) if args.lint_report else None
         serve = read_json(args.serve_report) if args.serve_report else None
+        scale = read_json(args.scale_report) if args.scale_report else None
     except OSError as exc:
         print(f"bench_to_ledger: cannot read report: {exc}", file=sys.stderr)
         return 1
@@ -156,6 +233,8 @@ def main(argv=None) -> int:
             }
         if serve is not None:
             record["metrics"].update(serve_gauges_from(serve))
+        if scale is not None:
+            record["metrics"].update(scale_gauges_from(scale))
         record = append_record(args.ledger, record)
     except ObservabilityError as exc:
         print(f"bench_to_ledger: {exc}", file=sys.stderr)

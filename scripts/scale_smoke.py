@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the columnar record path at 50k users.
+
+Usage::
+
+    python scripts/scale_smoke.py [out_dir]
+
+Exercises the whole scaling story in one bounded run:
+
+* ``scripts/scale_world.py`` streams a 50k-user synthetic world
+  (~1.25M request rows) through the columnar kernels with a hard peak
+  RSS limit — the memory-bound claim, executed;
+* the scale report is folded into a fresh run ledger via
+  ``scripts/bench_to_ledger.py --scale-report``;
+* ``repro obs check`` gates the resulting
+  ``pipeline.flows_per_s{stage=...}`` gauges against the committed
+  envelope in ``benchmarks/budgets_scale.json`` and must pass, and must
+  fail against an impossible envelope (the gate actually gates).
+
+Artifacts (scale report, ledger, budgets) land in ``out_dir`` (default
+``build/scale-smoke``) so CI can upload them.  ``make scale-smoke``
+wires this into CI.
+"""
+
+import json
+import os
+import sys
+
+import bench_to_ledger
+import scale_world
+
+from repro.cli import main as cli_main
+from repro.obs.ledger import ledger_path
+from repro.obs.persist import atomic_write_json
+
+#: the committed throughput envelope this smoke run must satisfy
+BUDGETS = os.path.join("benchmarks", "budgets_scale.json")
+
+#: smoke-run geometry: 50k users x 25 requests = 1.25M rows streamed
+USERS = 50_000
+REQUESTS_PER_USER = 25
+COHORT_SIZE = 5_000
+RSS_LIMIT_MB = 1_200.0
+
+
+def main() -> int:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "build/scale-smoke"
+    os.makedirs(out_dir, exist_ok=True)
+    report_path = os.path.join(out_dir, "scale.json")
+    cache = os.path.join(out_dir, "cache")
+
+    status = scale_world.main([
+        "--users", str(USERS),
+        "--requests-per-user", str(REQUESTS_PER_USER),
+        "--cohort-size", str(COHORT_SIZE),
+        "--rss-limit-mb", str(RSS_LIMIT_MB),
+        "--out", report_path,
+    ])
+    if status != 0:
+        print(f"FAIL: scale_world exited {status}", file=sys.stderr)
+        return 1
+
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report["headlines"]["n_requests"] != USERS * REQUESTS_PER_USER:
+        print(
+            f"FAIL: streamed {report['headlines']['n_requests']} rows, "
+            f"expected {USERS * REQUESTS_PER_USER}",
+            file=sys.stderr,
+        )
+        return 1
+
+    ledger = ledger_path(cache)
+    os.makedirs(os.path.dirname(ledger), exist_ok=True)
+    status = bench_to_ledger.main([ledger, "--scale-report", report_path])
+    if status != 0:
+        print(f"FAIL: bench_to_ledger exited {status}", file=sys.stderr)
+        return 1
+
+    status = cli_main(
+        ["obs", "--cache-dir", cache, "check", "--budgets", BUDGETS]
+    )
+    if status != 0:
+        print(
+            f"FAIL: throughput left the {BUDGETS} envelope (exit {status})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # The gate must actually gate: an impossible floor has to fail.
+    impossible = os.path.join(out_dir, "budgets-impossible.json")
+    atomic_write_json(
+        {
+            "schema": "repro.obs/budgets/v1",
+            "metrics": {
+                "pipeline.flows_per_s{stage=classify}": {"min": 1e12},
+            },
+        },
+        impossible,
+    )
+    status = cli_main(
+        ["obs", "--cache-dir", cache, "check", "--budgets", impossible]
+    )
+    if status != 1:
+        print(
+            f"FAIL: impossible throughput floor not flagged (exit {status})",
+            file=sys.stderr,
+        )
+        return 1
+
+    classify = report["stages"]["classify"]["flows_per_s"]
+    print(
+        f"OK: {USERS:,} users / {USERS * REQUESTS_PER_USER:,} rows streamed "
+        f"within {RSS_LIMIT_MB:,.0f} MiB "
+        f"(peak {report['max_rss_mb']:,.1f} MiB); "
+        f"classify {classify:,.0f} flows/s; budgets gate exercised; "
+        f"artifacts in {out_dir}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

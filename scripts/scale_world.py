@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Drive the columnar record path against a million-user synthetic world.
+
+Usage::
+
+    python scripts/scale_world.py --users 50000 --out build/scale.json
+    python scripts/scale_world.py --users 1000000 --requests-per-user 100
+
+Builds one real small world as a template, then streams a synthetic
+panel of ``--users`` users (``SyntheticCohortSource`` resamples the
+template's request rows per synthetic user — a benchmark harness, not a
+measurement; see ``docs/scaling.md``) through the streaming columnar
+record path: cohort generation → ``classify_table`` →
+``ConfinementAccumulator``.  Peak memory stays bounded by the cohort
+size; the full request volume never exists at once.
+
+Writes a JSON report (schema ``repro.columnar/scale/v1``) with
+per-stage row counts, wall seconds, and ``flows_per_s`` throughput,
+plus the process peak RSS — ``scripts/bench_to_ledger.py
+--scale-report`` folds it into the run ledger as
+``pipeline.flows_per_s{stage=...}`` gauges, and ``repro obs check``
+gates those against the budget envelope in
+``benchmarks/budgets_scale.json``.
+
+With ``--rss-limit-mb`` the run fails (exit 1) when peak RSS exceeds
+the limit — the memory-bound claim as an executable check.
+"""
+
+import argparse
+import json
+import os
+import resource
+import sys
+
+from repro import Study, WorldConfig
+from repro.columnar import HAVE_NUMPY
+from repro.core.stream import (
+    StreamingRecordPath,
+    SyntheticCohortSource,
+)
+from repro.datasets.builder import build_world
+from repro.obs.clock import SystemClock
+from repro.web.columns import request_table
+
+#: report schema stamp checked by bench_to_ledger --scale-report
+SCALE_SCHEMA = "repro.columnar/scale/v1"
+
+
+def max_rss_mb() -> float:
+    """Peak resident set of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize both.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def run_scale(
+    users: int,
+    requests_per_user: int,
+    cohort_size: int,
+    chunk_rows: int,
+    seed: int,
+) -> dict:
+    """Stream the synthetic world and return the scale report."""
+    clock = SystemClock()
+
+    study = Study(world=build_world(WorldConfig.small(seed=seed)))
+    template_requests = study.visit_log.requests
+    classifier = study.classifier
+
+    # Order-independent locator: the geolocation table is prebuilt over
+    # the template's distinct addresses in sorted order, so throughput
+    # numbers measure the record path, not the active-probing engine.
+    reference = study.geolocation.reference
+    located = {}
+    for address in sorted(
+        {request.ip for request in template_requests}, key=str
+    ):
+        located[address] = reference(address)
+
+    template = request_table(template_requests)
+    source = SyntheticCohortSource(
+        template, study.world.streams, users, requests_per_user
+    )
+    path = StreamingRecordPath(
+        classifier, located.get, chunk_rows=chunk_rows, clock=clock
+    )
+
+    generate_wall = 0.0
+    peak_cohort_bytes = 0
+    for lo in range(0, users, cohort_size):
+        started = clock.wall()
+        cohort = source.cohort(lo, min(lo + cohort_size, users))
+        generate_wall += clock.wall() - started
+        peak_cohort_bytes = max(peak_cohort_bytes, cohort.nbytes())
+        path.consume(cohort)
+
+    stages = {
+        "generate": {
+            "rows": float(path.n_rows),
+            "wall_s": generate_wall,
+            "flows_per_s": (
+                path.n_rows / generate_wall if generate_wall > 0 else 0.0
+            ),
+        },
+    }
+    stages.update(path.stage_stats())
+    headlines = path.headlines()
+    return {
+        "schema": SCALE_SCHEMA,
+        "config": {
+            "users": users,
+            "requests_per_user": requests_per_user,
+            "cohort_size": cohort_size,
+            "chunk_rows": chunk_rows,
+            "seed": seed,
+            "numpy": HAVE_NUMPY,
+        },
+        "stages": stages,
+        "max_rss_mb": max_rss_mb(),
+        "peak_cohort_mb": peak_cohort_bytes / (1024.0 * 1024.0),
+        "headlines": {
+            "n_requests": headlines.n_requests,
+            "n_tracking": headlines.n_tracking,
+            "region_confinement_pct": headlines.region_confinement_pct,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--users", type=int, default=50_000,
+        help="synthetic panel size (default 50k; the paper-scale target "
+             "is 1M)",
+    )
+    parser.add_argument(
+        "--requests-per-user", type=int, default=25,
+        help="request rows minted per synthetic user (1M users x 100 "
+             "reaches the 100M-flow target)",
+    )
+    parser.add_argument(
+        "--cohort-size", type=int, default=10_000,
+        help="users generated + processed per streaming cohort",
+    )
+    parser.add_argument(
+        "--chunk-rows", type=int, default=65_536,
+        help="rows per inner kernel chunk",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the JSON scale report here",
+    )
+    parser.add_argument(
+        "--rss-limit-mb", type=float,
+        help="fail when peak RSS exceeds this many MiB",
+    )
+    args = parser.parse_args(argv)
+    for name in ("users", "requests_per_user", "cohort_size", "chunk_rows"):
+        if getattr(args, name) < 1:
+            print(f"scale_world: --{name.replace('_', '-')} must be >= 1",
+                  file=sys.stderr)
+            return 2
+
+    report = run_scale(
+        users=args.users,
+        requests_per_user=args.requests_per_user,
+        cohort_size=args.cohort_size,
+        chunk_rows=args.chunk_rows,
+        seed=args.seed,
+    )
+
+    for stage in ("generate", "classify", "confine"):
+        stats = report["stages"][stage]
+        print(
+            f"scale: {stage:<9} {int(stats['rows']):>12,} rows  "
+            f"{stats['wall_s']:>9.2f}s  "
+            f"{stats['flows_per_s']:>12,.0f} flows/s"
+        )
+    print(
+        f"scale: peak RSS {report['max_rss_mb']:,.1f} MiB, "
+        f"peak cohort {report['peak_cohort_mb']:,.1f} MiB, "
+        f"numpy={report['config']['numpy']}, "
+        f"EU28 confinement {report['headlines']['region_confinement_pct']:.2f}%"
+    )
+
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"scale: report written to {args.out}")
+
+    if args.rss_limit_mb is not None and report["max_rss_mb"] > args.rss_limit_mb:
+        print(
+            f"scale: peak RSS {report['max_rss_mb']:,.1f} MiB exceeds "
+            f"limit {args.rss_limit_mb:,.1f} MiB",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Columnar record batches for million-user worlds.
+
+The per-record object path (:class:`~repro.web.requests.
+ThirdPartyRequest`, :class:`~repro.netflow.records.FlowRecord`) costs
+hundreds of bytes and an attribute lookup per field per record — fine
+at the paper's ~350-user panel, fatal at the ROADMAP's millions.  This
+package is the substrate of the columnar alternative:
+
+* :class:`~repro.columnar.schema.Schema` /
+  :class:`~repro.columnar.schema.ColumnKind` — declarative column
+  descriptors mapping to ``array.array`` typecodes or dictionary
+  encodings;
+* :class:`~repro.columnar.table.ColumnarTable` — a struct-packed
+  array-of-columns record batch with chunked iteration;
+* :mod:`~repro.columnar.chunks` — cohort/chunk geometry (pure
+  functions, reproducible plans);
+* :mod:`~repro.columnar.accel` — numpy acceleration behind a feature
+  probe, with bit-identical pure-Python fallbacks.
+
+Domain adapters live with their domains (``repro.web.columns``,
+``repro.netflow.columns``, ``repro.core.kernels``); this package knows
+nothing about flows, requests, or countries.  The object path remains
+the reference implementation — ``tests/test_columnar_equivalence.py``
+locks both paths to identical headline metrics.
+
+See ``docs/scaling.md`` for the data model and the scaling guide.
+
+Raises
+------
+Everything here raises :class:`repro.errors.ColumnarError` on misuse.
+"""
+
+from repro.columnar.accel import HAVE_NUMPY
+from repro.columnar.chunks import chunk_bounds, cohort_bounds
+from repro.columnar.schema import ColumnKind, ColumnSpec, Schema
+from repro.columnar.table import ColumnarTable, DictColumn
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnKind",
+    "ColumnSpec",
+    "ColumnarTable",
+    "DictColumn",
+    "Schema",
+    "chunk_bounds",
+    "cohort_bounds",
+]

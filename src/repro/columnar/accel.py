@@ -1,0 +1,162 @@
+"""Optional numpy acceleration behind a feature probe.
+
+Every function here has a pure-Python fallback that produces *bit-
+identical* results, so the probe only ever changes speed, never
+numbers: a world computed on a numpy-less box diffs to zero against the
+same world computed with numpy installed.  That invariant is what lets
+the accelerated kernels live on the measurement path at all — the
+cold/warm ledger diff would flag any divergence as drift.
+
+The probe runs once at import.  Nothing in this module may read the
+environment or otherwise vary per call: availability is a property of
+the interpreter, not of the run.
+
+Raises
+------
+:class:`repro.errors.ColumnarError` on misaligned column inputs; the
+probe itself never raises (absence of numpy simply selects the
+fallback).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.errors import ColumnarError
+
+try:  # feature probe: numpy is optional, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less boxes
+    _np = None
+
+#: True when the interpreter has numpy; kernels branch on this once per
+#: call, and both branches are locked equal by the accel tests.
+HAVE_NUMPY = _np is not None
+
+#: unsigned ``array.array`` typecodes (itemsize is platform-dependent
+#: for 'I'/'L', so ndarray views are built from ``itemsize``, not from
+#: the typecode)
+_UNSIGNED_TYPECODES = frozenset("BHILQ")
+
+
+def _as_ndarray(values: Sequence[int]) -> "Any":
+    """A zero-copy (where possible) integer ndarray over ``values``."""
+    if isinstance(values, array) and values.typecode in _UNSIGNED_TYPECODES:
+        return _np.frombuffer(values, dtype=_np.dtype(f"u{values.itemsize}"))
+    return _np.asarray(values, dtype=_np.int64)
+
+
+def count_codes(codes: Sequence[int], n_values: int) -> Tuple[int, ...]:
+    """Occurrences of each code in ``0..n_values-1``.
+
+    ``codes`` is typically a dictionary-encoded column's code array;
+    the result tuple has exactly ``n_values`` entries.
+    """
+    if HAVE_NUMPY and n_values > 0:
+        counts = _np.bincount(_as_ndarray(codes), minlength=n_values)
+        return tuple(int(count) for count in counts[:n_values])
+    counts = [0] * n_values
+    for code in codes:
+        counts[code] += 1
+    return tuple(counts)
+
+
+def tally_pairs(
+    a_codes: Sequence[int],
+    b_codes: Sequence[int],
+    n_a: int,
+    n_b: int,
+) -> Dict[Tuple[int, int], int]:
+    """Joint occurrence counts of two aligned code columns.
+
+    The workhorse of the confinement kernels: origin-code × destination-
+    code tallies over one chunk, folded into Sankey edges by the caller.
+    With numpy the pair is flattened to a single ``a * n_b + b`` code
+    and counted with one ``bincount``; the fallback is a dict loop.
+    Both produce identical counts.
+
+    Raises :class:`repro.errors.ColumnarError` when the columns have
+    different lengths.
+    """
+    if len(a_codes) != len(b_codes):
+        raise ColumnarError(
+            f"pair tally over misaligned columns: {len(a_codes)} vs "
+            f"{len(b_codes)} rows"
+        )
+    if HAVE_NUMPY and n_a > 0 and n_b > 0:
+        flat = _as_ndarray(a_codes).astype(_np.int64) * n_b + _as_ndarray(
+            b_codes
+        )
+        counts = _np.bincount(flat, minlength=n_a * n_b)
+        nonzero = _np.nonzero(counts)[0]
+        return {
+            (int(code) // n_b, int(code) % n_b): int(counts[code])
+            for code in nonzero
+        }
+    tallies: Dict[Tuple[int, int], int] = {}
+    for a, b in zip(a_codes, b_codes):
+        key = (a, b)
+        tallies[key] = tallies.get(key, 0) + 1
+    return tallies
+
+
+def masked_count(flags: Sequence[int]) -> int:
+    """Number of true cells in a BOOL/U8 column (or a slice of one)."""
+    if HAVE_NUMPY:
+        return int(_as_ndarray(flags).sum())
+    return sum(1 for flag in flags if flag)
+
+
+def nonzero_mask(codes: Sequence[int]) -> Sequence[int]:
+    """A 0/1 mask marking the non-zero cells of ``codes``."""
+    if HAVE_NUMPY:
+        return (_as_ndarray(codes) != 0).astype(_np.uint8)
+    return [1 if code else 0 for code in codes]
+
+
+def and_masks(a: Sequence[int], b: Sequence[int]) -> Sequence[int]:
+    """Elementwise conjunction of two aligned 0/1 masks.
+
+    Raises :class:`repro.errors.ColumnarError` when the masks have
+    different lengths.
+    """
+    if len(a) != len(b):
+        raise ColumnarError(
+            f"conjunction over misaligned masks: {len(a)} vs {len(b)} rows"
+        )
+    if HAVE_NUMPY:
+        return (
+            _as_ndarray(a).astype(_np.bool_) & _as_ndarray(b).astype(_np.bool_)
+        ).astype(_np.uint8)
+    return [1 if (x and y) else 0 for x, y in zip(a, b)]
+
+
+def select_where(codes: Sequence[int], mask: Sequence[int]) -> Sequence[int]:
+    """The cells of ``codes`` whose ``mask`` cell is true.
+
+    Raises :class:`repro.errors.ColumnarError` when the inputs have
+    different lengths.
+    """
+    if len(codes) != len(mask):
+        raise ColumnarError(
+            f"selection over misaligned columns: {len(codes)} vs "
+            f"{len(mask)} rows"
+        )
+    if HAVE_NUMPY:
+        return _as_ndarray(codes)[_as_ndarray(mask).astype(_np.bool_)]
+    return [code for code, flag in zip(codes, mask) if flag]
+
+
+def map_codes(codes: Sequence[int], lookup: Sequence[int]) -> Sequence[int]:
+    """Map every cell of ``codes`` through a dense ``lookup`` table.
+
+    The columnar join/confinement trick: per-row work collapses to a
+    gather through a table built once per distinct value.
+    """
+    if HAVE_NUMPY:
+        if len(lookup) == 0:
+            return _np.zeros(0, dtype=_np.int64)
+        table = _np.asarray(lookup, dtype=_np.int64)
+        return table[_as_ndarray(codes)]
+    return [lookup[code] for code in codes]

@@ -1,0 +1,67 @@
+"""Chunk and cohort geometry for the streaming record path.
+
+Two different slicings cooperate to bound memory:
+
+* **cohorts** slice the *world* (users, ISPs) into independent shards
+  that are generated, processed, and discarded one at a time — the
+  outer streaming loop.  Cohort boundaries must respect semantic units
+  (the classifier's referrer closure never crosses users, so a user
+  cohort is closure-complete by construction).
+* **chunks** slice one cohort's *table* into bounded row windows for
+  the inner kernel loops — a pure iteration detail with no semantic
+  weight, which is why the equivalence tests sweep chunk sizes.
+
+Both are pure functions of ``(n, size)``: never of worker count, wall
+time, or anything else that varies between runs, so a cohort plan is
+reproducible and cacheable the same way the runtime's shard plans are.
+
+Raises
+------
+:class:`repro.errors.ColumnarError` on non-positive sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import ColumnarError
+
+Bounds = Tuple[int, int]
+
+
+def cohort_bounds(n_items: int, cohort_size: int) -> List[Bounds]:
+    """Half-open ``(lo, hi)`` cohort ranges covering ``n_items``.
+
+    The last cohort may be smaller than ``cohort_size``; ``n_items == 0``
+    yields no cohorts (an empty world streams as zero work, not as one
+    empty cohort).
+
+    Raises :class:`repro.errors.ColumnarError` for non-positive
+    ``cohort_size`` or negative ``n_items``.
+    """
+    if cohort_size < 1:
+        raise ColumnarError(
+            f"cohort_size must be >= 1, got {cohort_size}"
+        )
+    if n_items < 0:
+        raise ColumnarError(f"n_items must be >= 0, got {n_items}")
+    return [
+        (lo, min(lo + cohort_size, n_items))
+        for lo in range(0, n_items, cohort_size)
+    ]
+
+
+def chunk_bounds(n_rows: int, chunk_rows: int) -> Iterator[Bounds]:
+    """Iterate half-open ``(lo, hi)`` row windows over one table.
+
+    Raises :class:`repro.errors.ColumnarError` for non-positive
+    ``chunk_rows`` or negative ``n_rows``.
+    """
+    if chunk_rows < 1:
+        raise ColumnarError(
+            f"chunk_rows must be >= 1, got {chunk_rows}"
+        )
+    if n_rows < 0:
+        raise ColumnarError(f"n_rows must be >= 0, got {n_rows}")
+    for lo in range(0, n_rows, chunk_rows):
+        yield (lo, min(lo + chunk_rows, n_rows))

@@ -1,0 +1,139 @@
+"""Column and table schema descriptors for the columnar record path.
+
+A :class:`Schema` names the columns of one :class:`~repro.columnar.table.
+ColumnarTable` and fixes each column's physical :class:`ColumnKind` —
+the ``array.array`` typecode it packs into, or the dictionary / object
+storage it uses instead.  Schemas are immutable and hashable, so stage
+products can carry them as part of their cache-keyed identity.
+
+Raises
+------
+Every invalid construction (duplicate column names, empty schemas,
+unknown kinds) raises :class:`repro.errors.ColumnarError`; callers
+never see a bare ``KeyError``/``ValueError`` from this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ColumnarError
+
+
+class ColumnKind(enum.Enum):
+    """The physical storage class of one column.
+
+    Numeric kinds map to ``array.array`` typecodes (struct-packed, one
+    machine word or less per cell).  ``STR`` stores Python strings in a
+    plain list; ``DICT`` dictionary-encodes arbitrary (hashable) values
+    into a ``u32`` code array plus a small value table — the right
+    encoding for columns with few distinct values (countries, FQDNs,
+    IP addresses) where per-row object storage would dominate memory.
+    """
+
+    U8 = "u8"
+    U16 = "u16"
+    U32 = "u32"
+    U64 = "u64"
+    I64 = "i64"
+    F64 = "f64"
+    BOOL = "bool"
+    STR = "str"
+    DICT = "dict"
+
+    @property
+    def typecode(self) -> Optional[str]:
+        """The ``array.array`` typecode, or ``None`` for object kinds."""
+        return _TYPECODES[self]
+
+    @property
+    def is_packed(self) -> bool:
+        """True for kinds stored in a struct-packed ``array.array``."""
+        return _TYPECODES[self] is not None
+
+
+_TYPECODES: Dict[ColumnKind, Optional[str]] = {
+    ColumnKind.U8: "B",
+    ColumnKind.U16: "H",
+    ColumnKind.U32: "I",
+    ColumnKind.U64: "Q",
+    ColumnKind.I64: "q",
+    ColumnKind.F64: "d",
+    ColumnKind.BOOL: "B",
+    ColumnKind.STR: None,
+    ColumnKind.DICT: None,
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One named, typed column of a schema."""
+
+    name: str
+    kind: ColumnKind
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ColumnarError(
+                f"column name must be an identifier, got {self.name!r}"
+            )
+        if not isinstance(self.kind, ColumnKind):
+            raise ColumnarError(f"invalid column kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable collection of :class:`ColumnSpec` entries.
+
+    Raises :class:`repro.errors.ColumnarError` on duplicate or missing
+    column names.  Column order is the canonical row-tuple order used
+    by :meth:`repro.columnar.table.ColumnarTable.append` and
+    :meth:`~repro.columnar.table.ColumnarTable.row`.
+    """
+
+    columns: Tuple[ColumnSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ColumnarError("schema must declare at least one column")
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            duplicates = [
+                name for name in sorted(set(names)) if names.count(name) > 1
+            ]
+            raise ColumnarError(f"duplicate column name(s): {duplicates}")
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, ColumnKind]) -> "Schema":
+        """Build a schema from ``(name, kind)`` pairs in column order."""
+        return cls(tuple(ColumnSpec(name, kind) for name, kind in pairs))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def spec(self, name: str) -> ColumnSpec:
+        """The spec of column ``name``.
+
+        Raises :class:`repro.errors.ColumnarError` when the schema has
+        no such column.
+        """
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise ColumnarError(f"schema has no column {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name`` in the canonical row order."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise ColumnarError(f"schema has no column {name!r}")

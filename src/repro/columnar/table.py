@@ -1,0 +1,239 @@
+"""Struct-packed array-of-columns tables.
+
+A :class:`ColumnarTable` stores a homogeneous record batch as one
+storage object per column instead of one Python object per record:
+
+* packed kinds (``U8``..``F64``) live in ``array.array`` buffers —
+  one machine word or less per cell, contiguous, and directly viewable
+  by the optional numpy kernels (:mod:`repro.columnar.accel`);
+* ``STR`` columns are plain lists of strings (URLs are unique per row,
+  dictionary-encoding them would only add a code array);
+* ``DICT`` columns dictionary-encode arbitrary hashable values
+  (countries, FQDNs, :class:`~repro.netbase.addr.IPAddress`) into a
+  ``u32`` code array plus a value table — per-row cost collapses to
+  four bytes, and kernels can work on the *codes* and touch each
+  distinct value once instead of once per row.
+
+At a million users the per-record object path needs hundreds of bytes
+per flow; the columnar layout needs tens, and the streaming drivers
+(:mod:`repro.core.stream`) keep only one cohort's table alive at a
+time, so peak memory is ``O(cohort)`` regardless of world size.
+
+Raises
+------
+All misuse — ragged rows, unknown columns, out-of-range indices,
+incompatible concatenation — raises
+:class:`repro.errors.ColumnarError`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.columnar.chunks import chunk_bounds
+from repro.columnar.schema import ColumnKind, Schema
+from repro.errors import ColumnarError
+
+
+class DictColumn:
+    """A dictionary-encoded column: ``u32`` codes plus a value table.
+
+    Appending a value interns it: the first occurrence allocates the
+    next code, later occurrences reuse it.  Codes are assignment-order
+    dense, so ``values[code]`` is O(1) and ``n_values`` bounds every
+    code.  Equal columns built from the same value sequence are
+    identical regardless of chunking — interning is order-dependent
+    only on *first* occurrence, which streaming preserves.
+    """
+
+    __slots__ = ("codes", "_values", "_index")
+
+    def __init__(self) -> None:
+        self.codes: array = array("I")
+        self._values: List[Any] = []
+        self._index: Dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def n_values(self) -> int:
+        """Number of distinct values interned so far."""
+        return len(self._values)
+
+    def append(self, value: Any) -> int:
+        """Intern ``value`` and append its code; returns the code."""
+        code = self._index.get(value)
+        if code is None:
+            code = len(self._values)
+            self._index[value] = code
+            self._values.append(value)
+        self.codes.append(code)
+        return code
+
+    def intern(self, value: Any) -> int:
+        """Intern ``value`` without appending a row (for probe lookups)."""
+        code = self._index.get(value)
+        if code is None:
+            code = len(self._values)
+            self._index[value] = code
+            self._values.append(value)
+        return code
+
+    def code_of(self, value: Any) -> Optional[int]:
+        """The code of ``value``, or ``None`` when never interned."""
+        return self._index.get(value)
+
+    def value_of(self, code: int) -> Any:
+        """The value behind ``code``.
+
+        Raises :class:`repro.errors.ColumnarError` on unknown codes.
+        """
+        if not 0 <= code < len(self._values):
+            raise ColumnarError(
+                f"dictionary code {code} out of range "
+                f"(0..{len(self._values) - 1})"
+            )
+        return self._values[code]
+
+    def values(self) -> Tuple[Any, ...]:
+        """All distinct values, in code order."""
+        return tuple(self._values)
+
+    def nbytes(self) -> int:
+        return self.codes.itemsize * len(self.codes)
+
+
+class ColumnarTable:
+    """One record batch as struct-packed columns (see module docs).
+
+    Rows are appended as tuples in the schema's canonical column order;
+    columns are read back as their raw storage (``array.array``, list,
+    or :class:`DictColumn`) for the kernels, or row-wise through
+    :meth:`row` / :meth:`iter_rows` for reference-path comparisons.
+
+    Raises :class:`repro.errors.ColumnarError` on ragged appends,
+    unknown column names, and value/kind mismatches.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._columns: Dict[str, Any] = {}
+        self._n_rows = 0
+        for spec in schema.columns:
+            if spec.kind is ColumnKind.DICT:
+                self._columns[spec.name] = DictColumn()
+            elif spec.kind is ColumnKind.STR:
+                self._columns[spec.name] = []
+            else:
+                self._columns[spec.name] = array(spec.kind.typecode)
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the packed storage.
+
+        ``STR`` columns report per-string sizes; ``DICT`` columns report
+        their code arrays (the shared value tables are counted once,
+        not per row).
+        """
+        total = 0
+        for spec in self._schema.columns:
+            column = self._columns[spec.name]
+            if isinstance(column, DictColumn):
+                total += column.nbytes()
+            elif isinstance(column, array):
+                total += column.itemsize * len(column)
+            else:
+                total += sum(len(value) for value in column)
+        return total
+
+    # -- writes ----------------------------------------------------------
+    def append(self, row: Sequence[Any]) -> None:
+        """Append one row (values in schema column order).
+
+        Raises :class:`repro.errors.ColumnarError` when the row's arity
+        does not match the schema.
+        """
+        if len(row) != len(self._schema):
+            raise ColumnarError(
+                f"row has {len(row)} values for a "
+                f"{len(self._schema)}-column schema"
+            )
+        for spec, value in zip(self._schema.columns, row):
+            column = self._columns[spec.name]
+            if isinstance(column, DictColumn):
+                column.append(value)
+            elif spec.kind is ColumnKind.BOOL:
+                column.append(1 if value else 0)
+            else:
+                column.append(value)
+        self._n_rows += 1
+
+    def extend_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Sequence[Sequence[Any]]
+    ) -> "ColumnarTable":
+        """Build a table from row tuples in schema column order."""
+        table = cls(schema)
+        table.extend_rows(rows)
+        return table
+
+    # -- reads -----------------------------------------------------------
+    def column(self, name: str) -> Any:
+        """Raw storage of column ``name`` — ``array.array`` for packed
+        kinds, ``list`` for STR, :class:`DictColumn` for DICT.
+
+        Raises :class:`repro.errors.ColumnarError` on unknown names.
+        """
+        if name not in self._columns:
+            raise ColumnarError(f"table has no column {name!r}")
+        return self._columns[name]
+
+    def cell(self, name: str, index: int) -> Any:
+        """The decoded value at ``(column, row)``."""
+        column = self.column(name)
+        if not 0 <= index < self._n_rows:
+            raise ColumnarError(
+                f"row index {index} out of range (0..{self._n_rows - 1})"
+            )
+        if isinstance(column, DictColumn):
+            return column.value_of(column.codes[index])
+        spec = self._schema.spec(name)
+        if spec.kind is ColumnKind.BOOL:
+            return bool(column[index])
+        return column[index]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """One decoded row tuple in schema column order."""
+        return tuple(
+            self.cell(spec.name, index) for spec in self._schema.columns
+        )
+
+    def iter_rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Decode the table row-wise (reference/testing path — the
+        kernels read columns directly and never pay this cost)."""
+        for index in range(self._n_rows):
+            yield self.row(index)
+
+    def iter_chunks(
+        self, chunk_rows: int
+    ) -> Iterator[Tuple[int, int]]:
+        """Half-open row windows of at most ``chunk_rows`` rows.
+
+        Raises :class:`repro.errors.ColumnarError` for non-positive
+        ``chunk_rows``.
+        """
+        return chunk_bounds(self._n_rows, chunk_rows)

@@ -47,18 +47,28 @@ class GeolocationSuite:
         self._maxmind = maxmind
         self._ip_api = ip_api
         self._oracle = oracle
-
-    # -- locator access ----------------------------------------------------
-    def locators(self) -> Dict[str, Locator]:
-        return {
+        # Built once: per-record lookups go through this index instead
+        # of assembling a fresh dict per call (the columnar path made
+        # the per-call construction visible as a hot-loop allocation).
+        self._locators: Dict[str, Locator] = {
             "RIPE IPmap": self._ipmap.locate,
             "MaxMind": self._maxmind.locate,
             "ip-api": self._ip_api.locate,
         }
 
+    # -- locator access ----------------------------------------------------
+    def locators(self) -> Dict[str, Locator]:
+        """Tool name → locator callable (a copy; mutate freely)."""
+        return dict(self._locators)
+
     def locate(self, tool: str, address: IPAddress) -> Optional[str]:
+        """Geolocate ``address`` with one named tool.
+
+        Raises :class:`repro.errors.UnknownKeyError` for tools outside
+        :meth:`locators`.
+        """
         try:
-            locator = self.locators()[tool]
+            locator = self._locators[tool]
         except KeyError:
             raise UnknownKeyError(f"unknown geolocation tool {tool!r}") from None
         return locator(address)

@@ -1,0 +1,336 @@
+"""Vectorized kernels for the pipeline's hot loops.
+
+Column-at-a-time implementations of the record path's three hottest
+passes, operating on :class:`~repro.columnar.table.ColumnarTable`
+batches instead of per-record Python objects:
+
+* :func:`classify_table` — the three-stage tracking classifier over a
+  request table (byte-identical labels to
+  :meth:`repro.core.classify.RequestClassifier.classify`);
+* :class:`ConfinementAccumulator` — streaming Sankey tallies (region →
+  region, EU28 country → country) whose per-row work is a masked
+  gather + bincount, with geolocation paid once per *distinct* server
+  address instead of once per flow;
+* :func:`stage_counts` — per-stage flow counts from a label column.
+
+Every kernel is locked against its object-path reference by
+``tests/test_columnar_equivalence.py``: the columnar path is a
+performance representation, never a second semantics.
+
+Raises
+------
+:class:`repro.errors.ColumnarError` for misaligned label/table inputs;
+kernel callees propagate :class:`repro.errors.GeoDataError` for
+unknown countries.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.columnar import accel
+from repro.columnar.table import ColumnarTable
+from repro.core.classify import ClassificationStage, RequestClassifier
+from repro.errors import ColumnarError
+from repro.geodata.countries import CountryRegistry, default_registry
+from repro.geodata.regions import Region, region_of_country
+from repro.netbase.addr import IPAddress
+from repro.util.sankey import Sankey
+
+Locator = Callable[[IPAddress], Optional[str]]
+
+#: dense codes for the classification stages, `NONE` deliberately zero
+#: so "is tracking" is a nonzero test over the label column
+STAGE_NONE = 0
+STAGE_LIST = 1
+STAGE_REFERRER = 2
+STAGE_KEYWORD = 3
+
+#: code → enum, in code order (index == code)
+STAGE_BY_CODE = (
+    ClassificationStage.NONE,
+    ClassificationStage.LIST,
+    ClassificationStage.REFERRER,
+    ClassificationStage.KEYWORD,
+)
+
+
+def classify_table(
+    classifier: RequestClassifier,
+    table: ColumnarTable,
+    enable_referrer_stage: bool = True,
+    enable_keyword_stage: bool = True,
+) -> array:
+    """Three-stage classification over a request table.
+
+    Returns a ``u8`` label column aligned with the table (codes
+    :data:`STAGE_NONE`..:data:`STAGE_KEYWORD`).  The algorithm is the
+    object path's verbatim — list pass, referrer closure to a fixpoint,
+    keyword pass — but reads pre-split URL components straight out of
+    the columns, so no request objects are materialized and no
+    ``urlsplit`` runs per pass.
+
+    The fixpoint is unique (promotion is monotone), so label codes are
+    independent of closure visit order; chunking a cohort any way that
+    keeps one user's requests together cannot change them.
+    """
+    n_rows = len(table)
+    stages = array("B", bytes(n_rows))
+    urls: List[str] = table.column("url")
+    referrers: List[str] = table.column("referrer")
+    fqdn_column = table.column("fqdn")
+    fqdn_values = fqdn_column.values()
+    fqdn_codes = fqdn_column.codes
+    has_args = table.column("has_args")
+
+    ltf_urls = set()
+    by_referrer: Dict[str, List[int]] = {}
+
+    # Stage 1: filter lists.
+    frontier: List[str] = []
+    matches_lists_url = classifier.matches_lists_url
+    for index in range(n_rows):
+        url = urls[index]
+        if matches_lists_url(url, fqdn_values[fqdn_codes[index]]):
+            stages[index] = STAGE_LIST
+            if url not in ltf_urls:
+                ltf_urls.add(url)
+                frontier.append(url)
+        else:
+            by_referrer.setdefault(referrers[index], []).append(index)
+
+    # Stage 2: referrer closure to a fixpoint.
+    if not enable_referrer_stage:
+        frontier = []
+    while frontier:
+        url = frontier.pop()
+        for index in by_referrer.get(url, ()):  # pragma: no branch
+            if stages[index] != STAGE_NONE:
+                continue
+            if not has_args[index]:
+                continue
+            stages[index] = STAGE_REFERRER
+            promoted = urls[index]
+            if promoted not in ltf_urls:
+                ltf_urls.add(promoted)
+                frontier.append(promoted)
+
+    # Stage 3: keyword heuristic on the remainder.
+    if enable_keyword_stage:
+        matches_keywords_url = classifier.matches_keywords_url
+        for index in range(n_rows):
+            if stages[index] == STAGE_NONE and matches_keywords_url(
+                urls[index], bool(has_args[index])
+            ):
+                stages[index] = STAGE_KEYWORD
+
+    return stages
+
+
+def stage_counts(stages: Sequence[int]) -> Dict[ClassificationStage, int]:
+    """Per-stage flow counts of a label column (one bincount)."""
+    counts = accel.count_codes(stages, len(STAGE_BY_CODE))
+    return {
+        STAGE_BY_CODE[code]: counts[code]
+        for code in range(len(STAGE_BY_CODE))
+    }
+
+
+class _LabelInterner:
+    """Dense string-label codes shared across cohorts of one stream."""
+
+    __slots__ = ("_index", "labels")
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self.labels: List[str] = []
+
+    def intern(self, label: str) -> int:
+        code = self._index.get(label)
+        if code is None:
+            code = len(self.labels)
+            self._index[label] = code
+            self.labels.append(label)
+        return code
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class ConfinementAccumulator:
+    """Streaming border-crossing tallies over classified request tables.
+
+    Feed it one ``(table, labels)`` cohort at a time with
+    :meth:`absorb`; it maintains the two Sankey aggregations the
+    confinement stage reports — region → region over all tracking
+    flows, and country → country for EU28-origin tracking flows — plus
+    the distinct-user sets behind the per-region listing.  State grows
+    with the number of distinct countries/regions/addresses, never with
+    flow count, so a million-user stream accumulates in constant-ish
+    memory.
+
+    Geolocation cost: ``locate`` is called once per distinct server
+    address across the whole stream (cached in the accumulator), then
+    every row is a gather through dense lookup tables + one bincount
+    per chunk.
+
+    Headline views (:meth:`region_confinement`,
+    :meth:`national_confinement`, :meth:`destination_shares`) read the
+    Sankeys exactly the way :class:`repro.core.confinement.
+    ConfinementAnalyzer` does, so both paths produce identical numbers
+    — locked by the equivalence tests.
+    """
+
+    def __init__(
+        self,
+        locate: Locator,
+        registry: Optional[CountryRegistry] = None,
+    ) -> None:
+        self._locate = locate
+        self._registry = registry or default_registry()
+        #: distinct-address geolocation memo (IPAddress → country|None)
+        self._ip_countries: Dict[IPAddress, Optional[str]] = {}
+        self._regions = _LabelInterner()
+        self._countries = _LabelInterner()
+        self.regions = Sankey()
+        self.countries = Sankey()
+        self._users_by_region: Dict[str, set] = {}
+        self.n_rows = 0
+        self.n_tracking = 0
+
+    # -- ingest ----------------------------------------------------------
+    def destination_country(self, address: IPAddress) -> Optional[str]:
+        """The memoized destination country of one server address."""
+        if address not in self._ip_countries:
+            self._ip_countries[address] = self._locate(address)
+        return self._ip_countries[address]
+
+    def absorb(
+        self,
+        table: ColumnarTable,
+        labels: Sequence[int],
+        chunk_rows: int = 65536,
+    ) -> None:
+        """Fold one classified cohort into the tallies.
+
+        ``labels`` is the ``u8`` column :func:`classify_table` produced
+        for ``table``.  Rows stream through in ``chunk_rows`` windows;
+        nothing row-shaped survives the call.
+
+        Raises :class:`repro.errors.ColumnarError` when ``labels``
+        misaligns with the table.
+        """
+        n_rows = len(table)
+        if len(labels) != n_rows:
+            raise ColumnarError(
+                f"{len(labels)} labels for a {n_rows}-row table"
+            )
+        self.n_rows += n_rows
+        if n_rows == 0:
+            return
+
+        origin_column = table.column("user_country")
+        ip_column = table.column("ip")
+        user_ids = table.column("user_id")
+
+        # Per-distinct lookups for this cohort: origin country/region
+        # codes per user-country value, destination codes per address.
+        origin_country_codes = []
+        origin_region_codes = []
+        origin_is_eu28 = []
+        for country in origin_column.values():
+            region = region_of_country(country, self._registry)
+            origin_country_codes.append(self._countries.intern(country))
+            origin_region_codes.append(self._regions.intern(region.value))
+            origin_is_eu28.append(1 if region is Region.EU28 else 0)
+        dest_country_codes = []
+        dest_region_codes = []
+        for address in ip_column.values():
+            country = self.destination_country(address)
+            label = country if country is not None else "unknown"
+            region = (
+                region_of_country(country, self._registry)
+                if country is not None
+                else Region.UNKNOWN
+            )
+            dest_country_codes.append(self._countries.intern(label))
+            dest_region_codes.append(self._regions.intern(region.value))
+
+        origin_codes = origin_column.codes
+        ip_codes = ip_column.codes
+        for lo, hi in table.iter_chunks(chunk_rows):
+            tracking = accel.nonzero_mask(labels[lo:hi])
+            self.n_tracking += accel.masked_count(tracking)
+            origins = accel.select_where(origin_codes[lo:hi], tracking)
+            dests = accel.select_where(ip_codes[lo:hi], tracking)
+            self._fold(
+                self.regions,
+                accel.map_codes(origins, origin_region_codes),
+                accel.map_codes(dests, dest_region_codes),
+                self._regions.labels,
+            )
+            eu28 = accel.and_masks(
+                tracking,
+                accel.map_codes(origin_codes[lo:hi], origin_is_eu28),
+            )
+            self._fold(
+                self.countries,
+                accel.map_codes(
+                    accel.select_where(origin_codes[lo:hi], eu28),
+                    origin_country_codes,
+                ),
+                accel.map_codes(
+                    accel.select_where(ip_codes[lo:hi], eu28),
+                    dest_country_codes,
+                ),
+                self._countries.labels,
+            )
+            # Distinct users per origin region (tracking rows only).
+            for user_id, region_code in zip(
+                accel.select_where(user_ids[lo:hi], tracking),
+                accel.map_codes(origins, origin_region_codes),
+            ):
+                region_label = self._regions.labels[region_code]
+                self._users_by_region.setdefault(region_label, set()).add(
+                    int(user_id)
+                )
+
+    def _fold(
+        self,
+        sankey: Sankey,
+        origin_codes: Sequence[int],
+        dest_codes: Sequence[int],
+        labels: Sequence[str],
+    ) -> None:
+        # Origin and destination codes share one interner per sankey
+        # (regions for the region view, countries for the EU28 view),
+        # so a single dense label table decodes both sides.
+        tallies = accel.tally_pairs(
+            origin_codes, dest_codes, len(labels), len(labels)
+        )
+        for (origin, dest), count in sorted(tallies.items()):
+            sankey.add(labels[origin], labels[dest], float(count))
+
+    # -- headline views ---------------------------------------------------
+    def region_confinement(self, region: Region = Region.EU28) -> float:
+        """Percent of the region's tracking flows staying in-region."""
+        return self.regions.confinement(region.value)
+
+    def national_confinement(self) -> Dict[str, float]:
+        """Per EU28 origin country: percent terminating in-country."""
+        return {
+            origin: self.countries.confinement(origin)
+            for origin in self.countries.origins()
+        }
+
+    def destination_shares(self) -> Dict[str, float]:
+        """Share of all tracking flows terminating in each region."""
+        return self.regions.destination_shares()
+
+    def per_region_confinement(self) -> Dict[str, tuple]:
+        """Each origin region's confinement plus its distinct-user count."""
+        return {
+            region: (self.regions.confinement(region), len(users))
+            for region, users in sorted(self._users_by_region.items())
+        }

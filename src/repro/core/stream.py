@@ -1,0 +1,344 @@
+"""The streaming columnar record path: cohort in, headline out.
+
+The object-path :class:`~repro.core.pipeline.Study` materializes every
+request of every user before the first classification happens — fine at
+1.6k users, fatal at a million.  This module is the memory-bounded
+alternative: the panel is generated **one user cohort at a time**, each
+cohort is packed into a :class:`~repro.columnar.table.ColumnarTable`,
+pushed through the vectorized kernels
+(:func:`~repro.core.kernels.classify_table` →
+:class:`~repro.core.kernels.ConfinementAccumulator`), and dropped.
+Peak memory is one cohort plus the accumulator's distinct-value state;
+headline metrics are identical to the object path's because every
+kernel is equivalence-locked against its reference.
+
+Cohort boundaries always align to users: the classifier's referrer
+closure never crosses users (URLs carry per-user tokens), so a user
+cohort is closure-complete and the labels cannot depend on the cohort
+size.  Chunk size, by contrast, is pure iteration geometry — the
+equivalence tests sweep both.
+
+Timing is read from an injected :mod:`repro.obs.clock` clock (default
+:class:`~repro.obs.clock.NullClock`), never from ambient wall time, so
+the module stays usable on deterministic run paths; the scale driver
+injects a :class:`~repro.obs.clock.SystemClock` to measure real
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.columnar.chunks import cohort_bounds
+from repro.columnar.table import ColumnarTable
+from repro.core.classify import (
+    ClassificationStage,
+    ClassificationResult,
+    RequestClassifier,
+)
+from repro.core.confinement import ConfinementAnalyzer
+from repro.core.kernels import (
+    ConfinementAccumulator,
+    classify_table,
+    stage_counts,
+)
+from repro.dnssim.passive import PassiveDNSDatabase
+from repro.errors import ColumnarError
+from repro.geodata.countries import CountryRegistry
+from repro.geodata.regions import Region
+from repro.netbase.addr import IPAddress
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs.clock import NullClock
+from repro.web.browser import BrowserExtensionSimulator, MappingService
+from repro.web.columns import request_table
+from repro.web.requests import ThirdPartyRequest
+
+Locator = Callable[[IPAddress], Optional[str]]
+
+#: default rows per inner kernel chunk (~a few MB of working set)
+DEFAULT_CHUNK_ROWS = 65536
+
+
+def iter_panel_cohorts(
+    world, cohort_size: int
+) -> Iterator[Tuple[str, ColumnarTable]]:
+    """Generate the panel cohort-at-a-time as columnar batches.
+
+    Yields ``(cohort_key, request_table)`` for each user block of (at
+    most) ``cohort_size`` users.  Each cohort simulates against a
+    cohort-local DNS mapping (fresh answer cache, cohort-derived DNS
+    stream, cohort-local passive-DNS collector) exactly the way the
+    runtime's panel shards do; per-user browsing randomness is a
+    stateless fork keyed on the user id, so a user's requests do not
+    depend on which cohort generated them.
+
+    Nothing is retained between cohorts — the caller owns the peak
+    memory bound by choosing ``cohort_size``.
+
+    Raises :class:`repro.errors.ColumnarError` for non-positive
+    ``cohort_size``.
+    """
+    for lo, hi in cohort_bounds(len(world.users), cohort_size):
+        cohort_key = f"users[{lo}:{hi}]"
+        local_pdns = PassiveDNSDatabase(name=f"columnar-{cohort_key}")
+        mapping = MappingService(
+            world.fleet,
+            world.registry,
+            local_pdns,
+            world.streams.spawn(f"columnar:{cohort_key}"),
+        )
+        simulator = BrowserExtensionSimulator(
+            fleet=world.fleet,
+            publishers=world.publishers,
+            users=world.users[lo:hi],
+            panel_config=world.config.panel,
+            browsing_config=world.config.browsing,
+            registry=world.registry,
+            mapping=mapping,
+            streams=world.streams,  # per-user forks are stateless
+        )
+        log = simulator.simulate()
+        yield cohort_key, request_table(log.requests)
+
+
+@dataclass(frozen=True)
+class ColumnarHeadlines:
+    """The record path's headline numbers, path-independent by contract.
+
+    Every field here must be byte-identical between the object path
+    (:func:`headlines_object`) and the streaming columnar path
+    (:meth:`StreamingRecordPath.headlines`) on the same request log —
+    that is the invariant the equivalence tests pin.
+    """
+
+    n_requests: int
+    n_tracking: int
+    #: classification-stage value → flow count (all four stages)
+    stage_flows: Dict[str, int]
+    #: EU28 tracking flows staying inside EU28, percent
+    region_confinement_pct: float
+    #: EU28 origin country → percent of its tracking flows staying home
+    national_confinement: Dict[str, float]
+    #: destination region → share of all tracking flows, percent
+    destination_shares: Dict[str, float]
+
+
+class StreamingRecordPath:
+    """Classify + confine a stream of request tables, cohort by cohort.
+
+    Feed cohorts with :meth:`consume`; read :meth:`headlines` at any
+    point (the accumulator is monotone, so headlines are valid after
+    every cohort).  Wall time per stage is read from the injected
+    ``clock`` and exposed as rows-per-second via :meth:`throughput`;
+    when a metrics collection scope is active the rates are also
+    published as ``pipeline.flows_per_s{stage=...}`` gauges.
+    """
+
+    #: stage keys, in pipeline order, as used by :meth:`throughput`
+    STAGES = ("classify", "confine")
+
+    def __init__(
+        self,
+        classifier: RequestClassifier,
+        locate: Locator,
+        registry: Optional[CountryRegistry] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        clock=None,
+    ) -> None:
+        if chunk_rows < 1:
+            raise ColumnarError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self._classifier = classifier
+        self._accumulator = ConfinementAccumulator(locate, registry)
+        self._chunk_rows = chunk_rows
+        self._clock = clock if clock is not None else NullClock()
+        self._wall = {stage: 0.0 for stage in self.STAGES}
+        self._rows = {stage: 0 for stage in self.STAGES}
+        self._stage_flows: Dict[ClassificationStage, int] = {
+            stage: 0 for stage in ClassificationStage
+        }
+        self.n_cohorts = 0
+
+    # -- ingest ----------------------------------------------------------
+    def consume(self, table: ColumnarTable) -> None:
+        """Fold one request-table cohort into the running study."""
+        clock = self._clock
+        started = clock.wall()
+        labels = classify_table(self._classifier, table)
+        classified = clock.wall()
+        self._accumulator.absorb(table, labels, self._chunk_rows)
+        confined = clock.wall()
+
+        n_rows = len(table)
+        self._wall["classify"] += classified - started
+        self._wall["confine"] += confined - classified
+        self._rows["classify"] += n_rows
+        self._rows["confine"] += n_rows
+        for stage, count in stage_counts(labels).items():
+            self._stage_flows[stage] += count
+        self.n_cohorts += 1
+
+        if obs_metrics.active():
+            for stage, rate in self.throughput().items():
+                obs_metrics.set_gauge(
+                    obs_names.PIPELINE_FLOWS_PER_S, rate, stage=stage
+                )
+
+    # -- telemetry --------------------------------------------------------
+    def throughput(self) -> Dict[str, float]:
+        """Cumulative rows-per-second per stage (0.0 under a null clock)."""
+        return {
+            stage: (
+                self._rows[stage] / self._wall[stage]
+                if self._wall[stage] > 0
+                else 0.0
+            )
+            for stage in self.STAGES
+        }
+
+    def stage_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage ``{rows, wall_s, flows_per_s}`` for scale reports."""
+        rates = self.throughput()
+        return {
+            stage: {
+                "rows": float(self._rows[stage]),
+                "wall_s": self._wall[stage],
+                "flows_per_s": rates[stage],
+            }
+            for stage in self.STAGES
+        }
+
+    @property
+    def n_rows(self) -> int:
+        """Total request rows consumed so far."""
+        return self._accumulator.n_rows
+
+    @property
+    def n_tracking(self) -> int:
+        """Total tracking-classified rows consumed so far."""
+        return self._accumulator.n_tracking
+
+    # -- headline views ---------------------------------------------------
+    def headlines(self) -> ColumnarHeadlines:
+        """The study's headline numbers over everything consumed so far."""
+        acc = self._accumulator
+        return ColumnarHeadlines(
+            n_requests=acc.n_rows,
+            n_tracking=acc.n_tracking,
+            stage_flows={
+                stage.value: count
+                for stage, count in sorted(
+                    self._stage_flows.items(), key=lambda kv: kv[0].value
+                )
+            },
+            region_confinement_pct=acc.region_confinement(Region.EU28),
+            national_confinement=acc.national_confinement(),
+            destination_shares=acc.destination_shares(),
+        )
+
+
+def headlines_object(
+    classifier: RequestClassifier,
+    locate: Locator,
+    requests: Sequence[ThirdPartyRequest],
+    registry: Optional[CountryRegistry] = None,
+) -> ColumnarHeadlines:
+    """The object-path reference for :class:`ColumnarHeadlines`.
+
+    Runs the per-record classifier and analyzer the way
+    :class:`~repro.core.pipeline.Study` does and projects out the same
+    headline fields, so a property test can assert equality without
+    dragging the whole study pipeline in.
+    """
+    result: ClassificationResult = classifier.classify(requests)
+    analyzer = ConfinementAnalyzer(locate, registry)
+    tracking = result.tracking_requests()
+    stage_flows = {
+        stage.value: sum(1 for s in result.stages if s is stage)
+        for stage in sorted(ClassificationStage, key=lambda s: s.value)
+    }
+    return ColumnarHeadlines(
+        n_requests=len(requests),
+        n_tracking=result.n_tracking(),
+        stage_flows=stage_flows,
+        region_confinement_pct=analyzer.region_confinement(tracking),
+        national_confinement=analyzer.national_confinement(tracking),
+        destination_shares=analyzer.overall_destination_shares(tracking),
+    )
+
+
+class SyntheticCohortSource:
+    """Million-user cohort synthesis from a small-world template.
+
+    The scale driver needs request volume far beyond what the full
+    simulation can generate in reasonable wall time, with the *shape*
+    of real panel traffic (URL structure, tracker mix, per-user origin
+    country).  This source takes a template request table from a real
+    (small) world and mints synthetic user cohorts from it: each
+    synthetic user adopts one template user's identity (so origin
+    country stays consistent per user) and re-draws its requests from
+    that template user's rows.
+
+    This is a **benchmark harness, not a measurement**: the aggregate
+    statistics are a resampling of the template world's, so headline
+    numbers from synthetic worlds demonstrate throughput and memory
+    bounds, never paper results (see ``docs/scaling.md``).
+
+    Cohort content is a pure function of ``(streams seed, lo, hi)`` —
+    cohorts can be regenerated or re-ordered without changing rows.
+    """
+
+    def __init__(
+        self,
+        template: ColumnarTable,
+        streams,
+        n_users: int,
+        requests_per_user: int,
+    ) -> None:
+        if len(template) == 0:
+            raise ColumnarError("synthetic source needs a non-empty template")
+        if n_users < 1 or requests_per_user < 1:
+            raise ColumnarError(
+                "n_users and requests_per_user must be >= 1, got "
+                f"{n_users} / {requests_per_user}"
+            )
+        self._template = template
+        self._streams = streams
+        self.n_users = n_users
+        self.requests_per_user = requests_per_user
+        # Template rows grouped by template user, in row order.
+        user_ids = template.column("user_id")
+        by_user: Dict[int, list] = {}
+        for index in range(len(template)):
+            by_user.setdefault(user_ids[index], []).append(index)
+        self._template_users = sorted(by_user)
+        self._rows_of = by_user
+        self._user_id_at = template.schema.index_of("user_id")
+
+    @property
+    def n_requests(self) -> int:
+        """Total rows the full synthetic world will stream."""
+        return self.n_users * self.requests_per_user
+
+    def cohorts(self, cohort_size: int) -> Iterator[Tuple[str, ColumnarTable]]:
+        """Yield ``(cohort_key, request_table)`` synthetic cohorts."""
+        for lo, hi in cohort_bounds(self.n_users, cohort_size):
+            yield f"synth[{lo}:{hi}]", self.cohort(lo, hi)
+
+    def cohort(self, lo: int, hi: int) -> ColumnarTable:
+        """Mint one cohort of synthetic users ``[lo, hi)``."""
+        rng = self._streams.fork(f"columnar:synth[{lo}:{hi}]")
+        template = self._template
+        user_id_at = self._user_id_at
+        out = ColumnarTable(template.schema)
+        for user_id in range(lo, hi):
+            persona = self._template_users[
+                rng.randrange(len(self._template_users))
+            ]
+            indices = self._rows_of[persona]
+            for _ in range(self.requests_per_user):
+                row = list(template.row(indices[rng.randrange(len(indices))]))
+                row[user_id_at] = user_id
+                out.append(tuple(row))
+        return out

@@ -44,6 +44,11 @@ class HashedIPMatcher:
         self._hashes: Dict[bytes, IPAddress] = {}
         #: per-IP validity window; None means always valid
         self._windows: Dict[IPAddress, Optional[Tuple[float, float]]] = {}
+        #: candidate-address memo: snapshots re-probe the same few
+        #: thousand subscriber/server addresses millions of times, so
+        #: the blake2b digest is paid once per *distinct* address and
+        #: every later probe is a dict hit (invalidated on add())
+        self._probe_memo: Dict[IPAddress, Optional[IPAddress]] = {}
 
     def __len__(self) -> int:
         return len(self._hashes)
@@ -58,10 +63,15 @@ class HashedIPMatcher:
         address: IPAddress,
         window: Optional[Tuple[float, float]] = None,
     ) -> None:
-        """Register a tracker IP, optionally with its validity window."""
+        """Register a tracker IP, optionally with its validity window.
+
+        Raises :class:`repro.errors.NetFlowError` when the window's end
+        precedes its start.
+        """
         if window is not None and window[1] < window[0]:
             raise NetFlowError("validity window end precedes start")
         self._hashes[self._digest(address)] = address
+        self._probe_memo.clear()
         existing = self._windows.get(address)
         if window is None or existing is None and address in self._windows:
             self._windows[address] = None
@@ -73,16 +83,40 @@ class HashedIPMatcher:
                 max(existing[1], window[1]),
             )
 
+    def probe(
+        self, address: IPAddress
+    ) -> Tuple[Optional[IPAddress], Optional[Tuple[float, float]]]:
+        """Time-independent half of a match: ``(tracker_ip, window)``.
+
+        ``tracker_ip`` is ``None`` for non-tracker addresses; a
+        ``None`` window means always valid.  The digest is memoized per
+        distinct address, so repeated probes (per-flow matching, the
+        columnar join's per-dictionary-code pre-resolution) cost one
+        dict lookup.
+        """
+        if address in self._probe_memo:
+            found = self._probe_memo[address]
+        else:
+            found = self._hashes.get(self._digest(address))
+            self._probe_memo[address] = found
+        if found is None:
+            return None, None
+        return found, self._windows.get(found)
+
+    def window_valid(
+        self, window: Optional[Tuple[float, float]], at: float
+    ) -> bool:
+        """Is ``at`` inside ``window`` widened by the configured slack?"""
+        if window is None:
+            return True
+        slack = self.window_slack_days
+        return window[0] - slack <= at <= window[1] + slack
+
     def match(self, address: IPAddress, at: float) -> Optional[IPAddress]:
         """Return the tracker IP when ``address`` matches and is valid."""
-        found = self._hashes.get(self._digest(address))
-        if found is None:
+        found, window = self.probe(address)
+        if found is None or not self.window_valid(window, at):
             return None
-        window = self._windows.get(found)
-        if window is not None:
-            slack = self.window_slack_days
-            if not (window[0] - slack <= at <= window[1] + slack):
-                return None
         return found
 
 

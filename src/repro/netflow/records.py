@@ -21,7 +21,18 @@ WEB_PORTS = (80, 443)
 
 @dataclass(frozen=True)
 class FlowRecord:
-    """One exported (sampled) flow."""
+    """One exported (sampled) flow.
+
+    This object is the **reference representation** of a flow; the
+    columnar path packs the same eleven fields into a
+    :data:`repro.netflow.columns.FLOW_SCHEMA` table and
+    :func:`repro.netflow.columns.table_to_records` round-trips back
+    through this constructor, re-running the same validation.
+
+    Raises :class:`repro.errors.NetFlowError` on construction for an
+    unsupported layer-4 protocol, an out-of-range port, or non-positive
+    sampled counters.
+    """
 
     timestamp: float          # day number + fraction
     router_id: int

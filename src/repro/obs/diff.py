@@ -56,8 +56,9 @@ CACHE_VARIABLE_METRICS = frozenset({
     RUNTIME_SHARDS_EXECUTED,
 })
 
-#: metric name prefixes that carry wall-time statistics (never drift)
-TIMING_METRIC_PREFIXES = ("bench.", "lint.")
+#: metric name prefixes that carry wall-time statistics (never drift) —
+#: "pipeline." covers the columnar record path's throughput/RSS gauges
+TIMING_METRIC_PREFIXES = ("bench.", "lint.", "pipeline.")
 
 #: classification labels, in report order
 CLASSIFICATIONS = ("config", "code", "cache", "timing", "drift")

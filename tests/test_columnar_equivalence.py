@@ -1,0 +1,101 @@
+"""The zero-drift property: object path == columnar streaming path.
+
+The columnar record path is a performance representation, never a
+second semantics — on the same request log, the streaming path
+(cohorted tables through ``classify_table`` +
+``ConfinementAccumulator``) must produce exactly the headline numbers
+the per-record object path produces, for any cohort geometry and any
+chunk size.  These tests pin that across three world seeds and the
+chunk-boundary edge cases (empty stream, cohort smaller than the
+chunk, non-divisible chunk sizes).
+
+Both paths share one prebuilt, call-order-independent locator: the
+equivalence property is about the record path, not about the active
+geolocation engine (whose serial draws are order-dependent by design).
+"""
+
+import pytest
+
+from repro import Study, WorldConfig
+from repro.core.stream import (
+    StreamingRecordPath,
+    headlines_object,
+    iter_panel_cohorts,
+)
+from repro.datasets.builder import build_world
+from repro.web.columns import REQUEST_SCHEMA, request_table
+
+
+def _user_cohorts(requests, cohort_users):
+    """Slice a request log into blocks of ``cohort_users`` users."""
+    by_user = {}
+    for request in requests:
+        by_user.setdefault(request.user_id, []).append(request)
+    users = sorted(by_user)
+    for lo in range(0, len(users), cohort_users):
+        yield [
+            request
+            for user in users[lo:lo + cohort_users]
+            for request in by_user[user]
+        ]
+
+
+@pytest.mark.parametrize("seed", [7, 11, 23])
+def test_headlines_identical_across_paths(seed, synthetic_locate):
+    study = Study(world=build_world(WorldConfig.small(seed=seed)))
+    requests = study.visit_log.requests
+    classifier = study.classifier
+    want = headlines_object(classifier, synthetic_locate, requests)
+    assert want.n_requests == len(requests) > 0
+    assert 0 < want.n_tracking < want.n_requests
+
+    # Sweep cohort geometry (users per cohort) and chunk geometry
+    # (rows per kernel chunk), including non-divisible sizes and a
+    # chunk far larger than any cohort.
+    for cohort_users, chunk_rows in ((7, 777), (40, 10**6), (1, 3)):
+        path = StreamingRecordPath(
+            classifier, synthetic_locate, chunk_rows=chunk_rows
+        )
+        for block in _user_cohorts(requests, cohort_users):
+            path.consume(request_table(block))
+        assert path.headlines() == want, (seed, cohort_users, chunk_rows)
+
+
+def test_empty_stream_headlines(small_study, synthetic_locate):
+    path = StreamingRecordPath(small_study.classifier, synthetic_locate)
+    headlines = path.headlines()
+    assert headlines.n_requests == 0
+    assert headlines.n_tracking == 0
+    assert headlines.national_confinement == {}
+    assert headlines.destination_shares == {}
+
+    # An explicitly empty cohort mid-stream is also a no-op.
+    path.consume(request_table([]))
+    assert path.headlines() == headlines
+
+
+def test_iter_panel_cohorts_streams_the_whole_panel(small_world):
+    seen_users = set()
+    n_rows = 0
+    keys = []
+    for key, table in iter_panel_cohorts(small_world, 15):
+        keys.append(key)
+        assert table.schema is REQUEST_SCHEMA
+        n_rows += len(table)
+        seen_users.update(table.column("user_id"))
+    # 40 users in cohorts of 15 -> 15/15/10.
+    assert keys == ["users[0:15]", "users[15:30]", "users[30:40]"]
+    assert seen_users == {user.user_id for user in small_world.users}
+    assert n_rows > 0
+
+
+def test_iter_panel_cohorts_is_cohort_deterministic(small_world):
+    first = [
+        (key, list(table.iter_rows()))
+        for key, table in iter_panel_cohorts(small_world, 15)
+    ]
+    second = [
+        (key, list(table.iter_rows()))
+        for key, table in iter_panel_cohorts(small_world, 15)
+    ]
+    assert first == second

@@ -1,0 +1,115 @@
+"""Tests for repro.core.kernels: vectorized classify + confinement."""
+
+import pytest
+
+from repro.columnar import ColumnarTable
+from repro.core.classify import ClassificationStage
+from repro.core.kernels import (
+    STAGE_BY_CODE,
+    STAGE_NONE,
+    ConfinementAccumulator,
+    classify_table,
+    stage_counts,
+)
+from repro.errors import ColumnarError
+from repro.web.columns import REQUEST_SCHEMA, request_table
+
+
+class TestClassifyTable:
+    def test_labels_match_object_path(self, small_study):
+        requests = small_study.visit_log.requests
+        table = request_table(requests)
+        labels = classify_table(small_study.classifier, table)
+        want = small_study.classification.stages
+        assert len(labels) == len(want)
+        assert all(
+            STAGE_BY_CODE[code] is stage
+            for code, stage in zip(labels, want)
+        )
+
+    def test_ablation_toggles_match_object_path(self, small_study):
+        requests = small_study.visit_log.requests
+        table = request_table(requests)
+        for referrer, keyword in ((False, False), (True, False), (False, True)):
+            labels = classify_table(
+                small_study.classifier,
+                table,
+                enable_referrer_stage=referrer,
+                enable_keyword_stage=keyword,
+            )
+            want = small_study.classifier.classify(
+                requests,
+                enable_referrer_stage=referrer,
+                enable_keyword_stage=keyword,
+            ).stages
+            assert all(
+                STAGE_BY_CODE[code] is stage
+                for code, stage in zip(labels, want)
+            )
+
+    def test_empty_table(self, small_study):
+        labels = classify_table(
+            small_study.classifier, ColumnarTable(REQUEST_SCHEMA)
+        )
+        assert len(labels) == 0
+        assert stage_counts(labels) == {stage: 0 for stage in STAGE_BY_CODE}
+
+    def test_stage_counts_matches_labels(self, small_study):
+        table = request_table(small_study.visit_log.requests)
+        labels = classify_table(small_study.classifier, table)
+        counts = stage_counts(labels)
+        assert counts[ClassificationStage.NONE] == sum(
+            1 for code in labels if code == STAGE_NONE
+        )
+        assert sum(counts.values()) == len(labels)
+        assert counts == {
+            stage: small_study.classification.stages.count(stage)
+            for stage in ClassificationStage
+        }
+
+
+class TestConfinementAccumulator:
+    def test_misaligned_labels_rejected(self, small_study, synthetic_locate):
+        table = request_table(small_study.visit_log.requests[:10])
+        accumulator = ConfinementAccumulator(synthetic_locate)
+        with pytest.raises(ColumnarError):
+            accumulator.absorb(table, [1, 0])
+
+    def test_empty_cohort_is_a_noop(self, synthetic_locate):
+        accumulator = ConfinementAccumulator(synthetic_locate)
+        accumulator.absorb(ColumnarTable(REQUEST_SCHEMA), [])
+        assert accumulator.n_rows == 0
+        assert accumulator.n_tracking == 0
+        assert accumulator.national_confinement() == {}
+        assert accumulator.destination_shares() == {}
+
+    def test_geolocation_memoized_per_distinct_address(self, small_study, synthetic_locate):
+        calls = []
+
+        def counting_locate(address):
+            calls.append(address)
+            return synthetic_locate(address)
+
+        requests = small_study.visit_log.requests[:2000]
+        table = request_table(requests)
+        labels = classify_table(small_study.classifier, table)
+        accumulator = ConfinementAccumulator(counting_locate)
+        accumulator.absorb(table, labels, chunk_rows=100)
+        accumulator.absorb(table, labels, chunk_rows=100)
+        assert len(calls) == len(set(calls))  # one call per distinct IP
+
+    def test_absorb_is_chunk_size_invariant(self, small_study, synthetic_locate):
+        requests = small_study.visit_log.requests[:3000]
+        table = request_table(requests)
+        labels = classify_table(small_study.classifier, table)
+        results = []
+        for chunk_rows in (7, 500, 10**6):
+            accumulator = ConfinementAccumulator(synthetic_locate)
+            accumulator.absorb(table, labels, chunk_rows=chunk_rows)
+            results.append((
+                accumulator.n_tracking,
+                sorted(accumulator.regions.rows()),
+                sorted(accumulator.countries.rows()),
+                accumulator.per_region_confinement(),
+            ))
+        assert results[0] == results[1] == results[2]

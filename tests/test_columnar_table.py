@@ -1,0 +1,239 @@
+"""Tests for repro.columnar: schemas, packed tables, geometry, accel."""
+
+from array import array
+
+import pytest
+
+from repro.columnar import (
+    HAVE_NUMPY,
+    ColumnKind,
+    ColumnSpec,
+    ColumnarTable,
+    DictColumn,
+    Schema,
+    chunk_bounds,
+    cohort_bounds,
+)
+from repro.columnar import accel
+from repro.errors import ColumnarError
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+
+class TestSchema:
+    def test_kinds_have_portable_typecodes(self):
+        # 'I'/'Q' are fixed 4/8 bytes where it matters; 'L' (8 bytes on
+        # Linux) must never be used for U32.
+        assert array(ColumnKind.U32.typecode).itemsize == 4
+        assert array(ColumnKind.U64.typecode).itemsize == 8
+        assert array(ColumnKind.U16.typecode).itemsize == 2
+        assert array(ColumnKind.U8.typecode).itemsize == 1
+
+    def test_packed_vs_object_kinds(self):
+        assert ColumnKind.F64.is_packed
+        assert not ColumnKind.STR.is_packed
+        assert not ColumnKind.DICT.is_packed
+
+    def test_of_and_lookup(self):
+        schema = Schema.of(("a", ColumnKind.U8), ("b", ColumnKind.STR))
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+        assert "a" in schema and "z" not in schema
+        assert schema.index_of("b") == 1
+        assert schema.spec("a").kind is ColumnKind.U8
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ColumnarError):
+            Schema.of(("a", ColumnKind.U8), ("a", ColumnKind.U8))
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(ColumnarError):
+            ColumnSpec("not an identifier", ColumnKind.U8)
+
+    def test_unknown_column_rejected(self):
+        schema = Schema.of(("a", ColumnKind.U8))
+        with pytest.raises(ColumnarError):
+            schema.spec("missing")
+        with pytest.raises(ColumnarError):
+            schema.index_of("missing")
+
+
+# ---------------------------------------------------------------------------
+# dictionary column
+# ---------------------------------------------------------------------------
+
+class TestDictColumn:
+    def test_codes_are_stable_per_value(self):
+        column = DictColumn()
+        assert column.append("x") == 0
+        assert column.append("y") == 1
+        assert column.append("x") == 0
+        assert list(column.codes) == [0, 1, 0]
+        assert column.n_values == 2
+        assert column.values() == ("x", "y")
+
+    def test_code_of_and_value_of(self):
+        column = DictColumn()
+        column.append("x")
+        assert column.code_of("x") == 0
+        assert column.code_of("missing") is None
+        assert column.value_of(0) == "x"
+        with pytest.raises(ColumnarError):
+            column.value_of(1)
+
+
+# ---------------------------------------------------------------------------
+# table
+# ---------------------------------------------------------------------------
+
+SCHEMA = Schema.of(
+    ("label", ColumnKind.DICT),
+    ("url", ColumnKind.STR),
+    ("count", ColumnKind.U32),
+    ("score", ColumnKind.F64),
+    ("flag", ColumnKind.BOOL),
+)
+
+ROWS = [
+    ("a", "http://a/1", 3, 0.5, True),
+    ("b", "http://b/1", 1, 1.5, False),
+    ("a", "http://a/2", 7, 2.5, True),
+]
+
+
+class TestColumnarTable:
+    def test_round_trip_rows(self):
+        table = ColumnarTable.from_rows(SCHEMA, ROWS)
+        assert len(table) == 3
+        assert [table.row(i) for i in range(3)] == ROWS
+        assert list(table.iter_rows()) == ROWS
+
+    def test_columns_are_packed(self):
+        table = ColumnarTable.from_rows(SCHEMA, ROWS)
+        counts = table.column("count")
+        assert isinstance(counts, array) and counts.typecode == "I"
+        assert list(counts) == [3, 1, 7]
+        # BOOL coerces to 0/1 bytes.
+        assert list(table.column("flag")) == [1, 0, 1]
+        # DICT stores codes + a value table.
+        label = table.column("label")
+        assert list(label.codes) == [0, 1, 0]
+        assert table.cell("label", 2) == "a"
+
+    def test_arity_mismatch_rejected(self):
+        table = ColumnarTable(SCHEMA)
+        with pytest.raises(ColumnarError):
+            table.append(("a", "http://a", 1, 0.0))
+
+    def test_unknown_column_rejected(self):
+        table = ColumnarTable.from_rows(SCHEMA, ROWS)
+        with pytest.raises(ColumnarError):
+            table.column("missing")
+
+    def test_nbytes_counts_packed_storage(self):
+        table = ColumnarTable.from_rows(SCHEMA, ROWS)
+        assert table.nbytes() > 0
+
+    def test_iter_chunks_covers_exactly(self):
+        table = ColumnarTable.from_rows(SCHEMA, ROWS * 5)  # 15 rows
+        bounds = list(table.iter_chunks(4))
+        assert bounds == [(0, 4), (4, 8), (8, 12), (12, 15)]
+
+
+# ---------------------------------------------------------------------------
+# geometry
+# ---------------------------------------------------------------------------
+
+class TestGeometry:
+    def test_cohorts_cover_contiguously(self):
+        assert cohort_bounds(10, 3) == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert cohort_bounds(10, 10) == [(0, 10)]
+        assert cohort_bounds(10, 100) == [(0, 10)]
+
+    def test_empty_world_yields_no_cohorts(self):
+        assert cohort_bounds(0, 5) == []
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ColumnarError):
+            cohort_bounds(10, 0)
+        with pytest.raises(ColumnarError):
+            cohort_bounds(-1, 5)
+        with pytest.raises(ColumnarError):
+            list(chunk_bounds(10, 0))
+        with pytest.raises(ColumnarError):
+            list(chunk_bounds(-1, 5))
+
+    def test_chunks_cover_exactly(self):
+        assert list(chunk_bounds(7, 3)) == [(0, 3), (3, 6), (6, 7)]
+        assert list(chunk_bounds(0, 3)) == []
+
+
+# ---------------------------------------------------------------------------
+# accel: numpy and fallback must agree bit for bit
+# ---------------------------------------------------------------------------
+
+CODES = array("I", [0, 2, 1, 2, 2, 0, 3, 1, 2, 0])
+MASK = array("B", [1, 0, 1, 1, 0, 0, 1, 0, 1, 1])
+
+
+def _both_paths(monkeypatch, fn, *args):
+    """Run an accel function on the active path and the pure fallback."""
+    fast = fn(*args)
+    monkeypatch.setattr(accel, "HAVE_NUMPY", False)
+    slow = fn(*args)
+    return fast, slow
+
+
+class TestAccel:
+    def test_count_codes(self, monkeypatch):
+        fast, slow = _both_paths(monkeypatch, accel.count_codes, CODES, 4)
+        assert fast == slow == (3, 2, 4, 1)
+
+    def test_tally_pairs(self, monkeypatch):
+        fast, slow = _both_paths(
+            monkeypatch, accel.tally_pairs, CODES, list(MASK), 4, 2
+        )
+        assert dict(fast) == dict(slow)
+        assert sum(fast.values()) == len(CODES)
+
+    def test_tally_pairs_misaligned(self):
+        with pytest.raises(ColumnarError):
+            accel.tally_pairs(CODES, [0, 1], 4, 2)
+
+    def test_masked_count(self, monkeypatch):
+        fast, slow = _both_paths(monkeypatch, accel.masked_count, MASK)
+        assert fast == slow == 6
+
+    def test_nonzero_mask(self, monkeypatch):
+        fast, slow = _both_paths(monkeypatch, accel.nonzero_mask, CODES)
+        assert list(fast) == list(slow) == [0, 1, 1, 1, 1, 0, 1, 1, 1, 0]
+
+    def test_and_masks(self, monkeypatch):
+        fast, slow = _both_paths(
+            monkeypatch, accel.and_masks, MASK, accel.nonzero_mask(CODES)
+        )
+        assert list(fast) == list(slow)
+
+    def test_and_masks_misaligned(self):
+        with pytest.raises(ColumnarError):
+            accel.and_masks(MASK, [1])
+
+    def test_select_where(self, monkeypatch):
+        fast, slow = _both_paths(monkeypatch, accel.select_where, CODES, MASK)
+        assert list(fast) == list(slow) == [0, 1, 2, 3, 2, 0]
+
+    def test_select_where_misaligned(self):
+        with pytest.raises(ColumnarError):
+            accel.select_where(CODES, [1])
+
+    def test_map_codes(self, monkeypatch):
+        lookup = [10, 20, 30, 40]
+        fast, slow = _both_paths(monkeypatch, accel.map_codes, CODES, lookup)
+        assert list(fast) == list(slow) == [lookup[c] for c in CODES]
+
+    def test_probe_is_a_constant(self):
+        # The probe is an interpreter property: flipping it at runtime
+        # (as these tests do) changes speed only, never results.
+        assert isinstance(HAVE_NUMPY, bool)

@@ -1,0 +1,145 @@
+"""Tests for repro.netflow.columns: flow tables and the columnar join."""
+
+import pytest
+
+from repro.config import SNAPSHOT_DAYS
+from repro.errors import NetFlowError
+from repro.netbase.addr import IPAddress
+from repro.netflow.columns import (
+    FLOW_SCHEMA,
+    flow_table,
+    join_table,
+    table_to_records,
+)
+from repro.netflow.join import HashedIPMatcher, TrackerFlowJoin
+from repro.netflow.records import PROTO_TCP, PROTO_UDP, FlowRecord
+
+
+def make_record(src="10.0.0.1", dst="1.0.0.1", dst_port=443,
+                protocol=PROTO_TCP, timestamp=1.0):
+    return FlowRecord(
+        timestamp=timestamp,
+        router_id=1,
+        interface_id=0,
+        protocol=protocol,
+        src_ip=IPAddress.parse(src),
+        dst_ip=IPAddress.parse(dst),
+        src_port=40000,
+        dst_port=dst_port,
+        tos=0,
+        sampled_packets=2,
+        sampled_bytes=1200,
+    )
+
+
+def _matcher_with(trackers, slack=0.0):
+    matcher = HashedIPMatcher(window_slack_days=slack)
+    for address, window in trackers:
+        matcher.add(IPAddress.parse(address), window)
+    return matcher
+
+
+def _assert_join_equal(matcher_a, matcher_b, locate, records):
+    """Object-path and columnar join must agree field for field."""
+    want = TrackerFlowJoin(matcher_a, locate).join("ISP", "DE", 1.0, records)
+    got = join_table(matcher_b, locate, "ISP", "DE", 1.0,
+                     flow_table(records))
+    assert (want.matched_flows, want.unmatched_flows) == (
+        got.matched_flows, got.unmatched_flows
+    )
+    assert (want.web_flows, want.encrypted_flows) == (
+        got.web_flows, got.encrypted_flows
+    )
+    assert want.per_tracker_ip == got.per_tracker_ip
+    assert want.destinations == got.destinations
+    # Dict insertion order is part of downstream report ordering.
+    assert list(want.destinations) == list(got.destinations)
+    return got
+
+
+class TestFlowTable:
+    def test_round_trip(self):
+        records = [
+            make_record(dst="1.0.0.1"),
+            make_record(dst="9.9.9.9", dst_port=80, protocol=PROTO_UDP),
+            make_record(src="10.0.0.2", timestamp=2.5),
+        ]
+        table = flow_table(records)
+        assert len(table) == 3
+        assert table.schema is FLOW_SCHEMA
+        assert table_to_records(table) == records
+
+    def test_endpoints_dictionary_encode(self):
+        records = [make_record(dst="1.0.0.1") for _ in range(50)]
+        table = flow_table(records)
+        assert table.column("dst_ip").n_values == 1
+        assert table.column("src_ip").n_values == 1
+
+    def test_decode_revalidates(self):
+        table = flow_table([make_record()])
+        # Corrupt a packed cell: decoding re-runs FlowRecord validation.
+        table.column("sampled_packets")[0] = 0
+        with pytest.raises(NetFlowError):
+            table_to_records(table)
+
+
+class TestJoinTable:
+    def test_matches_object_join_on_basics(self):
+        trackers = [("1.0.0.1", None), ("2.0.0.2", None)]
+        records = [
+            make_record(dst="1.0.0.1"),
+            make_record(dst="1.0.0.1", dst_port=80),
+            make_record(dst="2.0.0.2", protocol=PROTO_UDP),
+            make_record(dst="9.9.9.9"),
+            make_record(src="1.0.0.1", dst="10.0.0.9"),  # src-side match
+        ]
+        locate = lambda ip: {"1.0.0.1": "DE"}.get(str(ip))
+        got = _assert_join_equal(
+            _matcher_with(trackers), _matcher_with(trackers), locate, records
+        )
+        assert got.matched_flows == 4
+        assert got.destinations["DE"] == 3
+        assert got.destinations["unknown"] == 1
+
+    def test_matches_object_join_with_windows(self):
+        trackers = [
+            ("1.0.0.1", (0.5, 1.5)),   # valid at t=1.0
+            ("2.0.0.2", (5.0, 9.0)),   # stale at t=1.0
+        ]
+        records = [
+            make_record(dst="1.0.0.1", timestamp=1.0),
+            make_record(dst="2.0.0.2", timestamp=1.0),
+            make_record(dst="2.0.0.2", timestamp=6.0),
+            # dst window stale, src side valid: must fall through to src.
+            make_record(src="1.0.0.1", dst="2.0.0.2", timestamp=1.2),
+        ]
+        locate = lambda ip: "US"
+        got = _assert_join_equal(
+            _matcher_with(trackers), _matcher_with(trackers), locate, records
+        )
+        assert got.matched_flows == 3
+        assert got.unmatched_flows == 1
+
+    def test_matches_object_join_on_synthesized_snapshot(
+        self, small_study, synthetic_locate
+    ):
+        matcher_a = HashedIPMatcher()
+        matcher_b = HashedIPMatcher()
+        for record in small_study.inventory.records():
+            matcher_a.add(record.address, record.window)
+            matcher_b.add(record.address, record.window)
+        synthesizer = small_study.world.synthesizers["DE-Broadband"]
+        records = synthesizer.snapshot(SNAPSHOT_DAYS["Nov 8"])
+        got = _assert_join_equal(
+            matcher_a, matcher_b, synthetic_locate, records
+        )
+        assert got.total_flows == len(records)
+        assert got.matched_flows > 0
+
+    def test_empty_table(self):
+        matcher = _matcher_with([("1.0.0.1", None)])
+        result = join_table(
+            matcher, lambda ip: "DE", "ISP", "DE", 1.0, flow_table([])
+        )
+        assert result.total_flows == 0
+        assert result.destinations == {}

@@ -1,0 +1,221 @@
+"""Tests for the streaming scale path: cohort partitioning, the
+synthetic cohort source, throughput telemetry, and the scale-report
+ledger bridge in ``scripts/bench_to_ledger.py``."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.stream import StreamingRecordPath, SyntheticCohortSource
+from repro.errors import ColumnarError
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as obs_names
+from repro.obs.clock import TickClock
+from repro.obs.ledger import load_ledger
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.graph import partition_cohorts
+from repro.util.rng import RngStreams
+from repro.web.columns import request_table
+
+
+@pytest.fixture(scope="module")
+def bench_to_ledger():
+    script = (
+        Path(__file__).resolve().parent.parent
+        / "scripts"
+        / "bench_to_ledger.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_to_ledger", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPartitionCohorts:
+    def test_contiguous_cover(self):
+        assert partition_cohorts(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert partition_cohorts(0, 4) == []
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ColumnarError):
+            partition_cohorts(10, 0)
+
+
+class TestSyntheticCohortSource:
+    @pytest.fixture(scope="class")
+    def template(self, small_study):
+        return request_table(small_study.visit_log.requests[:400])
+
+    def test_n_requests(self, template):
+        source = SyntheticCohortSource(template, RngStreams(3), 100, 5)
+        assert source.n_requests == 500
+
+    def test_cohorts_cover_and_rewrite_user_ids(self, template):
+        source = SyntheticCohortSource(template, RngStreams(3), 100, 5)
+        seen_users = set()
+        n_rows = 0
+        for key, table in source.cohorts(30):
+            assert key.startswith("synth[")
+            n_rows += len(table)
+            seen_users.update(table.column("user_id"))
+        assert n_rows == source.n_requests
+        assert seen_users == set(range(100))
+
+    def test_cohort_is_a_pure_function_of_bounds(self, template):
+        # Same seed, same bounds => same rows, regardless of which
+        # other cohorts were generated first (resumable sharding).
+        a = SyntheticCohortSource(template, RngStreams(3), 100, 5)
+        b = SyntheticCohortSource(template, RngStreams(3), 100, 5)
+        a.cohort(0, 30)  # advance a's stream usage before the probe
+        assert list(a.cohort(30, 60).iter_rows()) == list(
+            b.cohort(30, 60).iter_rows()
+        )
+
+    def test_empty_template_rejected(self, template):
+        with pytest.raises(ColumnarError):
+            SyntheticCohortSource(request_table([]), RngStreams(3), 10, 5)
+
+    def test_bad_params_rejected(self, template):
+        with pytest.raises(ColumnarError):
+            SyntheticCohortSource(template, RngStreams(3), 0, 5)
+        with pytest.raises(ColumnarError):
+            SyntheticCohortSource(template, RngStreams(3), 10, 0)
+
+
+class TestStreamingTelemetry:
+    def test_bad_chunk_rows_rejected(self, small_study, synthetic_locate):
+        with pytest.raises(ColumnarError):
+            StreamingRecordPath(
+                small_study.classifier, synthetic_locate, chunk_rows=0
+            )
+
+    def test_tick_clock_yields_positive_throughput(
+        self, small_study, synthetic_locate
+    ):
+        path = StreamingRecordPath(
+            small_study.classifier,
+            synthetic_locate,
+            clock=TickClock(step=0.5),
+        )
+        path.consume(request_table(small_study.visit_log.requests[:500]))
+        rates = path.throughput()
+        assert set(rates) == {"classify", "confine"}
+        assert all(rate > 0 for rate in rates.values())
+        stats = path.stage_stats()
+        assert stats["classify"]["rows"] == 500.0
+        assert stats["classify"]["wall_s"] == 0.5
+        assert stats["classify"]["flows_per_s"] == 1000.0
+
+    def test_null_clock_reports_zero_rates(
+        self, small_study, synthetic_locate
+    ):
+        path = StreamingRecordPath(small_study.classifier, synthetic_locate)
+        path.consume(request_table(small_study.visit_log.requests[:100]))
+        assert path.throughput() == {"classify": 0.0, "confine": 0.0}
+
+    def test_gauges_published_under_collection_scope(
+        self, small_study, synthetic_locate
+    ):
+        registry = MetricsRegistry()
+        path = StreamingRecordPath(
+            small_study.classifier,
+            synthetic_locate,
+            clock=TickClock(step=0.5),
+        )
+        with obs_metrics.collecting(registry):
+            path.consume(request_table(small_study.visit_log.requests[:500]))
+        assert registry.value(
+            obs_names.PIPELINE_FLOWS_PER_S, stage="classify"
+        ) == 1000.0
+        assert registry.value(
+            obs_names.PIPELINE_FLOWS_PER_S, stage="confine"
+        ) > 0
+
+
+SCALE_REPORT = {
+    "schema": "repro.columnar/scale/v1",
+    "config": {
+        "users": 1000,
+        "requests_per_user": 5,
+        "cohort_size": 100,
+        "chunk_rows": 4096,
+        "seed": 7,
+        "numpy": False,
+    },
+    "stages": {
+        "generate": {"rows": 5000.0, "wall_s": 0.5, "flows_per_s": 10000.0},
+        "classify": {"rows": 5000.0, "wall_s": 0.25, "flows_per_s": 20000.0},
+        "confine": {"rows": 5000.0, "wall_s": 0.1, "flows_per_s": 50000.0},
+    },
+    "max_rss_mb": 88.5,
+    "peak_cohort_mb": 4.25,
+    "headlines": {
+        "n_requests": 5000,
+        "n_tracking": 3200,
+        "region_confinement_pct": 90.7,
+    },
+}
+
+
+class TestScaleReportToLedger:
+    def test_scale_report_folds_throughput_gauges(
+        self, bench_to_ledger, tmp_path
+    ):
+        report = tmp_path / "scale.json"
+        report.write_text(json.dumps(SCALE_REPORT))
+        ledger = tmp_path / "ledger.jsonl"
+        assert bench_to_ledger.main([
+            str(ledger), "--scale-report", str(report),
+        ]) == 0
+        (record,) = load_ledger(ledger)
+        assert record["kind"] == "bench"
+        metrics = record["metrics"]
+        assert metrics["pipeline.flows_per_s{stage=classify}"] == {
+            "kind": "gauge", "value": 20000.0,
+        }
+        assert metrics["pipeline.flows_per_s{stage=generate}"] == {
+            "kind": "gauge", "value": 10000.0,
+        }
+        assert metrics["pipeline.max_rss_mb"] == {
+            "kind": "gauge", "value": 88.5,
+        }
+
+    def test_scale_report_combines_with_bench_report(
+        self, bench_to_ledger, tmp_path
+    ):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({
+            "benchmarks": [{
+                "name": "test_engine_small",
+                "stats": {"min": 0.9, "median": 1.0, "mean": 1.1, "max": 1.4},
+            }],
+        }))
+        report = tmp_path / "scale.json"
+        report.write_text(json.dumps(SCALE_REPORT))
+        ledger = tmp_path / "ledger.jsonl"
+        assert bench_to_ledger.main([
+            str(bench), str(ledger), "--scale-report", str(report),
+        ]) == 0
+        (record,) = load_ledger(ledger)
+        metrics = record["metrics"]
+        assert "bench.time_s{benchmark=test_engine_small,stat=median}" in metrics
+        assert "pipeline.max_rss_mb" in metrics
+
+    def test_bad_schema_rejected(self, bench_to_ledger, tmp_path, capsys):
+        report = tmp_path / "scale.json"
+        payload = dict(SCALE_REPORT, schema="something/else/v9")
+        report.write_text(json.dumps(payload))
+        ledger = tmp_path / "ledger.jsonl"
+        assert bench_to_ledger.main([
+            str(ledger), "--scale-report", str(report),
+        ]) == 1
+        assert "scale report carries schema" in capsys.readouterr().err
+        assert not ledger.exists()
+
+    def test_no_sources_at_all_is_an_error(self, bench_to_ledger, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_to_ledger.main([str(tmp_path / "ledger.jsonl")])
