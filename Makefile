@@ -16,7 +16,7 @@ test:
 # purity, observability consistency) plus a dump of the import/call
 # graph the C4xx/P5xx/O6xx rules reason over.  See docs/linting.md.
 lint:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro scripts benchmarks --jobs 0 --graph-json build/program-graph.json --dataflow-json build/dataflow-report.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.lint src/repro scripts benchmarks --jobs 0 --graph-json build/program-graph.json --dataflow-json build/dataflow-report.json --concurrency-json build/concurrency-report.json --sarif build/reprolint.sarif
 
 # The JSON report (build/bench.json) feeds scripts/bench_to_ledger.py,
 # which folds the timing statistics into the run ledger as a

@@ -13,10 +13,12 @@ same auditable journal as the engine runs, and ``repro obs diff``
 classifies any ``bench.*`` delta as *timing* (never drift), while
 ``repro obs check`` can put budget envelopes on the statistics.
 
-With ``--lint-report build/dataflow-report.json`` the wall time of the
-reprolint run (the ``time_s`` key the linter writes alongside its
-dataflow analysis) is folded into the same record as a ``lint.time_s``
-gauge, so linter performance is tracked in the ledger too.
+With ``--lint-report build/dataflow-report.json`` the wall times of the
+reprolint run (the ``time_s`` and per-family ``family_time_s`` keys the
+linter writes alongside its dataflow analysis) are folded into the same
+record as ``lint.time_s{family=total}`` and
+``lint.time_s{family=<prefix>}`` gauges, so linter performance — per
+rule family — is tracked and budget-gated in the ledger too.
 
 With ``--serve-report build/serve-load.json`` each endpoint's
 throughput from a ``scripts/serve_load.py`` run (schema
@@ -63,6 +65,36 @@ def lint_time_from(report: dict) -> float:
             "lint report carries no numeric 'time_s' field"
         )
     return float(time_s)
+
+
+def lint_gauges_from(report: dict) -> dict:
+    """Total + per-family linter wall-time gauges from a reprolint
+    report (``--dataflow-json`` / ``--concurrency-json``).
+
+    Reports predating per-family timing (no ``family_time_s``) fold
+    only the total; a malformed per-family entry is an error.
+    """
+    gauges = {
+        metric_key(LINT_TIME, {"family": "total"}): {
+            "kind": "gauge", "value": lint_time_from(report),
+        },
+    }
+    families = report.get("family_time_s", {})
+    if not isinstance(families, dict):
+        raise ObservabilityError(
+            "lint report 'family_time_s' must be a mapping"
+        )
+    for family, seconds in sorted(families.items()):
+        if not isinstance(seconds, (int, float)) or isinstance(
+            seconds, bool
+        ):
+            raise ObservabilityError(
+                f"lint report family {family!r} carries no numeric "
+                "wall time"
+            )
+        key = metric_key(LINT_TIME, {"family": family})
+        gauges[key] = {"kind": "gauge", "value": float(seconds)}
+    return gauges
 
 
 def serve_gauges_from(report: dict) -> dict:
@@ -227,10 +259,7 @@ def main(argv=None) -> int:
     try:
         record = bench_record(report)
         if lint is not None:
-            key = metric_key(LINT_TIME, {})
-            record["metrics"][key] = {
-                "kind": "gauge", "value": lint_time_from(lint),
-            }
+            record["metrics"].update(lint_gauges_from(lint))
         if serve is not None:
             record["metrics"].update(serve_gauges_from(serve))
         if scale is not None:

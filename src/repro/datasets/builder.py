@@ -20,6 +20,7 @@ Construction order matters and is fixed here:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -184,8 +185,10 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
 
 #: per-process world memo: config digest → built world.  Worker processes
 #: execute many shards against the same world; rebuilding it per shard
-#: would dwarf the shard work itself.
+#: would dwarf the shard work itself.  Serve jobs call this from worker
+#: threads too, so the memo is lock-guarded.
 _WORLD_MEMO: Dict[str, World] = {}
+_WORLD_MEMO_LOCK = threading.Lock()
 
 
 def cached_build_world(config: WorldConfig) -> World:
@@ -197,10 +200,11 @@ def cached_build_world(config: WorldConfig) -> World:
     which is what makes the sharing safe.
     """
     digest = config.digest()
-    world = _WORLD_MEMO.get(digest)
-    if world is None:
-        world = build_world(config)
-        _WORLD_MEMO[digest] = world
+    with _WORLD_MEMO_LOCK:
+        world = _WORLD_MEMO.get(digest)
+        if world is None:
+            world = build_world(config)
+            _WORLD_MEMO[digest] = world
     return world
 
 

@@ -218,5 +218,9 @@ def default_registry() -> CountryRegistry:
     # cannot depend on which worker built it first.
     global _DEFAULT  # reprolint: disable=P501
     if _DEFAULT is None:
-        _DEFAULT = CountryRegistry(Country(*row) for row in _COUNTRY_ROWS)
+        # Benign race: losers rebuild identical immutable data, so the
+        # lock-free memo needs no witness.
+        _DEFAULT = CountryRegistry(  # reprolint: disable=T1003
+            Country(*row) for row in _COUNTRY_ROWS
+        )
     return _DEFAULT

@@ -1,6 +1,6 @@
 """reprolint — AST-based invariant checks for the reproduction.
 
-Nine rule families guard the properties the paper's tables depend on:
+Eleven rule families guard the properties the paper's tables depend on:
 
 * **D-rules** (determinism): no shared/ad-hoc RNG state, no wall-clock
   or environment reads in simulation layers, no ``hash()`` seeding, no
@@ -20,14 +20,24 @@ Nine rule families guard the properties the paper's tables depend on:
 * **X-rules** (exception escape): no builtin exception leaves a public
   entrypoint un-wrapped, CLIs never exit with raw tracebacks;
 * **I-rules** (resource discipline): file I/O through the atomic
-  helpers only, no sockets or subprocesses.
+  helpers only, no sockets or subprocesses;
+* **T-rules** (concurrency context): no blocking calls reachable from
+  the event loop, no cross-context shared-state writes without a lock
+  witness, no loop-only APIs from threads, no raw concurrent file
+  writes bypassing the atomic helpers;
+* **Q-rules** (hot-path cost): no accidental quadratic patterns on a
+  stage's run path — list-membership probes, string accumulation,
+  same-axis loop nesting, per-row allocation in columnar consumers.
 
 The C/P/O families read the whole-program import/call graph
 (:mod:`repro.lint.program`); the S/X/I families ride the
 interprocedural dataflow engine on top of it
-(:mod:`repro.lint.dataflow`). Run ``python -m repro.lint src/repro``
-(or ``make lint``); see ``docs/linting.md`` for pragmas, the baseline
-workflow, and how to add a rule.
+(:mod:`repro.lint.dataflow`); the T family classifies every function by
+its reachable execution contexts (:mod:`repro.lint.concurrency`) and
+the Q family scans run-path loop structure (:mod:`repro.lint.cost`).
+Run ``python -m repro.lint src/repro`` (or ``make lint``); see
+``docs/linting.md`` for pragmas, the baseline workflow, and how to add
+a rule.
 """
 
 from repro.lint.baseline import load_baseline, partition, write_baseline
@@ -43,12 +53,31 @@ from repro.lint.framework import (
     select_rules,
 )
 
+#: the registered rule families: code prefix -> short name.  The
+#: tripwire test locks this roster against the family table in
+#: ``docs/linting.md`` and against the codes actually registered, so a
+#: new family cannot ship undocumented (or documented but unregistered).
+RULE_FAMILIES = {
+    "D": "determinism",
+    "E": "error discipline",
+    "A": "layering",
+    "C": "cache integrity",
+    "P": "shard purity",
+    "O": "observability",
+    "S": "seed lineage",
+    "X": "exception escape",
+    "I": "resource discipline",
+    "T": "concurrency context",
+    "Q": "hot-path cost",
+}
+
 __all__ = [
     "Finding",
     "FileContext",
     "LintResult",
     "ProjectContext",
     "Rule",
+    "RULE_FAMILIES",
     "all_rules",
     "register",
     "run_lint",

@@ -121,6 +121,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--concurrency-json",
+        metavar="OUT",
+        help=(
+            "also write the concurrency-context report (per-function "
+            "execution contexts, T-rule findings with witness chains, "
+            "per-stage cost footprints) as JSON to OUT ('-' for stdout)"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="OUT",
+        help=(
+            "also write findings as a SARIF 2.1.0 document to OUT "
+            "('-' for stdout); baselined findings are exported as "
+            "suppressed results"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
@@ -174,7 +192,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         report = dataflow_for(result.project).report_json()
         report["time_s"] = round(result.wall_s, 6)
+        report["family_time_s"] = {
+            family: round(seconds, 6)
+            for family, seconds in result.family_wall_s.items()
+        }
         _emit(args.dataflow_json, report)
+
+    if args.concurrency_json and result.project is not None:
+        from repro.lint.concurrency import concurrency_for
+
+        report = concurrency_for(result.project).report_json()
+        report["time_s"] = round(result.wall_s, 6)
+        report["family_time_s"] = {
+            family: round(seconds, 6)
+            for family, seconds in result.family_wall_s.items()
+        }
+        _emit(args.concurrency_json, report)
 
     if args.write_baseline:
         baseline_mod.write_baseline(baseline_path, result.findings)
@@ -192,6 +225,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     new, grandfathered, stale = baseline_mod.partition(result.findings, baseline)
+
+    if args.sarif:
+        from repro.lint.sarif import build_sarif, validate_sarif
+
+        sarif_doc = build_sarif(new, grandfathered, rules=rules)
+        try:
+            validate_sarif(sarif_doc)
+        except LintError as exc:
+            print(f"error: emitted SARIF is invalid: {exc}", file=sys.stderr)
+            return 2
+        _emit(args.sarif, sarif_doc)
 
     if args.update_baseline:
         baseline_mod.write_baseline(baseline_path, grandfathered)

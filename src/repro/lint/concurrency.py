@@ -1,0 +1,1004 @@
+"""Execution-context analysis over the whole-program call graph.
+
+The runtime mixes four execution contexts: the asyncio event loop that
+``repro.serve`` handlers run on, the ``repro-serve-job`` worker threads
+that execute studies, the process-pool shard workers that run stage
+bodies, and the plain ``main`` thread of the CLIs.  Code that is safe in
+one context is a hazard in another — a raw ``open()`` is fine in a
+worker thread and a stall on the event loop; a module-level dict write
+is fine on ``main`` and a race from two job threads.
+
+:class:`ContextAnalysis` classifies every function by the set of
+contexts it is *reachable from*, by BFS over the
+:class:`~repro.lint.program.ProgramModel` call graph from known
+entrypoints:
+
+* **async** — every ``async def`` (its body runs on the event loop);
+* **thread** — targets of ``loop.run_in_executor``, ``executor.submit``
+  and ``threading.Thread(target=...)``;
+* **shard** — every discovered stage's ``run`` callable (executed in
+  process-pool workers);
+* **main** — every ``main`` function (CLI entry convention).
+
+Propagation follows plain call edges.  Two edge kinds change context
+instead of propagating it: offloads (``run_in_executor`` / ``submit`` /
+``Thread(target=...)``) move the callee to **thread**, and
+``call_soon_threadsafe`` / ``call_soon`` / ``call_later`` /
+``call_at`` move the callback to **async**.  Calling an ``async def``
+from sync code only creates a coroutine, so async bodies never inherit
+their callers' contexts — they are seeded as **async** directly.
+
+On top of the context map the analysis collects the hazard sites the
+T-family rules (:mod:`repro.lint.rules_concurrency`) report:
+
+* blocking calls (``time.sleep``, raw ``open``, ``run_study``,
+  blocking socket helpers) and the contexts that reach them;
+* module-level / instance-attribute writes without a lock witness,
+  grouped by target so cross-context write sets can be detected;
+* event-loop APIs touched from thread context without
+  ``call_soon_threadsafe``;
+* write-mode file opens outside the sanctioned atomic-write helpers
+  (:mod:`repro.obs.persist`, the artifact cache's ``.tmp.{pid}.{tid}``
+  path) reachable from a concurrent context.
+
+Every reported site carries a ``file:line`` witness chain from a
+context seed down to the site, rendered exactly like the dataflow
+witness chains.  :func:`ContextAnalysis.report_json` emits the whole
+picture as the versioned ``repro.lint/concurrency/v1`` document the
+CLI writes via ``--concurrency-json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.lint.dataflow import (
+    DataflowAnalysis,
+    dataflow_for_model,
+    is_io_sanctioned,
+    is_test_module,
+)
+from repro.lint.program import FunctionInfo, ModuleInfo, ProgramModel
+
+#: schema tag of the report emitted by ``--concurrency-json``
+CONCURRENCY_SCHEMA = "repro.lint/concurrency/v1"
+
+#: the execution contexts, in seed-priority order
+CONTEXTS = ("main", "async", "thread", "shard")
+
+#: offload attribute → positional index of the callable argument; the
+#: callee runs on an executor thread
+_THREAD_OFFLOADS = {"run_in_executor": 1, "submit": 0}
+
+#: loop-scheduling attribute → callable index; the callee runs on the
+#: event loop regardless of which context schedules it
+_LOOP_OFFLOADS = {
+    "call_soon_threadsafe": 0,
+    "call_soon": 0,
+    "call_later": 1,
+    "call_at": 1,
+}
+
+#: loop APIs that are only safe to touch *from* loop context; threads
+#: must hop through ``call_soon_threadsafe`` instead
+_LOOP_ONLY_ATTRS = ("call_soon", "call_later", "call_at", "create_task")
+_LOOP_ONLY_DOTTED = ("asyncio.ensure_future", "asyncio.create_task")
+
+#: dotted call names that block the calling thread
+_BLOCKING_DOTTED = (
+    "time.sleep",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+)
+
+#: container methods that mutate their receiver in place
+_MUTATORS = (
+    "append", "add", "update", "extend", "setdefault", "pop", "popitem",
+    "clear", "remove", "discard", "insert", "sort", "reverse",
+)
+
+#: write chains longer than this are truncated (defensive bound)
+_MAX_CHAIN_HOPS = 12
+
+FunctionRef = Tuple[str, str]
+
+
+def is_atomic_write_module(module: str) -> bool:
+    """Modules that own the sanctioned atomic write paths: the
+    ``repro.io`` package, :mod:`repro.obs.persist` and the artifact
+    cache (its ``store`` writes through ``.tmp.{pid}.{thread_ident}``
+    followed by ``os.replace``)."""
+    return is_io_sanctioned(module) or module.split(".")[-1] == "cache"
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One call that blocks the calling thread."""
+
+    rendered: str
+    line: int
+    snippet: str
+
+
+@dataclass(frozen=True)
+class LoopTouch:
+    """One event-loop-only API call (``create_task``, ``call_soon``...)."""
+
+    rendered: str
+    line: int
+    snippet: str
+
+
+@dataclass(frozen=True)
+class RawWrite:
+    """One write-mode ``open()`` / ``Path.write_*`` call."""
+
+    rendered: str
+    line: int
+    snippet: str
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One mutation of module-level or instance-attribute state.
+
+    ``target`` is ``("module", module, name)`` for module globals and
+    ``("attr", module, class, attr)`` for instance attributes; writes
+    to the same target from different functions form one shared-state
+    write set.
+    """
+
+    target: Tuple[str, ...]
+    function: FunctionRef
+    line: int
+    snippet: str
+    locked: bool
+
+
+@dataclass
+class ContextFinding:
+    """One report entry: a hazard site plus its witness chain."""
+
+    rule: str
+    context: str
+    function: FunctionRef
+    site: str
+    snippet: str
+    chain: List[str] = field(default_factory=list)
+    detail: str = ""
+
+
+class ContextAnalysis:
+    """Context classification + hazard-site scans over one model."""
+
+    def __init__(self, model: ProgramModel) -> None:
+        self.model = model
+        self.df: DataflowAnalysis = dataflow_for_model(model)
+        self._contexts: Optional[Dict[FunctionRef, Set[str]]] = None
+        self._parents: Dict[
+            str, Dict[FunctionRef, Optional[Tuple[FunctionRef, int]]]
+        ] = {}
+        self._seeds: Optional[Dict[str, Tuple[FunctionRef, ...]]] = None
+        self._edges_memo: Dict[
+            FunctionRef,
+            Tuple[
+                Tuple[Tuple[FunctionRef, int], ...],
+                Tuple[Tuple[FunctionRef, str, int], ...],
+            ],
+        ] = {}
+        self._self_attr_types: Optional[
+            Dict[Tuple[str, str], Dict[str, Tuple[str, str]]]
+        ] = None
+        self._write_sites: Optional[Tuple[WriteSite, ...]] = None
+
+    # -- seeds -----------------------------------------------------------
+
+    def seeds(self) -> Dict[str, Tuple[FunctionRef, ...]]:
+        """Context → entrypoint functions seeded into that context."""
+        if self._seeds is not None:
+            return self._seeds
+        out: Dict[str, List[FunctionRef]] = {c: [] for c in CONTEXTS}
+        for module_name in sorted(self.model.modules):
+            info = self.model.modules[module_name]
+            for qualname in sorted(info.functions):
+                fn = info.functions[qualname]
+                ref = (module_name, qualname)
+                if isinstance(fn.node, ast.AsyncFunctionDef):
+                    out["async"].append(ref)
+                if qualname.split(".")[-1] == "main":
+                    out["main"].append(ref)
+        for decl in self.model.discover_stages():
+            run_seed = decl.seeds.get("run")
+            if run_seed is not None and self.model.function(run_seed):
+                out["shard"].append(run_seed)
+        self._seeds = {c: tuple(refs) for c, refs in out.items()}
+        return self._seeds
+
+    # -- the context map -------------------------------------------------
+
+    def contexts(self) -> Dict[FunctionRef, Set[str]]:
+        """Function → the set of contexts whose execution reaches it."""
+        if self._contexts is not None:
+            return self._contexts
+        contexts: Dict[FunctionRef, Set[str]] = {}
+        parents: Dict[
+            str, Dict[FunctionRef, Optional[Tuple[FunctionRef, int]]]
+        ] = {c: {} for c in CONTEXTS}
+        queue: deque = deque()
+
+        def visit(
+            ref: FunctionRef,
+            context: str,
+            parent: Optional[Tuple[FunctionRef, int]],
+        ) -> None:
+            if self.model.function(ref) is None:
+                return
+            seen = contexts.setdefault(ref, set())
+            if context in seen:
+                return
+            seen.add(context)
+            parents[context][ref] = parent
+            queue.append((ref, context))
+
+        for context, refs in self.seeds().items():
+            for ref in refs:
+                visit(ref, context, None)
+        while queue:
+            ref, context = queue.popleft()
+            sync_edges, offload_edges = self._edges(ref)
+            for target, line in sync_edges:
+                fn = self.model.function(target)
+                if fn is not None and isinstance(
+                    fn.node, ast.AsyncFunctionDef
+                ):
+                    # calling an async def only builds a coroutine; its
+                    # body runs on the loop, where it is already seeded
+                    continue
+                visit(target, context, (ref, line))
+            for target, target_context, line in offload_edges:
+                visit(target, target_context, (ref, line))
+        self._contexts = contexts
+        self._parents = parents
+        return contexts
+
+    def contexts_of(self, ref: FunctionRef) -> Tuple[str, ...]:
+        """The contexts reaching ``ref``, in canonical order."""
+        reached = self.contexts().get(ref, set())
+        return tuple(c for c in CONTEXTS if c in reached)
+
+    # -- witness chains --------------------------------------------------
+
+    def chain(self, context: str, ref: FunctionRef) -> List[str]:
+        """``file:line`` hops from a ``context`` seed down to ``ref``.
+
+        The first hop is the seed's definition line; every later hop is
+        the call site in the parent that hands execution onward.
+        """
+        self.contexts()
+        tree = self._parents.get(context, {})
+        if ref not in tree:
+            return [self._render_def(ref)]
+        path: List[FunctionRef] = []
+        lines: List[Optional[int]] = []
+        cursor: Optional[FunctionRef] = ref
+        seen: Set[FunctionRef] = set()
+        while cursor is not None and cursor not in seen and (
+            len(path) < _MAX_CHAIN_HOPS
+        ):
+            seen.add(cursor)
+            path.append(cursor)
+            parent = tree.get(cursor)
+            if parent is None:
+                lines.append(None)
+                cursor = None
+            else:
+                lines.append(parent[1])
+                cursor = parent[0]
+        path.reverse()
+        lines.reverse()
+        chain: List[str] = [self._render_def(path[0])]
+        for index in range(1, len(path)):
+            chain.append(
+                self._render_site(path[index - 1], lines[index], path[index])
+            )
+        return chain
+
+    def _render_def(self, ref: FunctionRef) -> str:
+        info = self.model.modules.get(ref[0])
+        fn = self.model.function(ref)
+        if info is None or fn is None:
+            return f"{ref[0]}:{ref[1]}"
+        line = fn.node.lineno
+        return f"{info.ctx.rel_path}:{line} {self.df._snippet(info, line)}"
+
+    def _render_site(
+        self, parent: FunctionRef, line: Optional[int], target: FunctionRef
+    ) -> str:
+        info = self.model.modules.get(parent[0])
+        if info is None or line is None:
+            return f"{target[0]}:{target[1]}"
+        return f"{info.ctx.rel_path}:{line} {self.df._snippet(info, line)}"
+
+    # -- call edges ------------------------------------------------------
+
+    def _edges(
+        self, ref: FunctionRef
+    ) -> Tuple[
+        Tuple[Tuple[FunctionRef, int], ...],
+        Tuple[Tuple[FunctionRef, str, int], ...],
+    ]:
+        """(sync call edges, offload edges) out of one function."""
+        cached = self._edges_memo.get(ref)
+        if cached is not None:
+            return cached
+        info = self.model.modules[ref[0]]
+        fn = info.functions[ref[1]]
+        callee_at = self.df._callee_at(fn)
+        local_types = self.df._local_types(info, fn, callee_at)
+        sync: List[Tuple[FunctionRef, int]] = []
+        offload: List[Tuple[FunctionRef, str, int]] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            hop = self._offload_edge(info, fn, node, local_types)
+            if hop is not None:
+                offload.append(hop)
+                continue
+            target: Optional[FunctionRef] = None
+            callee = callee_at.get((node.lineno, node.col_offset))
+            if callee is not None and callee.kind == "function":
+                target = (callee.module, callee.qualname)
+            elif callee is not None and callee.kind == "class":
+                ctor = (callee.module, f"{callee.qualname}.__init__")
+                if self.model.function(ctor) is not None:
+                    target = ctor
+            if target is None:
+                target = self.df._method_target(fn, node, local_types)
+            if target is None:
+                target = self._self_attr_method_target(info, fn, node)
+            if target is not None and self.model.function(target):
+                sync.append((target, node.lineno))
+        result = (tuple(sync), tuple(offload))
+        self._edges_memo[ref] = result
+        return result
+
+    def _offload_edge(
+        self,
+        info: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.Call,
+        local_types: Dict[str, Tuple[str, str]],
+    ) -> Optional[Tuple[FunctionRef, str, int]]:
+        """An offload/scheduling edge out of one call, if it is one."""
+        func = node.func
+        dotted = info.ctx.dotted_name(func)
+        if dotted is not None and dotted.split(".")[-1] == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = self._callable_ref(
+                        info, fn, keyword.value, local_types
+                    )
+                    if target is not None:
+                        return (target, "thread", node.lineno)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        index = _THREAD_OFFLOADS.get(attr)
+        context = "thread"
+        if index is None:
+            index = _LOOP_OFFLOADS.get(attr)
+            context = "async"
+        if index is None or len(node.args) <= index:
+            return None
+        target = self._callable_ref(info, fn, node.args[index], local_types)
+        if target is None:
+            return None
+        return (target, context, node.lineno)
+
+    def _callable_ref(
+        self,
+        info: ModuleInfo,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        local_types: Dict[str, Tuple[str, str]],
+    ) -> Optional[FunctionRef]:
+        """Resolve a callable-valued expression to a model function."""
+        if isinstance(expr, ast.Name):
+            symbol = info.symbols.get(expr.id)
+            if symbol is not None and symbol.kind == "function":
+                ref = (symbol.module, symbol.qualname)
+                return ref if self.model.function(ref) else None
+            return None
+        if not (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+        ):
+            return None
+        base = expr.value.id
+        owner: Optional[Tuple[str, str]] = None
+        if base in ("self", "cls") and "." in fn.qualname:
+            owner = (fn.module, fn.qualname.rsplit(".", 1)[0])
+        elif base in local_types:
+            owner = local_types[base]
+        else:
+            symbol = info.symbols.get(base)
+            if symbol is not None and symbol.kind == "module":
+                origin = self.model.modules.get(symbol.module)
+                target = (
+                    origin.symbols.get(expr.attr) if origin else None
+                )
+                if target is not None and target.kind == "function":
+                    ref = (target.module, target.qualname)
+                    return ref if self.model.function(ref) else None
+            return None
+        if owner is None:
+            return None
+        callee = self.model._lookup_method(
+            owner[0], owner[1], expr.attr, rendered=f"{base}.{expr.attr}"
+        )
+        if callee.kind != "function":
+            return None
+        ref = (callee.module, callee.qualname)
+        return ref if self.model.function(ref) else None
+
+    # -- instance-attribute typing ---------------------------------------
+
+    def self_attr_types(
+        self,
+    ) -> Dict[Tuple[str, str], Dict[str, Tuple[str, str]]]:
+        """(module, class) → attribute → (module, class) of the value,
+        from unambiguous ``self.x = Cls(...)`` constructor assignments
+        (including the ``a if cond else Cls(...)`` default idiom)."""
+        if self._self_attr_types is not None:
+            return self._self_attr_types
+        table: Dict[Tuple[str, str], Dict[str, Tuple[str, str]]] = {}
+        for module_name, info in self.model.modules.items():
+            for class_name, cls in info.classes.items():
+                attrs: Dict[str, Optional[Tuple[str, str]]] = {}
+                for method_qual in cls.methods.values():
+                    method = info.functions.get(method_qual)
+                    if method is None:
+                        continue
+                    callee_at = self.df._callee_at(method)
+                    for node in ast.walk(method.node):
+                        self._bind_self_attr(node, callee_at, attrs)
+                table[(module_name, class_name)] = {
+                    name: owner
+                    for name, owner in attrs.items()
+                    if owner is not None
+                }
+        self._self_attr_types = table
+        return table
+
+    def _bind_self_attr(
+        self,
+        node: ast.AST,
+        callee_at: Dict[Tuple[int, int], Any],
+        attrs: Dict[str, Optional[Tuple[str, str]]],
+    ) -> None:
+        if isinstance(node, ast.Assign):
+            targets: List[ast.expr] = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            return
+        calls = [value]
+        if isinstance(value, ast.IfExp):
+            calls = [value.body, value.orelse]
+        owner: Optional[Tuple[str, str]] = None
+        for candidate in calls:
+            if not isinstance(candidate, ast.Call):
+                continue
+            callee = callee_at.get(
+                (candidate.lineno, candidate.col_offset)
+            )
+            if callee is not None and callee.kind == "class":
+                owner = (callee.module, callee.qualname)
+                break
+        if owner is None:
+            return
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                known = attrs.get(target.attr)
+                if known is not None and known != owner:
+                    attrs[target.attr] = None
+                elif target.attr not in attrs or known is None:
+                    attrs.setdefault(target.attr, owner)
+
+    def _self_attr_method_target(
+        self, info: ModuleInfo, fn: FunctionInfo, node: ast.Call
+    ) -> Optional[FunctionRef]:
+        """Resolve ``self.attr.method(...)`` through the constructor-
+        assignment type table (one attribute hop)."""
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+            and "." in fn.qualname
+        ):
+            return None
+        owner_class = (fn.module, fn.qualname.rsplit(".", 1)[0])
+        attr_types = self.self_attr_types().get(owner_class, {})
+        owner = attr_types.get(func.value.attr)
+        if owner is None:
+            return None
+        callee = self.model._lookup_method(
+            owner[0], owner[1], func.attr,
+            rendered=f"self.{func.value.attr}.{func.attr}",
+        )
+        if callee.kind != "function":
+            return None
+        ref = (callee.module, callee.qualname)
+        return ref if self.model.function(ref) else None
+
+    # -- hazard site scans -----------------------------------------------
+
+    def blocking_sites(self, ref: FunctionRef) -> Tuple[BlockingSite, ...]:
+        """Blocking calls anywhere inside one function body."""
+        info = self.model.modules[ref[0]]
+        fn = info.functions[ref[1]]
+        return self._blocking_in(info, fn, fn.node, include_nested=True)
+
+    def direct_blocking_sites(
+        self, ref: FunctionRef
+    ) -> Tuple[BlockingSite, ...]:
+        """Blocking calls in the function's own body, excluding nested
+        ``def`` bodies (those run when *called*, not when defined)."""
+        info = self.model.modules[ref[0]]
+        fn = info.functions[ref[1]]
+        return self._blocking_in(info, fn, fn.node, include_nested=False)
+
+    def _blocking_in(
+        self,
+        info: ModuleInfo,
+        fn: FunctionInfo,
+        root: ast.AST,
+        include_nested: bool,
+    ) -> Tuple[BlockingSite, ...]:
+        callee_at = self.df._callee_at(fn)
+        sites: List[BlockingSite] = []
+        for node in self._walk(root, include_nested):
+            if not isinstance(node, ast.Call):
+                continue
+            rendered = self._blocking_name(info, callee_at, node)
+            if rendered is None:
+                continue
+            sites.append(BlockingSite(
+                rendered=rendered,
+                line=node.lineno,
+                snippet=self.df._snippet(info, node.lineno),
+            ))
+        return tuple(sites)
+
+    @staticmethod
+    def _walk(root: ast.AST, include_nested: bool):
+        if include_nested:
+            yield from ast.walk(root)
+            return
+        queue: deque = deque(ast.iter_child_nodes(root))
+        while queue:
+            node = queue.popleft()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            queue.extend(ast.iter_child_nodes(node))
+
+    def _blocking_name(
+        self,
+        info: ModuleInfo,
+        callee_at: Dict[Tuple[int, int], Any],
+        node: ast.Call,
+    ) -> Optional[str]:
+        dotted = info.ctx.dotted_name(node.func)
+        if dotted == "open" or dotted in _BLOCKING_DOTTED:
+            return dotted
+        callee = callee_at.get((node.lineno, node.col_offset))
+        if callee is not None and callee.kind == "function" and (
+            callee.qualname.split(".")[-1] == "run_study"
+        ):
+            return f"{callee.module}:{callee.qualname}"
+        return None
+
+    def loop_touches(self, ref: FunctionRef) -> Tuple[LoopTouch, ...]:
+        """Event-loop-only API calls inside one function."""
+        info = self.model.modules[ref[0]]
+        fn = info.functions[ref[1]]
+        sites: List[LoopTouch] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            rendered: Optional[str] = None
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr in _LOOP_ONLY_ATTRS
+            ):
+                rendered = node.func.attr
+            else:
+                dotted = info.ctx.dotted_name(node.func)
+                if dotted in _LOOP_ONLY_DOTTED:
+                    rendered = dotted
+            if rendered is None:
+                continue
+            sites.append(LoopTouch(
+                rendered=rendered,
+                line=node.lineno,
+                snippet=self.df._snippet(info, node.lineno),
+            ))
+        return tuple(sites)
+
+    def raw_writes(self, ref: FunctionRef) -> Tuple[RawWrite, ...]:
+        """Write-mode ``open()`` / ``Path.write_*`` calls in one
+        function (the sites T1005 gates behind the atomic helpers)."""
+        info = self.model.modules[ref[0]]
+        fn = info.functions[ref[1]]
+        sites: List[RawWrite] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            rendered: Optional[str] = None
+            dotted = info.ctx.dotted_name(node.func)
+            if dotted == "open" and self._is_write_open(node):
+                rendered = "open"
+            elif isinstance(node.func, ast.Attribute) and (
+                node.func.attr in ("write_text", "write_bytes")
+            ):
+                rendered = node.func.attr
+            if rendered is None:
+                continue
+            sites.append(RawWrite(
+                rendered=rendered,
+                line=node.lineno,
+                snippet=self.df._snippet(info, node.lineno),
+            ))
+        return tuple(sites)
+
+    @staticmethod
+    def _is_write_open(node: ast.Call) -> bool:
+        mode: Optional[ast.expr] = None
+        if len(node.args) > 1:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if not isinstance(mode, ast.Constant) or not isinstance(
+            mode.value, str
+        ):
+            return False
+        return any(flag in mode.value for flag in ("w", "a", "x", "+"))
+
+    # -- shared-state writes ---------------------------------------------
+
+    def write_sites(self) -> Tuple[WriteSite, ...]:
+        """Every module-global / instance-attribute mutation site."""
+        if self._write_sites is not None:
+            return self._write_sites
+        sites: List[WriteSite] = []
+        for module_name in sorted(self.model.modules):
+            info = self.model.modules[module_name]
+            for qualname in sorted(info.functions):
+                fn = info.functions[qualname]
+                if qualname.split(".")[-1] in (
+                    "__init__", "__new__", "__post_init__",
+                ):
+                    # constructors initialise per-instance state before
+                    # the instance can be shared — not a write set
+                    continue
+                sites.extend(self._writes_in(info, fn))
+        self._write_sites = tuple(sites)
+        return self._write_sites
+
+    def _writes_in(
+        self, info: ModuleInfo, fn: FunctionInfo
+    ) -> List[WriteSite]:
+        ref = (info.name, fn.qualname)
+        local = set(self.model.local_names(fn.node))
+        for node in ast.walk(fn.node):
+            # `global X; X = ...` binds module state, not a local
+            if isinstance(node, ast.Global):
+                local.difference_update(node.names)
+        locked_spans = self._lock_spans(info, fn.node)
+        sites: List[WriteSite] = []
+
+        def emit(target: Tuple[str, ...], node: ast.AST) -> None:
+            line = node.lineno
+            sites.append(WriteSite(
+                target=target,
+                function=ref,
+                line=line,
+                snippet=self.df._snippet(info, line),
+                locked=any(
+                    start < line <= end for start, end in locked_spans
+                ),
+            ))
+
+        def module_target(name: str) -> Optional[Tuple[str, ...]]:
+            if name in local or name not in info.constant_nodes:
+                return None
+            if self._is_thread_local(info, name):
+                return None
+            return ("module", info.name, name)
+
+        def attr_target(attr: str) -> Optional[Tuple[str, ...]]:
+            if "." not in fn.qualname:
+                return None
+            return ("attr", info.name, fn.qualname.rsplit(".", 1)[0], attr)
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target_node in targets:
+                    target = self._write_target(
+                        target_node, module_target, attr_target
+                    )
+                    if target is not None:
+                        emit(target, node)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr in _MUTATORS:
+                receiver = node.func.value
+                target = None
+                if isinstance(receiver, ast.Name):
+                    target = module_target(receiver.id)
+                elif (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    target = attr_target(receiver.attr)
+                if target is not None:
+                    emit(target, node)
+        return sites
+
+    def _write_target(self, node, module_target, attr_target):
+        if isinstance(node, ast.Name):
+            return module_target(node.id)
+        if isinstance(node, ast.Subscript):
+            return self._write_target(
+                node.value, module_target, attr_target
+            )
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id == "self":
+                return attr_target(node.attr)
+            return module_target(node.value.id)
+        return None
+
+    @staticmethod
+    def _is_thread_local(info: ModuleInfo, name: str) -> bool:
+        """Module state initialised as ``threading.local()`` is
+        per-thread by construction — never a cross-context target."""
+        decl = info.constant_nodes.get(name)
+        value = getattr(decl, "value", None)
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = info.ctx.dotted_name(value.func)
+        return dotted is not None and dotted.split(".")[-1] == "local"
+
+    def _lock_spans(
+        self, info: ModuleInfo, root: ast.AST
+    ) -> List[Tuple[int, int]]:
+        """(start, end) line spans of ``with <...lock...>:`` bodies."""
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(root):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                rendered = info.ctx.dotted_name(item.context_expr)
+                if rendered is None and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    rendered = info.ctx.dotted_name(
+                        item.context_expr.func
+                    )
+                if rendered is not None and "lock" in rendered.lower():
+                    end = getattr(node, "end_lineno", node.lineno)
+                    spans.append((node.lineno, end or node.lineno))
+                    break
+        return spans
+
+    def contested_targets(
+        self,
+    ) -> Dict[Tuple[str, ...], Tuple[Tuple[str, ...], List[WriteSite]]]:
+        """Shared-state targets written from a racy context mix.
+
+        A module-global target is contested as soon as **thread**
+        context reaches any of its writers (the job pool is
+        multi-threaded, so one thread-context writer already races with
+        itself).  An instance-attribute target needs writers reachable
+        from both **async** and **thread** (distinct instances per
+        context never share memory with only one concurrent context).
+        Shard workers run in separate processes and ``main`` is
+        sequential — neither contributes contention.
+        """
+        by_target: Dict[Tuple[str, ...], List[WriteSite]] = {}
+        for site in self.write_sites():
+            by_target.setdefault(site.target, []).append(site)
+        out: Dict[
+            Tuple[str, ...], Tuple[Tuple[str, ...], List[WriteSite]]
+        ] = {}
+        for target, sites in by_target.items():
+            combined: Set[str] = set()
+            for site in sites:
+                combined.update(self.contexts().get(site.function, set()))
+            if target[0] == "module":
+                contested = "thread" in combined
+            else:
+                contested = {"async", "thread"} <= combined
+            if contested:
+                ordered = tuple(c for c in CONTEXTS if c in combined)
+                out[target] = (ordered, sites)
+        return out
+
+    # -- the report ------------------------------------------------------
+
+    def findings(self) -> List[ContextFinding]:
+        """Every T-family hazard, pragma-agnostic, with witness chains.
+
+        This is the raw scan the report serialises; the registered
+        rules re-derive the same sites so per-line pragmas and the
+        baseline can suppress them individually.
+        """
+        out: List[ContextFinding] = []
+        contexts = self.contexts()
+        for ref in sorted(contexts):
+            info = self.model.modules[ref[0]]
+            if is_test_module(info.ctx.rel_path, info.name):
+                continue
+            reached = contexts[ref]
+            fn = info.functions[ref[1]]
+            if isinstance(fn.node, ast.AsyncFunctionDef):
+                for site in self.direct_blocking_sites(ref):
+                    out.append(self._finding(
+                        "T1001", "async", ref, site.line, site.snippet,
+                        detail=site.rendered,
+                    ))
+            elif "async" in reached:
+                for site in self.blocking_sites(ref):
+                    out.append(self._finding(
+                        "T1002", "async", ref, site.line, site.snippet,
+                        detail=site.rendered,
+                    ))
+            if "thread" in reached:
+                for touch in self.loop_touches(ref):
+                    out.append(self._finding(
+                        "T1004", "thread", ref, touch.line, touch.snippet,
+                        detail=touch.rendered,
+                    ))
+            concurrent = reached & {"async", "thread", "shard"}
+            if concurrent and not is_atomic_write_module(info.name):
+                context = next(c for c in CONTEXTS if c in concurrent)
+                for write in self.raw_writes(ref):
+                    out.append(self._finding(
+                        "T1005", context, ref, write.line,
+                        write.snippet, detail=write.rendered,
+                    ))
+        for target, (ctxs, sites) in sorted(
+            self.contested_targets().items()
+        ):
+            for site in sites:
+                if site.locked:
+                    continue
+                info = self.model.modules[site.function[0]]
+                if is_test_module(info.ctx.rel_path, info.name):
+                    continue
+                finding = self._finding(
+                    "T1003", ctxs[0], site.function, site.line,
+                    site.snippet, detail="/".join(target[1:]),
+                )
+                finding.detail += f" [contexts: {', '.join(ctxs)}]"
+                out.append(finding)
+        return out
+
+    def _finding(
+        self,
+        rule: str,
+        context: str,
+        ref: FunctionRef,
+        line: int,
+        snippet: str,
+        detail: str = "",
+    ) -> ContextFinding:
+        info = self.model.modules[ref[0]]
+        chain = self.chain(context, ref)
+        chain.append(f"{info.ctx.rel_path}:{line} {snippet}")
+        return ContextFinding(
+            rule=rule,
+            context=context,
+            function=ref,
+            site=f"{info.ctx.rel_path}:{line}",
+            snippet=snippet,
+            chain=chain,
+            detail=detail,
+        )
+
+    def _suppressed(self, finding: ContextFinding) -> bool:
+        """Whether a site-level pragma disables this finding — the
+        report honors the same ``# reprolint: disable=`` markers the
+        framework does."""
+        from repro.lint.findings import Finding
+
+        info = self.model.modules.get(finding.function[0])
+        ctx = getattr(info, "ctx", None)
+        if ctx is None:
+            return False
+        path, _, line = finding.site.rpartition(":")
+        return ctx.is_suppressed(Finding(
+            path=path, line=int(line), col=0,
+            rule=finding.rule, message="",
+        ))
+
+    def report_json(self) -> Dict[str, Any]:
+        """The full ``repro.lint/concurrency/v1`` document."""
+        from repro.lint.cost import cost_for_model
+
+        contexts = self.contexts()
+        multi = {
+            f"{ref[0]}:{ref[1]}": list(self.contexts_of(ref))
+            for ref in sorted(contexts)
+            if len(contexts[ref]) > 1
+        }
+        findings = [
+            {
+                "rule": finding.rule,
+                "context": finding.context,
+                "function": f"{finding.function[0]}:{finding.function[1]}",
+                "site": finding.site,
+                "snippet": finding.snippet,
+                "detail": finding.detail,
+                "chain": finding.chain,
+            }
+            for finding in self.findings()
+            if not self._suppressed(finding)
+        ]
+        costs = cost_for_model(self.model).stage_costs()
+        return {
+            "schema": CONCURRENCY_SCHEMA,
+            "modules": len(self.model.modules),
+            "seeds": {
+                context: [f"{ref[0]}:{ref[1]}" for ref in refs]
+                for context, refs in self.seeds().items()
+            },
+            "functions": multi,
+            "findings": findings,
+            "costs": costs,
+            "summary": {
+                "functions": len(contexts),
+                "multi_context": len(multi),
+                "findings": len(findings),
+                "contested_targets": len(self.contested_targets()),
+            },
+        }
+
+
+def concurrency_for_model(model: ProgramModel) -> ContextAnalysis:
+    """The memoized :class:`ContextAnalysis` of one program model."""
+    cached = getattr(model, "_concurrency_analysis", None)
+    if isinstance(cached, ContextAnalysis):
+        return cached
+    analysis = ContextAnalysis(model)
+    setattr(model, "_concurrency_analysis", analysis)
+    return analysis
+
+
+def concurrency_for(project: Any) -> ContextAnalysis:
+    """The analysis of one lint project (memoized via its model)."""
+    return concurrency_for_model(project.program_model())

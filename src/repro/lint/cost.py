@@ -1,0 +1,517 @@
+"""Static loop-cost analysis over run-path functions.
+
+The paper's measurement only reaches ISP scale (60M+ users) if every
+stage stays linear in the record axes — users, flows, requests.  PR 8
+found two accidentally quadratic loops by hand; this module makes that
+audit continuous.  :class:`CostAnalysis` scans every function for:
+
+* **loop nesting over record-scale iterables** — ``for`` / ``async
+  for`` / comprehension clauses whose iterable names a record axis
+  (``users``, ``flows``, ``requests``, ``rows``, ``chunks``... plus
+  every :class:`repro.runtime.graph.ShardAxis` value discovered
+  statically).  The maximum nesting depth is the function's asymptotic
+  class: 0 → constant, 1 → linear, 2 → quadratic, 3+ → polynomial.
+* **hazard sites** — the accidental-cost patterns the Q-family rules
+  (:mod:`repro.lint.rules_cost`) report: ``x in <list>`` membership
+  inside a loop (Q1101), ``str +=`` accumulation inside a loop
+  (Q1102), two nested loops over the *same* record axis (Q1103),
+  per-row dict/object allocation inside an ``iter_chunks`` consumer
+  (Q1104), and ``x = x + ...`` sequence rebinds inside a loop (Q1105).
+
+On top of the per-function scan, :meth:`CostAnalysis.stage_cost` folds
+the run-reachable functions of one discovered stage into a **cost
+footprint**: the stage's maximum nesting class, its hazard count, and
+a structural digest over ``(function, nesting, hazard kinds)`` that
+deliberately excludes line numbers — editing an unrelated line moves
+nothing, while adding a nested record loop anywhere on the stage's run
+path moves the digest.  The runtime embeds these footprints in
+provenance manifests and digest-only in ledger records (exactly like
+the PR-6 ``rng_lineage`` digests), and :mod:`repro.obs.diff`
+classifies a moved cost digest as a *code* cause (``cost:<stage>``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.lint.dataflow import DataflowAnalysis, dataflow_for_model
+from repro.lint.program import FunctionInfo, ModuleInfo, ProgramModel
+
+FunctionRef = Tuple[str, str]
+
+#: base vocabulary of record-scale iterable names; the analysis adds
+#: every ``ShardAxis`` enum value it discovers in the tree
+RECORD_AXES = frozenset((
+    "users", "flows", "requests", "records", "rows", "chunks", "events",
+    "ips", "addresses", "domains", "fqdns", "isps", "pairs", "trackers",
+    "shards", "entries", "items", "samples",
+))
+
+#: nesting depth → asymptotic class label
+NESTING_CLASSES = ("constant", "linear", "quadratic")
+
+
+def nesting_class(depth: int) -> str:
+    """The asymptotic class label of one record-loop nesting depth."""
+    if depth < len(NESTING_CLASSES):
+        return NESTING_CLASSES[depth]
+    return "polynomial"
+
+
+@dataclass
+class HazardSite:
+    """One accidental-cost pattern found inside a function body."""
+
+    kind: str
+    line: int
+    snippet: str
+    detail: str
+    node: ast.AST = field(repr=False, compare=False, default=None)
+
+
+@dataclass
+class FunctionCost:
+    """The static cost summary of one function."""
+
+    function: FunctionRef
+    nesting: int
+    hazards: Tuple[HazardSite, ...]
+
+    @property
+    def nesting_class(self) -> str:
+        return nesting_class(self.nesting)
+
+
+class CostAnalysis:
+    """Loop-cost scans and stage cost footprints over one model."""
+
+    def __init__(self, model: ProgramModel) -> None:
+        self.model = model
+        self.df: DataflowAnalysis = dataflow_for_model(model)
+        self._axes: Optional[frozenset] = None
+        self._function_costs: Dict[FunctionRef, FunctionCost] = {}
+        self._stage_costs: Optional[Dict[str, Dict[str, Any]]] = None
+
+    # -- the record-axis vocabulary --------------------------------------
+
+    def record_axes(self) -> frozenset:
+        """Record-axis name stems: the base vocabulary plus every
+        ``ShardAxis`` enum value found in the indexed modules."""
+        if self._axes is not None:
+            return self._axes
+        axes: Set[str] = set(RECORD_AXES)
+        axes.update(stem.rstrip("s") for stem in sorted(RECORD_AXES))
+        for info in self.model.modules.values():
+            cls = info.classes.get("ShardAxis")
+            if cls is None:
+                continue
+            for stmt in cls.node.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    axes.update(self._stems(value.value))
+        self._axes = frozenset(axes)
+        return self._axes
+
+    @staticmethod
+    def _stems(value: str) -> List[str]:
+        parts = value.lower().split("_")
+        stems = [value.lower(), parts[-1], parts[-1].rstrip("s")]
+        return [stem for stem in stems if stem]
+
+    def _axis_of(self, info: ModuleInfo, iterable: ast.expr) -> Optional[str]:
+        """The record-axis stem one loop iterable ranges over, if any."""
+        expr = iterable
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        name: Optional[str] = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        if name is None:
+            return None
+        if name == "iter_chunks":
+            return "chunks"
+        stem = name.lower()
+        axes = self.record_axes()
+        if stem in axes:
+            return stem
+        if stem.rstrip("s") in axes:
+            return stem.rstrip("s")
+        return None
+
+    # -- per-function scan -----------------------------------------------
+
+    def function_cost(self, ref: FunctionRef) -> FunctionCost:
+        """The (memoized) cost summary of one model function."""
+        cached = self._function_costs.get(ref)
+        if cached is not None:
+            return cached
+        info = self.model.modules[ref[0]]
+        fn = info.functions[ref[1]]
+        scan = _FunctionScan(self, info, fn)
+        scan.run()
+        cost = FunctionCost(
+            function=ref,
+            nesting=scan.max_depth,
+            hazards=tuple(scan.hazards),
+        )
+        self._function_costs[ref] = cost
+        return cost
+
+    # -- stage footprints ------------------------------------------------
+
+    def stage_costs(self) -> Dict[str, Dict[str, Any]]:
+        """Cost footprints of every discovered stage, by name."""
+        if self._stage_costs is not None:
+            return self._stage_costs
+        out: Dict[str, Dict[str, Any]] = {}
+        for decl in self.model.discover_stages():
+            footprint = self.stage_cost(decl.name)
+            if footprint is not None:
+                out[decl.name] = footprint
+        self._stage_costs = out
+        return out
+
+    def stage_cost(self, stage: str) -> Optional[Dict[str, Any]]:
+        """The cost footprint of one discovered stage.
+
+        Folds the cost of every function reachable from the stage's
+        ``run`` seed.  The digest hashes ``function|nesting|hazards``
+        entries (sorted, line numbers excluded): stable under pure
+        line-shift edits, moved by any change to the loop structure or
+        hazard set of the stage's run path.
+        """
+        run_seed: Optional[FunctionRef] = None
+        for decl in self.model.discover_stages():
+            if decl.name == stage:
+                run_seed = decl.seeds.get("run")
+                break
+        return self.cost_footprint(run_seed)
+
+    def cost_footprint(
+        self, run_seed: Optional[FunctionRef]
+    ) -> Optional[Dict[str, Any]]:
+        """The cost footprint reachable from one ``run`` seed.
+
+        The seed-based entry point: live stage graphs resolve their
+        ``run`` callables to model refs and fold from here, without
+        going through static stage discovery.
+        """
+        if run_seed is None or self.model.function(run_seed) is None:
+            return None
+        reach = self.df.reachable_from(run_seed)
+        functions: Dict[str, Dict[str, Any]] = {}
+        max_depth = 0
+        hazard_count = 0
+        entries: List[str] = []
+        for ref in sorted(reach.functions):
+            if self.model.function(ref) is None:
+                continue
+            cost = self.function_cost(ref)
+            if cost.nesting == 0 and not cost.hazards:
+                continue
+            label = f"{ref[0]}:{ref[1]}"
+            functions[label] = {
+                "nesting": cost.nesting,
+                "nesting_class": cost.nesting_class,
+                "hazards": [
+                    {
+                        "kind": hazard.kind,
+                        "line": hazard.line,
+                        "detail": hazard.detail,
+                    }
+                    for hazard in cost.hazards
+                ],
+            }
+            max_depth = max(max_depth, cost.nesting)
+            hazard_count += len(cost.hazards)
+            kinds = ",".join(sorted(
+                f"{hazard.kind}#{index}"
+                for index, hazard in enumerate(cost.hazards)
+            ))
+            entries.append(f"{label}|n={cost.nesting}|h={kinds}")
+        digest = hashlib.blake2b(
+            "\x1f".join(sorted(entries)).encode("utf-8"), digest_size=20
+        ).hexdigest()
+        return {
+            "digest": digest,
+            "nesting": max_depth,
+            "nesting_class": nesting_class(max_depth),
+            "hazards": hazard_count,
+            "functions": functions,
+        }
+
+
+class _FunctionScan:
+    """One recursive walk of a function body, tracking the record-loop
+    stack so nesting depth and loop-relative hazards fall out."""
+
+    def __init__(
+        self, analysis: CostAnalysis, info: ModuleInfo, fn: FunctionInfo
+    ) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.fn = fn
+        self.max_depth = 0
+        self.hazards: List[HazardSite] = []
+        self._axis_stack: List[Optional[str]] = []
+        self._chunk_depth = 0
+        self._str_locals = self._seeded_strings()
+        self._list_locals = self._seeded_lists()
+        self._callee_at = analysis.df._callee_at(fn)
+
+    # a name is "str-seeded" when any binding in the function gives it a
+    # string value; "list-seeded" likewise for list values
+    def _seeded_strings(self) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, ast.JoinedStr) or (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "str"
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    def _seeded_lists(self) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, (ast.List, ast.ListComp)) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("list", "sorted")
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    def run(self) -> None:
+        for child in ast.iter_child_nodes(self.fn.node):
+            self._visit(child)
+
+    # -- classification helpers ------------------------------------------
+
+    def _is_list_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(node, ast.Name):
+            if node.id in self._list_locals:
+                return True
+            decl = self.info.constant_nodes.get(node.id)
+            if decl is not None and isinstance(
+                getattr(decl, "value", None), (ast.List, ast.ListComp)
+            ):
+                return node.id not in self.analysis.model.local_names(
+                    self.fn.node
+                )
+        return False
+
+    def _hazard(self, kind: str, node: ast.AST, detail: str) -> None:
+        self.hazards.append(HazardSite(
+            kind=kind,
+            line=node.lineno,
+            snippet=self.analysis.df._snippet(self.info, node.lineno),
+            detail=detail,
+            node=node,
+        ))
+
+    @property
+    def _in_loop(self) -> bool:
+        return bool(self._axis_stack)
+
+    @property
+    def _record_depth(self) -> int:
+        return sum(1 for axis in self._axis_stack if axis is not None)
+
+    # -- the walk --------------------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs cost nothing until called
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._visit_loop(node)
+            return
+        if isinstance(node, ast.While):
+            self._enter_loop(None, is_chunk=False)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            self._exit_loop(is_chunk=False)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            self._visit_comprehension(node)
+            return
+        if isinstance(node, ast.Compare) and self._in_loop:
+            self._check_membership(node)
+        if isinstance(node, ast.AugAssign) and self._in_loop:
+            self._check_str_accum(node)
+        if isinstance(node, ast.Assign) and self._in_loop:
+            self._check_seq_rebind(node)
+        if self._chunk_depth and self._record_depth >= 2:
+            self._check_per_row_alloc(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        axis = self.analysis._axis_of(self.info, node.iter)
+        is_chunk = self._iterates_chunks(node.iter)
+        if axis is not None and axis in (
+            a for a in self._axis_stack if a is not None
+        ):
+            self._hazard(
+                "same-axis-nesting", node,
+                f"nested loops both range over '{axis}'",
+            )
+        self._enter_loop(axis, is_chunk=is_chunk)
+        self._visit(node.iter)
+        for child in node.body + node.orelse:
+            self._visit(child)
+        self._exit_loop(is_chunk=is_chunk)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        entered: List[Tuple[Optional[str], bool]] = []
+        for generator in node.generators:
+            axis = self.analysis._axis_of(self.info, generator.iter)
+            is_chunk = self._iterates_chunks(generator.iter)
+            if axis is not None and axis in (
+                a for a in self._axis_stack if a is not None
+            ):
+                self._hazard(
+                    "same-axis-nesting", node,
+                    f"nested loops both range over '{axis}'",
+                )
+            self._enter_loop(axis, is_chunk=is_chunk)
+            entered.append((axis, is_chunk))
+            self._visit(generator.iter)
+            for condition in generator.ifs:
+                self._visit(condition)
+        elements = [
+            child
+            for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.comprehension)
+        ]
+        for element in elements:
+            self._visit(element)
+        for axis, is_chunk in reversed(entered):
+            self._exit_loop(is_chunk=is_chunk)
+
+    def _enter_loop(self, axis: Optional[str], is_chunk: bool) -> None:
+        self._axis_stack.append(axis)
+        if is_chunk:
+            self._chunk_depth += 1
+        self.max_depth = max(self.max_depth, self._record_depth)
+
+    def _exit_loop(self, is_chunk: bool) -> None:
+        self._axis_stack.pop()
+        if is_chunk:
+            self._chunk_depth -= 1
+
+    @staticmethod
+    def _iterates_chunks(iterable: ast.expr) -> bool:
+        expr = iterable
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        return name == "iter_chunks"
+
+    # -- hazard checks ---------------------------------------------------
+
+    def _check_membership(self, node: ast.Compare) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            if self._is_list_expr(comparator):
+                rendered = (
+                    comparator.id
+                    if isinstance(comparator, ast.Name)
+                    else "a list literal"
+                )
+                self._hazard(
+                    "list-membership", node,
+                    f"'in' against list {rendered} inside a loop",
+                )
+
+    def _check_str_accum(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, ast.Add):
+            return
+        target = node.target
+        if isinstance(target, ast.Name) and target.id in self._str_locals:
+            self._hazard(
+                "str-accum", node,
+                f"'{target.id} +=' builds a string inside a loop",
+            )
+
+    def _check_seq_rebind(self, node: ast.Assign) -> None:
+        value = node.value
+        if not (
+            isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add)
+        ):
+            return
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            for operand in (value.left, value.right):
+                if isinstance(operand, ast.Name) and (
+                    operand.id == target.id
+                ):
+                    self._hazard(
+                        "seq-rebind", node,
+                        f"'{target.id} = {target.id} + ...' rebinds a "
+                        "sequence inside a loop",
+                    )
+                    return
+
+    def _check_per_row_alloc(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            self._hazard(
+                "per-row-alloc", node,
+                "dict allocated per row inside an iter_chunks consumer",
+            )
+            return
+        if isinstance(node, ast.Call):
+            callee = self._callee_at.get((node.lineno, node.col_offset))
+            if callee is not None and callee.kind == "class":
+                self._hazard(
+                    "per-row-alloc", node,
+                    f"{callee.qualname} instance allocated per row "
+                    "inside an iter_chunks consumer",
+                )
+
+
+def cost_for_model(model: ProgramModel) -> CostAnalysis:
+    """The memoized :class:`CostAnalysis` of one program model."""
+    cached = getattr(model, "_cost_analysis", None)
+    if isinstance(cached, CostAnalysis):
+        return cached
+    analysis = CostAnalysis(model)
+    setattr(model, "_cost_analysis", analysis)
+    return analysis
+
+
+def cost_for(project: Any) -> CostAnalysis:
+    """The analysis of one lint project (memoized via its model)."""
+    return cost_for_model(project.program_model())

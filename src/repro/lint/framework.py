@@ -218,6 +218,8 @@ def load_builtin_rules() -> None:
     """Import the rule modules for their registration side effects."""
     from repro.lint import (  # noqa: F401
         rules_cache,
+        rules_concurrency,
+        rules_cost,
         rules_determinism,
         rules_errors,
         rules_escape,
@@ -285,6 +287,9 @@ class LintResult:
     project: Optional[ProjectContext] = None
     #: wall-clock duration of the run, for the JSON report / ledger
     wall_s: float = 0.0
+    #: wall-clock seconds spent per rule family (first letter of the
+    #: rule code), folded into the ledger as lint.time_s{family=...}
+    family_wall_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -301,11 +306,12 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 def _lint_file_worker(
     task: Tuple[str, str, Tuple[str, ...]]
-) -> List[Finding]:
+) -> Tuple[List[Finding], Dict[str, float]]:
     """Per-file rule pass in a worker process: re-parse the file and run
     every registered rule in ``codes``.  Top-level (picklable) and
     registry-driven — rule instances never cross the process boundary,
-    only their codes do."""
+    only their codes do.  Returns the findings plus the wall seconds
+    spent per rule family."""
     path_str, rel, codes = task
     wanted = set(codes)
     active = [rule for rule in all_rules() if rule.code in wanted]
@@ -314,13 +320,19 @@ def _lint_file_worker(
     if ctx.parse_error is not None:
         # The parent's own context carries the parse error; nothing to
         # run here.
-        return []
+        return [], {}
     findings: List[Finding] = []
+    family_s: Dict[str, float] = {}
     for rule in active:
+        rule_start = time.monotonic()
         for finding in rule.check_file(ctx):
             if not ctx.is_suppressed(finding):
                 findings.append(finding)
-    return findings
+        family = rule.code[:1]
+        family_s[family] = (
+            family_s.get(family, 0.0) + time.monotonic() - rule_start
+        )
+    return findings, family_s
 
 
 def _poolable(rules: Sequence[Rule]) -> bool:
@@ -351,6 +363,12 @@ def run_lint(
     root = (root or Path.cwd()).resolve()
     project = ProjectContext()
     findings: List[Finding] = []
+    family_s: Dict[str, float] = {}
+
+    def charge(rule: Rule, seconds: float) -> None:
+        family = rule.code[:1]
+        family_s[family] = family_s.get(family, 0.0) + seconds
+
     files_checked = 0
     workers = resolve_jobs(jobs)
     fan_out = workers > 1 and _poolable(active)
@@ -372,24 +390,30 @@ def run_lint(
             tasks.append((str(resolved), rel, codes))
             continue
         for rule in active:
+            rule_start = time.monotonic()
             for finding in rule.check_file(ctx):
                 if not ctx.is_suppressed(finding):
                     findings.append(finding)
+            charge(rule, time.monotonic() - rule_start)
     if fan_out and tasks:
         n_workers = min(workers, len(tasks))
         chunksize = max(1, len(tasks) // (n_workers * 4))
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=n_workers
         ) as pool:
-            for batch in pool.map(
+            for batch, batch_family_s in pool.map(
                 _lint_file_worker, tasks, chunksize=chunksize
             ):
                 findings.extend(batch)
+                for family, seconds in batch_family_s.items():
+                    family_s[family] = family_s.get(family, 0.0) + seconds
     for rule in active:
+        rule_start = time.monotonic()
         for finding in rule.finalize(project):
             ctx = project.files.get(finding.path)
             if ctx is None or not ctx.is_suppressed(finding):
                 findings.append(finding)
+        charge(rule, time.monotonic() - rule_start)
     # Finding equality is (path, line, col, rule): collapse duplicates a
     # rule may emit when scopes overlap.
     findings = sorted(set(findings))
@@ -398,4 +422,5 @@ def run_lint(
         files_checked=files_checked,
         project=project,
         wall_s=time.monotonic() - started,
+        family_wall_s=dict(sorted(family_s.items())),
     )

@@ -1,0 +1,120 @@
+"""Hot-path cost rules (Q1101–Q1105).
+
+Built on :mod:`repro.lint.cost`: every function reachable from a
+stage's ``run`` seed is scanned for the accidental-cost patterns that
+turn a linear pipeline quadratic at million-user scale:
+
+* **Q1101** — ``x in <list>`` membership inside a loop (O(n) per probe;
+  use a set or dict).
+* **Q1102** — ``s += ...`` string accumulation inside a loop (O(n²)
+  total; collect parts and ``"".join``).
+* **Q1103** — two nested loops ranging over the *same* record axis
+  (the accidental all-pairs loop).
+* **Q1104** — per-row dict / object allocation inside an
+  ``iter_chunks`` consumer (the columnar path exists to avoid exactly
+  this).
+* **Q1105** — ``x = x + ...`` sequence rebinds inside a loop
+  (quadratic list/tuple/str building).
+
+Findings attach to the hazard site and name the stages whose run path
+reaches it, mirroring the P-family message shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.cost import cost_for
+from repro.lint.framework import Finding, ProjectContext, Rule, register
+from repro.lint.rules_purity import _run_reachable
+
+
+class _CostRule(Rule):
+    """Shared driver: report one hazard kind over run-path functions."""
+
+    hazard_kind = ""
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        model = project.program_model()
+        analysis = cost_for(project)
+        for ref, stages in sorted(_run_reachable(model).items()):
+            if model.function(ref) is None:
+                continue
+            ctx = project.context_for_module(ref[0])
+            if ctx is None:
+                continue
+            via = ", ".join(stages)
+            for hazard in analysis.function_cost(ref).hazards:
+                if hazard.kind != self.hazard_kind:
+                    continue
+                yield ctx.finding(
+                    self,
+                    hazard.node,
+                    f"{hazard.detail} [in {ref[1]}, on the run path "
+                    f"of: {via}]",
+                )
+
+
+@register
+class ListMembershipRule(_CostRule):
+    """Q1101 — list membership probe inside a loop."""
+
+    code = "Q1101"
+    name = "quadratic-membership"
+    description = (
+        "'in' membership against a list inside a loop on a stage run "
+        "path: O(n) per probe; use a set or dict"
+    )
+    hazard_kind = "list-membership"
+
+
+@register
+class StrAccumulationRule(_CostRule):
+    """Q1102 — string accumulation inside a loop."""
+
+    code = "Q1102"
+    name = "str-accumulation"
+    description = (
+        "'s += ...' string accumulation inside a loop on a stage run "
+        "path: quadratic total copy; collect parts and ''.join"
+    )
+    hazard_kind = "str-accum"
+
+
+@register
+class SameAxisNestingRule(_CostRule):
+    """Q1103 — nested loops over the same record axis."""
+
+    code = "Q1103"
+    name = "all-pairs-loop"
+    description = (
+        "two nested loops range over the same record axis on a stage "
+        "run path: the accidental all-pairs O(n^2) loop"
+    )
+    hazard_kind = "same-axis-nesting"
+
+
+@register
+class PerRowAllocationRule(_CostRule):
+    """Q1104 — per-row allocation inside an iter_chunks consumer."""
+
+    code = "Q1104"
+    name = "per-row-allocation"
+    description = (
+        "dict or object allocated per row inside an iter_chunks "
+        "consumer: the columnar path exists to avoid per-row objects"
+    )
+    hazard_kind = "per-row-alloc"
+
+
+@register
+class SequenceRebindRule(_CostRule):
+    """Q1105 — sequence rebind concatenation inside a loop."""
+
+    code = "Q1105"
+    name = "seq-rebind-in-loop"
+    description = (
+        "'x = x + ...' rebind inside a loop on a stage run path: "
+        "copies the whole sequence every iteration"
+    )
+    hazard_kind = "seq-rebind"

@@ -1,0 +1,185 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+(Static Analysis Results Interchange Format) is what code-scanning UIs
+ingest; ``python -m repro.lint --sarif OUT`` writes one run per
+invocation so CI can upload findings as first-class annotations.
+
+Mapping choices:
+
+* every registered rule that produced at least one finding (plus every
+  rule explicitly selected for the run) appears in
+  ``tool.driver.rules`` — SARIF consumers render rule metadata from
+  here, not from the results;
+* *new* findings become plain results at level ``warning``;
+* *baselined* (grandfathered) findings are still exported, but carry a
+  ``suppressions`` entry with kind ``external`` so scanners show them
+  as acknowledged rather than re-alerting on every push;
+* ``partialFingerprints`` carries the same rule/path/snippet identity
+  the baseline file uses, so result matching across runs is stable
+  under pure line-number shifts.
+
+:func:`validate_sarif` is the structural round-trip check the test
+suite (and any pipeline) can run on an emitted document.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+#: the SARIF version this module emits (and validates)
+SARIF_VERSION = "2.1.0"
+
+#: the canonical $schema URI for SARIF 2.1.0 documents
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: the tool name advertised in ``tool.driver.name``
+TOOL_NAME = "reprolint"
+
+
+def _rule_descriptor(rule: Any) -> Dict[str, Any]:
+    """One ``reportingDescriptor`` from a registered rule object."""
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int], suppressed: bool
+) -> Dict[str, Any]:
+    """One SARIF ``result`` from one finding."""
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            # The baseline identity, verbatim: rule + path + stripped
+            # source line, stable under pure line shifts.
+            "reprolint/v1": "|".join(finding.fingerprint()),
+        },
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "baselined finding"}
+        ]
+    return result
+
+
+def build_sarif(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+    rules: Iterable[Any] = (),
+) -> Dict[str, Any]:
+    """Assemble a single-run SARIF 2.1.0 document.
+
+    ``rules`` should be the rule objects the lint run executed; rules
+    that match no finding are still listed (an empty result set must
+    still say what was checked).
+    """
+    descriptors: List[Dict[str, Any]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in sorted(rules, key=lambda r: r.code):
+        if rule.code in rule_index:
+            continue
+        rule_index[rule.code] = len(descriptors)
+        descriptors.append(_rule_descriptor(rule))
+    results = [
+        _result(finding, rule_index, suppressed=False)
+        for finding in sorted(new)
+    ]
+    results.extend(
+        _result(finding, rule_index, suppressed=True)
+        for finding in sorted(grandfathered)
+    )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "docs/linting.md",
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(document: Any) -> None:
+    """Structurally validate an emitted SARIF document.
+
+    Checks the invariants a SARIF 2.1.0 consumer relies on: version,
+    one well-formed run, rule descriptors with unique ids, and every
+    result carrying a rule id, a message and one physical location with
+    a positive start line.  Raises :class:`~repro.errors.LintError` on
+    the first violation.
+    """
+    if not isinstance(document, dict):
+        raise LintError("SARIF document must be a JSON object")
+    if document.get("version") != SARIF_VERSION:
+        raise LintError(
+            f"SARIF version must be {SARIF_VERSION!r}, "
+            f"got {document.get('version')!r}"
+        )
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise LintError("SARIF document must carry a non-empty 'runs' list")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            raise LintError("SARIF run is missing tool.driver.name")
+        rule_ids = [rule.get("id") for rule in driver.get("rules", [])]
+        if any(not rule_id for rule_id in rule_ids):
+            raise LintError("SARIF rule descriptor is missing an id")
+        if len(set(rule_ids)) != len(rule_ids):
+            raise LintError("SARIF rule descriptors carry duplicate ids")
+        known = set(rule_ids)
+        for result in run.get("results", []):
+            rule_id = result.get("ruleId")
+            if not rule_id:
+                raise LintError("SARIF result is missing ruleId")
+            if known and rule_id not in known:
+                raise LintError(
+                    f"SARIF result names unknown rule {rule_id!r}"
+                )
+            if not result.get("message", {}).get("text"):
+                raise LintError("SARIF result is missing message.text")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or len(locations) != 1:
+                raise LintError(
+                    "SARIF result must carry exactly one location"
+                )
+            physical = locations[0].get("physicalLocation", {})
+            if not physical.get("artifactLocation", {}).get("uri"):
+                raise LintError(
+                    "SARIF result location is missing artifact uri"
+                )
+            start = physical.get("region", {}).get("startLine", 0)
+            if not isinstance(start, int) or start < 1:
+                raise LintError(
+                    "SARIF result region.startLine must be >= 1"
+                )

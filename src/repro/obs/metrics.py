@@ -26,6 +26,7 @@ and invisible on the legacy serial path.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -236,24 +237,33 @@ _KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
 
 
 class MetricsRegistry:
-    """A named collection of counters, gauges and histograms."""
+    """A named collection of counters, gauges and histograms.
+
+    Instrument creation and merging are guarded by a lock: one registry
+    can be read by the event loop (the ``/metrics`` handler) while job
+    threads create instruments in theirs, and the class must be safe
+    from both contexts.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._instruments)
 
     def _get(self, kind: str, key: str, factory) -> Any:
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[key] = instrument
-        elif instrument.kind != kind:
-            raise ObservabilityError(
-                f"metric {key!r} is a {instrument.kind}, requested as {kind}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+            elif instrument.kind != kind:
+                raise ObservabilityError(
+                    f"metric {key!r} is a {instrument.kind}, "
+                    f"requested as {kind}"
+                )
+            return instrument
 
     def counter(self, name: str, **labels: Any) -> Counter:
         """The counter at ``name{labels}``, created on first use."""
@@ -312,13 +322,14 @@ class MetricsRegistry:
         serialize identically — the property the runtime's byte-identity
         guarantees lean on.
         """
-        return {
-            key: {
-                "kind": instrument.kind,
-                "value": instrument.to_value(),
+        with self._lock:
+            return {
+                key: {
+                    "kind": instrument.kind,
+                    "value": instrument.to_value(),
+                }
+                for key, instrument in sorted(self._instruments.items())
             }
-            for key, instrument in sorted(self._instruments.items())
-        }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Mapping[str, Any]]) -> "MetricsRegistry":
@@ -340,62 +351,80 @@ class MetricsRegistry:
         """Fold another registry (or snapshot dict) into this one."""
         if not isinstance(other, MetricsRegistry):
             other = MetricsRegistry.from_dict(other)
-        for key in sorted(other._instruments):
-            theirs = other._instruments[key]
-            mine = self._instruments.get(key)
-            if mine is None:
-                self._instruments[key] = type(theirs).from_value(
-                    theirs.to_value()
-                )
-            elif mine.kind != theirs.kind:
-                raise ObservabilityError(
-                    f"metric {key!r} kind mismatch on merge: "
-                    f"{mine.kind} vs {theirs.kind}"
-                )
-            else:
-                mine.merge(theirs)
+        with self._lock:
+            for key in sorted(other._instruments):
+                theirs = other._instruments[key]
+                mine = self._instruments.get(key)
+                if mine is None:
+                    self._instruments[key] = type(theirs).from_value(
+                        theirs.to_value()
+                    )
+                elif mine.kind != theirs.kind:
+                    raise ObservabilityError(
+                        f"metric {key!r} kind mismatch on merge: "
+                        f"{mine.kind} vs {theirs.kind}"
+                    )
+                else:
+                    mine.merge(theirs)
         return self
 
 
 # -- ambient collection ------------------------------------------------------
-#: stack of active registries; instrumented code writes into the top one
-_ACTIVE: List[MetricsRegistry] = []
+#: per-thread stacks of active registries; instrumented code writes into
+#: the top of its own thread's stack.  Thread-local on purpose: two
+#: serve jobs collecting concurrently in different worker threads must
+#: never see (or pop) each other's registries.
+_AMBIENT = threading.local()
+
+
+def _stack() -> List[MetricsRegistry]:
+    try:
+        return _AMBIENT.stack
+    except AttributeError:
+        stack: List[MetricsRegistry] = []
+        _AMBIENT.stack = stack
+        return stack
 
 
 def active() -> bool:
     """True when a collection scope is open (instrumentation is live)."""
-    return bool(_ACTIVE)
+    return bool(_stack())
 
 
 def current() -> Optional[MetricsRegistry]:
     """The registry instrumented code is currently writing into."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    stack = _stack()
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def collecting(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Route the ambient helpers into ``registry`` for the scope."""
-    _ACTIVE.append(registry)
+    stack = _stack()
+    stack.append(registry)
     try:
         yield registry
     finally:
-        _ACTIVE.pop()
+        stack.pop()
 
 
 def inc(name: str, amount: Union[int, float] = 1, **labels: Any) -> None:
     """Increment a counter in the active registry (no-op when inactive)."""
-    if _ACTIVE:
-        _ACTIVE[-1].counter(name, **labels).inc(amount)
+    stack = _stack()
+    if stack:
+        stack[-1].counter(name, **labels).inc(amount)
 
 
 def observe(name: str, value: Union[int, float], **labels: Any) -> None:
     """Record a histogram sample in the active registry (no-op when
     inactive)."""
-    if _ACTIVE:
-        _ACTIVE[-1].histogram(name, **labels).observe(value)
+    stack = _stack()
+    if stack:
+        stack[-1].histogram(name, **labels).observe(value)
 
 
 def set_gauge(name: str, value: Union[int, float], **labels: Any) -> None:
     """Set a gauge level in the active registry (no-op when inactive)."""
-    if _ACTIVE:
-        _ACTIVE[-1].gauge(name, **labels).set(value)
+    stack = _stack()
+    if stack:
+        stack[-1].gauge(name, **labels).set(value)

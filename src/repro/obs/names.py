@@ -69,8 +69,9 @@ RUNTIME_CACHE_CORRUPT = "runtime.cache.corrupt"
 #: timing, never drift
 BENCH_TIME = "bench.time_s"
 
-#: wall time of one full reprolint run, folded into the ledger from the
-#: dataflow report (scripts/bench_to_ledger.py --lint-report)
+#: wall time of one reprolint run, folded into the ledger from the
+#: dataflow report (scripts/bench_to_ledger.py --lint-report); labelled
+#: by rule family ("total" for the whole run, "T"/"Q"/... per family)
 LINT_TIME = "lint.time_s"
 
 #: HTTP requests served, by route pattern (serve/server.py)
@@ -141,8 +142,8 @@ _METRIC_DECLS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
      "damaged cache artifacts discarded on load"),
     (BENCH_TIME, "gauge", ("benchmark", "stat"),
      "pytest-benchmark wall-time statistic per benchmark"),
-    (LINT_TIME, "gauge", (),
-     "wall time of one full reprolint run"),
+    (LINT_TIME, "gauge", ("family",),
+     "wall time of one reprolint run, by rule family (or 'total')"),
     (SERVE_HTTP_REQUESTS, "counter", ("route",),
      "HTTP requests served, by route pattern"),
     (SERVE_JOBS_SUBMITTED, "counter", (),

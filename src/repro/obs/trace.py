@@ -18,6 +18,7 @@ pipeline code.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
@@ -203,20 +204,34 @@ class CallbackTracer(Tracer):
 #: the process-wide no-op tracer
 NULL_TRACER = NullTracer()
 
-#: stack of ambient tracers; the top one receives pipeline spans
-_ACTIVE: List[Tracer] = []
+#: per-thread stacks of ambient tracers; the top of a thread's stack
+#: receives its pipeline spans.  Thread-local on purpose: concurrent
+#: serve jobs trace in their own worker threads and must never receive
+#: (or pop) each other's spans.
+_AMBIENT = threading.local()
+
+
+def _stack() -> List[Tracer]:
+    try:
+        return _AMBIENT.stack
+    except AttributeError:
+        stack: List[Tracer] = []
+        _AMBIENT.stack = stack
+        return stack
 
 
 def current_tracer() -> Tracer:
     """The tracer ambient code should open spans on (never ``None``)."""
-    return _ACTIVE[-1] if _ACTIVE else NULL_TRACER
+    stack = _stack()
+    return stack[-1] if stack else NULL_TRACER
 
 
 @contextmanager
 def tracing(tracer: Tracer) -> Iterator[Tracer]:
     """Install ``tracer`` as the ambient tracer for the scope."""
-    _ACTIVE.append(tracer)
+    stack = _stack()
+    stack.append(tracer)
     try:
         yield tracer
     finally:
-        _ACTIVE.pop()
+        stack.pop()

@@ -51,6 +51,7 @@ from repro.runtime.cache import ArtifactCache, config_digest, effective_salts
 from repro.runtime.executor import ShardExecutor
 from repro.runtime.footprint import (
     footprint_salts,
+    stage_costs,
     stage_footprints,
     stage_lineages,
 )
@@ -227,6 +228,11 @@ class ExecutionEngine:
         # shows up as code-driven in `repro obs diff`.  Computed from
         # the same memoized program model as the footprints.
         self._lineages = stage_lineages(self.graph)
+        # Cost footprints do the same for accidental complexity: the
+        # static loop-nesting/hazard digest of each stage's run path is
+        # embedded in manifests and ledger records, so a stage that got
+        # structurally slower shows up as `cost:<stage>` in obs diff.
+        self._costs = stage_costs(self.graph)
 
     @property
     def workers(self) -> int:
@@ -281,7 +287,7 @@ class ExecutionEngine:
                         )
         result.manifest = build_manifest(
             result, digest, self._salts, self._footprints,
-            lineages=self._lineages,
+            lineages=self._lineages, costs=self._costs,
         )
         if self.cache.enabled:
             write_manifest(
@@ -296,7 +302,7 @@ class ExecutionEngine:
                 ledger_path(str(self.cache.root)),
                 build_ledger_record(
                     result, digest, self._salts, self._footprints,
-                    lineages=self._lineages,
+                    lineages=self._lineages, costs=self._costs,
                 ),
             )
         return result

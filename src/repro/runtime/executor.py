@@ -29,6 +29,7 @@ the same determinism guarantees as the artifacts themselves.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -41,8 +42,13 @@ from repro.runtime.stages import STAGE_GRAPH
 #: a shard's result: the artifact plus its shard-local metrics snapshot
 ShardResult = Tuple[Any, Dict[str, Dict[str, Any]]]
 
-#: parent-side context inherited by forked workers: (world, products)
+#: parent-side context inherited by forked workers: (world, products).
+#: Module state by necessity — it is what the fork snapshot carries —
+#: so the set→fork→reset window is serialized by :data:`_FORK_LOCK`:
+#: two serve jobs pooling concurrently must not fork each other's
+#: worlds.
 _FORK_CONTEXT: Optional[Tuple[World, Mapping[str, Any]]] = None
+_FORK_LOCK = threading.Lock()
 
 
 def _instrumented_run(
@@ -132,35 +138,40 @@ class ShardExecutor:
         inputs: Dict[str, Any] = {
             name: products[name] for name in spec.inputs
         }
-        if use_fork:
-            # Set the context BEFORE the pool exists: forked children
-            # inherit the world and upstream products copy-on-write.
-            _FORK_CONTEXT = (world, products)
-        try:
+        if not use_fork:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                if use_fork:
-                    futures = [
-                        pool.submit(_run_shard_forked, spec.name, key, payload)
-                        for key, payload in shards
-                    ]
-                else:
-                    futures = [
-                        pool.submit(
-                            _run_shard_shipped,
-                            world.config,
-                            spec.name,
-                            key,
-                            payload,
-                            inputs,
-                        )
-                        for key, payload in shards
-                    ]
+                futures = [
+                    pool.submit(
+                        _run_shard_shipped,
+                        world.config,
+                        spec.name,
+                        key,
+                        payload,
+                        inputs,
+                    )
+                    for key, payload in shards
+                ]
                 # Collect in submission (= plan) order, not completion
                 # order — merge determinism depends on it.
                 return [
                     (key, future.result())
                     for (key, _), future in zip(shards, futures)
                 ]
-        finally:
-            if use_fork:
+        # Fork path: the context must be set BEFORE the pool exists —
+        # forked children inherit the world and upstream products
+        # copy-on-write.  The lock holds until the stage drains so a
+        # concurrent job cannot swap the context under our fork.
+        with _FORK_LOCK:
+            _FORK_CONTEXT = (world, products)
+            try:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = [
+                        pool.submit(_run_shard_forked, spec.name, key, payload)
+                        for key, payload in shards
+                    ]
+                    return [
+                        (key, future.result())
+                        for (key, _), future in zip(shards, futures)
+                    ]
+            finally:
                 _FORK_CONTEXT = None

@@ -19,14 +19,19 @@ pre-footprint cache keys.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.lint.cost import cost_for_model
 from repro.lint.dataflow import dataflow_for_model
 from repro.lint.program import Footprint, ProgramModel
 
-#: process-wide model memo, keyed by resolved source root
+#: process-wide model memo, keyed by resolved source root; engines run
+#: on serve worker threads as well as the main thread, so the memo is
+#: guarded by a lock
 _MODELS: Dict[str, ProgramModel] = {}
+_MODELS_LOCK = threading.Lock()
 
 
 def default_root() -> Path:
@@ -38,10 +43,11 @@ def program_model(root: Optional[Path] = None) -> ProgramModel:
     """The (memoized) program model of one source root."""
     resolved = (root or default_root()).resolve()
     key = str(resolved)
-    model = _MODELS.get(key)
-    if model is None:
-        model = ProgramModel.from_paths([resolved], root=resolved.parent)
-        _MODELS[key] = model
+    with _MODELS_LOCK:
+        model = _MODELS.get(key)
+        if model is None:
+            model = ProgramModel.from_paths([resolved], root=resolved.parent)
+            _MODELS[key] = model
     return model
 
 
@@ -116,3 +122,36 @@ def stage_lineages(
             spec.name, (module, qualname)
         )
     return lineages
+
+
+def stage_costs(
+    graph: Any, root: Optional[Path] = None
+) -> Dict[str, Dict[str, Any]]:
+    """Per-stage static cost footprints for a live :class:`StageGraph`.
+
+    The cost engine (:mod:`repro.lint.cost`) walks the call graph from
+    each stage's ``run`` callable and folds every reachable function's
+    loop-nesting depth and hazard sites into one footprint.  Its digest
+    is structural (no line numbers): stable under pure line-shift
+    edits, moved by any change to the loop shape or hazard set on the
+    stage's run path — so ``repro obs diff`` can attribute a moved
+    digest to a *code* cause (``cost:<stage>``).  Stages the model
+    cannot see get no footprint, mirroring :func:`stage_lineages`.
+    """
+    model = program_model(root)
+    analysis = cost_for_model(model)
+    costs: Dict[str, Dict[str, Any]] = {}
+    for spec in graph.stages:
+        module = getattr(spec.run, "__module__", None)
+        qualname = getattr(spec.run, "__qualname__", None)
+        if (
+            not module
+            or not qualname
+            or "<locals>" in qualname
+            or model.function((module, qualname)) is None
+        ):
+            continue
+        footprint = analysis.cost_footprint((module, qualname))
+        if footprint is not None:
+            costs[spec.name] = footprint
+    return costs

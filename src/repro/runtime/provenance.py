@@ -45,6 +45,7 @@ def build_manifest(
     salts: Dict[str, str],
     footprints: Optional[Mapping[str, Any]] = None,
     lineages: Optional[Mapping[str, Any]] = None,
+    costs: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a v1 manifest from a finished :class:`RunResult`.
 
@@ -57,8 +58,13 @@ def build_manifest(
     the dataflow engine's RNG lineage trees
     (:func:`repro.runtime.footprint.stage_lineages`); when present the
     manifest gains an ``rng_lineage`` section whose per-stage digests
-    move exactly when a stage's seed-derivation structure changes.  The
-    v1 schema is open, so manifests without either section stay valid.
+    move exactly when a stage's seed-derivation structure changes.
+    ``costs`` optionally maps stage names to static cost footprints
+    (:func:`repro.runtime.footprint.stage_costs`); when present the
+    manifest gains a ``cost_footprint`` section whose per-stage digests
+    move exactly when the loop structure or hazard set on the stage's
+    run path changes.  The v1 schema is open, so manifests without any
+    of these sections stay valid.
     The output validates against
     :func:`repro.obs.manifest.validate_manifest` by construction.
     """
@@ -112,6 +118,20 @@ def build_manifest(
             }
             for name, tree in sorted(lineages.items())
         }
+    if costs:
+        manifest["cost_footprint"] = {
+            name: {
+                "digest": cost["digest"],
+                "nesting": cost["nesting"],
+                "nesting_class": cost["nesting_class"],
+                "hazards": cost["hazards"],
+                "functions": {
+                    label: dict(entry)
+                    for label, entry in sorted(cost["functions"].items())
+                },
+            }
+            for name, cost in sorted(costs.items())
+        }
     return manifest
 
 
@@ -121,6 +141,7 @@ def build_ledger_record(
     salts: Dict[str, str],
     footprints: Optional[Mapping[str, Any]] = None,
     lineages: Optional[Mapping[str, Any]] = None,
+    costs: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a run-kind ledger record from a finished run.
 
@@ -160,5 +181,9 @@ def build_ledger_record(
     if lineages:
         record["rng_lineage"] = {
             name: tree["digest"] for name, tree in sorted(lineages.items())
+        }
+    if costs:
+        record["cost_footprint"] = {
+            name: cost["digest"] for name, cost in sorted(costs.items())
         }
     return record

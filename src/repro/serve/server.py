@@ -214,7 +214,18 @@ class StudyServer:
                 status = 404
                 writer.write(json_response(status, {"error": str(exc)}))
             await writer.drain()
-            self._log(request, route, status)
+            try:
+                # The access log appends to a file: off the loop thread.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._log, request, route, status
+                )
+            except asyncio.CancelledError:
+                # Loop teardown can cancel the off-thread append after
+                # the response went out; drop the log line rather than
+                # end the task cancelled — asyncio's streams protocol
+                # callback calls task.exception() on it and would spray
+                # the cancellation as an unhandled-callback traceback.
+                return
         finally:
             writer.close()
             try:
@@ -317,6 +328,8 @@ class StudyServer:
 
     # -- ledger handlers -------------------------------------------------
     def _ledger(self) -> Tuple[str, List[Dict[str, Any]], Optional[str]]:
+        """Blocking ledger read; handlers call it via ``run_in_executor``
+        so the loop thread never touches the filesystem."""
         path = ledger_path(self.cache_dir)
         records = load_ledger(path)
         return path, records, read_baseline(path)
@@ -329,7 +342,8 @@ class StudyServer:
             # A service that has not run anything yet has an empty
             # history, not a missing one.
             return 200, {"ledger": path, "baseline": None, "runs": []}
-        _path, records, baseline_id = self._ledger()
+        _path, records, baseline_id = await asyncio.get_running_loop(
+        ).run_in_executor(None, self._ledger)
         return 200, {
             "ledger": path,
             "baseline": baseline_id,
@@ -352,13 +366,15 @@ class StudyServer:
     async def _get_run(
         self, request: Request, params: Dict[str, str]
     ) -> Tuple[int, Any]:
-        _path, records, baseline_id = self._ledger()
+        _path, records, baseline_id = await asyncio.get_running_loop(
+        ).run_in_executor(None, self._ledger)
         return 200, select_record(records, params["selector"], baseline_id)
 
     async def _get_diff(
         self, request: Request, params: Dict[str, str]
     ) -> Tuple[int, Any]:
-        _path, records, baseline_id = self._ledger()
+        _path, records, baseline_id = await asyncio.get_running_loop(
+        ).run_in_executor(None, self._ledger)
         record_a = select_record(records, params["a"], baseline_id)
         record_b = select_record(records, params["b"], baseline_id)
         return 200, diff_records(record_a, record_b).to_dict()
@@ -370,9 +386,15 @@ class StudyServer:
             raise HttpError(
                 400, "no budgets file configured (start with --budgets)"
             )
-        _path, records, baseline_id = self._ledger()
+        loop = asyncio.get_running_loop()
+        _path, records, baseline_id = await loop.run_in_executor(
+            None, self._ledger
+        )
         record = select_record(records, params["selector"], baseline_id)
-        violations = check_budgets(record, load_budgets(self.budgets))
+        budgets = await loop.run_in_executor(
+            None, load_budgets, self.budgets
+        )
+        violations = check_budgets(record, budgets)
         return 200, {
             "run_id": record["run_id"],
             "ok": not violations,
@@ -389,7 +411,12 @@ class StudyServer:
             raise HttpError(
                 400, 'baseline body must be {"selector": "<record>"}'
             )
-        path, records, baseline_id = self._ledger()
+        loop = asyncio.get_running_loop()
+        path, records, baseline_id = await loop.run_in_executor(
+            None, self._ledger
+        )
         record = select_record(records, body["selector"], baseline_id)
-        write_baseline(path, record["run_id"])
+        await loop.run_in_executor(
+            None, write_baseline, path, record["run_id"]
+        )
         return 200, {"baseline": record["run_id"], "seq": record["seq"]}

@@ -1,0 +1,427 @@
+"""The static loop-cost analysis and the Q rule family.
+
+Engine tests probe :class:`CostAnalysis` directly over fixture trees
+(nesting depth, record-axis detection, hazard sites, stage digests);
+rule tests run the same fixtures through the lint framework with a
+fixture + pragma pair per Q rule; and the digest tests lock the
+structural properties the runtime relies on — stable under pure
+line-shift edits, moved by a new nested record loop.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint import Finding, run_lint, select_rules
+from repro.lint.cost import (
+    CostAnalysis,
+    RECORD_AXES,
+    nesting_class,
+)
+from repro.lint.program import ProgramModel
+
+
+def write_tree(tmp_path: Path, files) -> Path:
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        parent = path.parent
+        while parent != tmp_path:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    return tmp_path
+
+
+def analysis_for(tmp_path: Path, files) -> CostAnalysis:
+    write_tree(tmp_path, files)
+    model = ProgramModel.from_paths([tmp_path], root=tmp_path)
+    return CostAnalysis(model)
+
+
+def lint_tree(
+    tmp_path: Path, files, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    write_tree(tmp_path, files)
+    rules = select_rules(select) if select else None
+    return run_lint([tmp_path], rules=rules, root=tmp_path).findings
+
+
+def codes(findings: Sequence[Finding]) -> List[str]:
+    return [finding.rule for finding in findings]
+
+
+def stage_fixture(work_source: str) -> dict:
+    """A one-stage tree whose run path reaches ``pkg.work.crunch``."""
+    return {
+        "pkg/graph.py": """
+            class StageSpec:
+                def __init__(self, name, plan, run, merge):
+                    self.name = name
+        """,
+        "pkg/stages.py": """
+            from pkg.graph import StageSpec
+            from pkg import work
+
+            def _plan(world, config):
+                return [("all", None)]
+
+            def _run(world, products, key, payload):
+                return work.crunch(payload)
+
+            def _merge(world, products, shards):
+                return shards
+
+            SPEC = StageSpec(name="alpha", plan=_plan, run=_run, merge=_merge)
+        """,
+        "pkg/work.py": work_source,
+    }
+
+
+# ---------------------------------------------------------------------------
+# nesting depth and record axes
+# ---------------------------------------------------------------------------
+
+
+def test_nesting_class_labels():
+    assert nesting_class(0) == "constant"
+    assert nesting_class(1) == "linear"
+    assert nesting_class(2) == "quadratic"
+    assert nesting_class(3) == "polynomial"
+    assert nesting_class(7) == "polynomial"
+
+
+def test_base_axes_cover_paper_scales():
+    for axis in ("users", "flows", "requests", "rows", "chunks"):
+        assert axis in RECORD_AXES
+
+
+def test_record_loop_nesting_depth(tmp_path):
+    analysis = analysis_for(tmp_path, {
+        "pkg/work.py": """
+            def crunch(users):
+                total = 0
+                for user in users:
+                    for flow in user.flows:
+                        total += flow.n
+                return total
+        """,
+    })
+    cost = analysis.function_cost(("pkg.work", "crunch"))
+    assert cost.nesting == 2
+    assert cost.nesting_class == "quadratic"
+
+
+def test_non_record_loops_cost_nothing(tmp_path):
+    analysis = analysis_for(tmp_path, {
+        "pkg/work.py": """
+            def crunch(options):
+                for option in options:
+                    print(option)
+        """,
+    })
+    cost = analysis.function_cost(("pkg.work", "crunch"))
+    assert cost.nesting == 0
+    assert cost.nesting_class == "constant"
+    assert cost.hazards == ()
+
+
+def test_comprehension_clauses_count_as_loops(tmp_path):
+    analysis = analysis_for(tmp_path, {
+        "pkg/work.py": """
+            def crunch(users):
+                return [u for u in users for f in u.flows]
+        """,
+    })
+    assert analysis.function_cost(("pkg.work", "crunch")).nesting == 2
+
+
+def test_shard_axis_values_extend_the_vocabulary(tmp_path):
+    analysis = analysis_for(tmp_path, {
+        "pkg/axes.py": """
+            class ShardAxis:
+                USER_BLOCKS = "user_blocks"
+        """,
+        "pkg/work.py": """
+            def crunch(user_blocks):
+                for block in user_blocks:
+                    print(block)
+        """,
+    })
+    assert "user_blocks" in analysis.record_axes()
+    assert analysis.function_cost(("pkg.work", "crunch")).nesting == 1
+
+
+# ---------------------------------------------------------------------------
+# Q1101 — list membership inside a loop
+# ---------------------------------------------------------------------------
+
+Q1101_WORK = """
+    DENSE = ["a", "b", "c"]
+
+    def crunch(rows):
+        found = []
+        for row in rows:
+            if row in DENSE:
+                found.append(row)
+        return found
+"""
+
+
+def test_q1101_fires_on_list_membership(tmp_path):
+    findings = lint_tree(
+        tmp_path, stage_fixture(Q1101_WORK), select=["Q1101"]
+    )
+    assert codes(findings) == ["Q1101"]
+    assert "DENSE" in findings[0].message
+    assert "alpha" in findings[0].message
+
+
+def test_q1101_quiet_on_set_membership(tmp_path):
+    work = Q1101_WORK.replace('["a", "b", "c"]', '{"a", "b", "c"}')
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1101"])
+    assert codes(findings) == []
+
+
+def test_q1101_quiet_off_the_run_path(tmp_path):
+    files = stage_fixture("def crunch(rows):\n    return rows\n")
+    files["pkg/offpath.py"] = Q1101_WORK
+    findings = lint_tree(tmp_path, files, select=["Q1101"])
+    assert codes(findings) == []
+
+
+def test_q1101_pragma_disable(tmp_path):
+    work = Q1101_WORK.replace(
+        "if row in DENSE:",
+        "if row in DENSE:  # reprolint: disable=Q1101",
+    )
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1101"])
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Q1102 — string accumulation inside a loop
+# ---------------------------------------------------------------------------
+
+Q1102_WORK = """
+    def crunch(rows):
+        out = ""
+        for row in rows:
+            out += str(row)
+        return out
+"""
+
+
+def test_q1102_fires_on_str_accumulation(tmp_path):
+    findings = lint_tree(
+        tmp_path, stage_fixture(Q1102_WORK), select=["Q1102"]
+    )
+    assert codes(findings) == ["Q1102"]
+    assert "out" in findings[0].message
+
+
+def test_q1102_quiet_on_numeric_accumulation(tmp_path):
+    work = """
+        def crunch(rows):
+            total = 0
+            for row in rows:
+                total += row
+            return total
+    """
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1102"])
+    assert codes(findings) == []
+
+
+def test_q1102_pragma_disable(tmp_path):
+    work = Q1102_WORK.replace(
+        "out += str(row)",
+        "out += str(row)  # reprolint: disable=Q1102",
+    )
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1102"])
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Q1103 — nested loops over the same record axis
+# ---------------------------------------------------------------------------
+
+Q1103_WORK = """
+    def crunch(users):
+        out = []
+        for a in users:
+            for b in users:
+                out.append((a, b))
+        return out
+"""
+
+
+def test_q1103_fires_on_same_axis_nesting(tmp_path):
+    findings = lint_tree(
+        tmp_path, stage_fixture(Q1103_WORK), select=["Q1103"]
+    )
+    assert codes(findings) == ["Q1103"]
+    assert "users" in findings[0].message
+
+
+def test_q1103_quiet_on_distinct_axes(tmp_path):
+    work = """
+        def crunch(users):
+            out = []
+            for user in users:
+                for flow in user.flows:
+                    out.append(flow)
+            return out
+    """
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1103"])
+    assert codes(findings) == []
+
+
+def test_q1103_pragma_disable(tmp_path):
+    work = Q1103_WORK.replace(
+        "for b in users:",
+        "for b in users:  # reprolint: disable=Q1103",
+    )
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1103"])
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Q1104 — per-row allocation inside an iter_chunks consumer
+# ---------------------------------------------------------------------------
+
+Q1104_WORK = """
+    def iter_chunks(table):
+        return table
+
+    def crunch(table):
+        out = []
+        for chunk in iter_chunks(table):
+            for row in chunk.rows:
+                out.append({"row": row})
+        return out
+"""
+
+
+def test_q1104_fires_on_per_row_dict(tmp_path):
+    findings = lint_tree(
+        tmp_path, stage_fixture(Q1104_WORK), select=["Q1104"]
+    )
+    assert codes(findings) == ["Q1104"]
+    assert "dict" in findings[0].message
+
+
+def test_q1104_quiet_outside_chunk_loops(tmp_path):
+    work = """
+        def crunch(users):
+            out = []
+            for user in users:
+                for flow in user.flows:
+                    out.append({"flow": flow})
+            return out
+    """
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1104"])
+    assert codes(findings) == []
+
+
+def test_q1104_pragma_disable(tmp_path):
+    work = Q1104_WORK.replace(
+        'out.append({"row": row})',
+        'out.append({"row": row})  # reprolint: disable=Q1104',
+    )
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1104"])
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Q1105 — sequence rebind inside a loop
+# ---------------------------------------------------------------------------
+
+Q1105_WORK = """
+    def crunch(rows):
+        out = ()
+        for row in rows:
+            out = out + (row,)
+        return out
+"""
+
+
+def test_q1105_fires_on_seq_rebind(tmp_path):
+    findings = lint_tree(
+        tmp_path, stage_fixture(Q1105_WORK), select=["Q1105"]
+    )
+    assert codes(findings) == ["Q1105"]
+    assert "out" in findings[0].message
+
+
+def test_q1105_pragma_disable(tmp_path):
+    work = Q1105_WORK.replace(
+        "out = out + (row,)",
+        "out = out + (row,)  # reprolint: disable=Q1105",
+    )
+    findings = lint_tree(tmp_path, stage_fixture(work), select=["Q1105"])
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# stage cost footprints and digests
+# ---------------------------------------------------------------------------
+
+
+def test_stage_cost_folds_run_path_functions(tmp_path):
+    analysis = analysis_for(tmp_path, stage_fixture(Q1103_WORK))
+    footprint = analysis.stage_cost("alpha")
+    assert footprint is not None
+    assert footprint["nesting"] == 2
+    assert footprint["nesting_class"] == "quadratic"
+    assert footprint["hazards"] >= 1
+    assert "pkg.work:crunch" in footprint["functions"]
+    assert len(footprint["digest"]) == 40
+
+
+def test_stage_cost_digest_survives_line_shifts(tmp_path):
+    files_a = stage_fixture(Q1103_WORK)
+    tree_a = analysis_for(tmp_path / "a", files_a)
+    files_b = dict(files_a)
+    files_b["pkg/work.py"] = (
+        "# a comment\n# another comment\n\n"
+        + textwrap.dedent(files_b["pkg/work.py"])
+    )
+    tree_b = analysis_for(tmp_path / "b", files_b)
+    assert (
+        tree_a.stage_cost("alpha")["digest"]
+        == tree_b.stage_cost("alpha")["digest"]
+    )
+
+
+def test_stage_cost_digest_moves_on_new_nested_loop(tmp_path):
+    files_a = stage_fixture("""
+        def crunch(users):
+            out = []
+            for user in users:
+                out.append(user)
+            return out
+    """)
+    tree_a = analysis_for(tmp_path / "a", files_a)
+    files_b = stage_fixture("""
+        def crunch(users):
+            out = []
+            for user in users:
+                for flow in user.flows:
+                    out.append(flow)
+            return out
+    """)
+    tree_b = analysis_for(tmp_path / "b", files_b)
+    cost_a = tree_a.stage_cost("alpha")
+    cost_b = tree_b.stage_cost("alpha")
+    assert cost_a["digest"] != cost_b["digest"]
+    assert cost_a["nesting_class"] == "linear"
+    assert cost_b["nesting_class"] == "quadratic"
+
+
+def test_unknown_stage_has_no_footprint(tmp_path):
+    analysis = analysis_for(tmp_path, stage_fixture(Q1103_WORK))
+    assert analysis.stage_cost("missing") is None

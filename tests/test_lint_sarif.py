@@ -1,0 +1,161 @@
+"""SARIF 2.1.0 export: document shape, suppressions, validation, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Finding, all_rules
+from repro.lint.cli import main
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    TOOL_NAME,
+    build_sarif,
+    validate_sarif,
+)
+
+
+def finding(rule: str = "D101", line: int = 4) -> Finding:
+    return Finding(
+        path="pkg/mod.py",
+        line=line,
+        col=2,
+        rule=rule,
+        message="uses random without a seed",
+        snippet="x = random.random()",
+    )
+
+
+def test_document_shape_round_trips_through_json():
+    document = build_sarif([finding()], rules=all_rules())
+    reparsed = json.loads(json.dumps(document))
+    validate_sarif(reparsed)
+    assert reparsed["$schema"] == SARIF_SCHEMA_URI
+    assert reparsed["version"] == SARIF_VERSION
+    (run,) = reparsed["runs"]
+    assert run["tool"]["driver"]["name"] == TOOL_NAME
+    (result,) = run["results"]
+    assert result["ruleId"] == "D101"
+    assert result["message"]["text"] == "uses random without a seed"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+    assert location["region"] == {"startLine": 4, "startColumn": 3}
+
+
+def test_rules_table_lists_every_executed_rule_once():
+    rules = all_rules()
+    document = build_sarif([], rules=rules)
+    descriptors = document["runs"][0]["tool"]["driver"]["rules"]
+    ids = [descriptor["id"] for descriptor in descriptors]
+    assert ids == sorted({rule.code for rule in rules})
+    # ruleIndex points back into the descriptor table.
+    document = build_sarif([finding()], rules=rules)
+    (result,) = document["runs"][0]["results"]
+    assert ids[result["ruleIndex"]] == "D101"
+
+
+def test_partial_fingerprints_match_baseline_identity():
+    document = build_sarif([finding()])
+    (result,) = document["runs"][0]["results"]
+    assert result["partialFingerprints"]["reprolint/v1"] == (
+        "D101|pkg/mod.py|x = random.random()"
+    )
+
+
+def test_baselined_findings_carry_suppressions():
+    document = build_sarif(
+        [finding("D101")], grandfathered=[finding("E201", line=9)]
+    )
+    validate_sarif(document)
+    results = document["runs"][0]["results"]
+    by_rule = {result["ruleId"]: result for result in results}
+    assert "suppressions" not in by_rule["D101"]
+    (suppression,) = by_rule["E201"]["suppressions"]
+    assert suppression["kind"] == "external"
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.update(version="2.0.0"), "version"),
+    (lambda d: d.update(runs=[]), "runs"),
+    (
+        lambda d: d["runs"][0]["tool"]["driver"].pop("name"),
+        "tool.driver.name",
+    ),
+    (
+        lambda d: d["runs"][0]["results"][0].pop("ruleId"),
+        "ruleId",
+    ),
+    (
+        lambda d: d["runs"][0]["results"][0].update(message={}),
+        "message",
+    ),
+    (
+        lambda d: d["runs"][0]["results"][0].update(locations=[]),
+        "location",
+    ),
+    (
+        lambda d: d["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"].update(startLine=0),
+        "startLine",
+    ),
+])
+def test_validate_rejects_malformed_documents(mutate, fragment):
+    document = build_sarif([finding()], rules=all_rules())
+    mutate(document)
+    with pytest.raises(LintError, match=fragment):
+        validate_sarif(document)
+
+
+def test_validate_rejects_duplicate_rule_ids():
+    document = build_sarif([], rules=all_rules())
+    rules = document["runs"][0]["tool"]["driver"]["rules"]
+    rules.append(dict(rules[0]))
+    with pytest.raises(LintError, match="duplicate"):
+        validate_sarif(document)
+
+
+def test_validate_rejects_results_naming_unknown_rules():
+    document = build_sarif([finding("Z999")], rules=all_rules())
+    with pytest.raises(LintError, match="unknown rule"):
+        validate_sarif(document)
+
+
+def test_cli_sarif_export_end_to_end(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "pkg"
+    target.mkdir()
+    (target / "__init__.py").write_text("")
+    (target / "mod.py").write_text(textwrap.dedent(
+        """
+        import random
+
+        x = random.random()
+        """
+    ))
+    out = tmp_path / "reprolint.sarif"
+    assert main(["pkg", "--sarif", str(out)]) == 1
+    document = json.loads(out.read_text())
+    validate_sarif(document)
+    results = document["runs"][0]["results"]
+    assert any(result["ruleId"].startswith("D") for result in results)
+
+
+def test_cli_sarif_on_clean_tree_is_empty_but_valid(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "pkg"
+    target.mkdir()
+    (target / "__init__.py").write_text("")
+    (target / "mod.py").write_text("VALUE = 1\n")
+    out = tmp_path / "reprolint.sarif"
+    assert main(["pkg", "--sarif", str(out)]) == 0
+    document = json.loads(out.read_text())
+    validate_sarif(document)
+    assert document["runs"][0]["results"] == []
+    assert document["runs"][0]["tool"]["driver"]["rules"]

@@ -1,0 +1,112 @@
+"""Static cost footprints in manifests and ledger records.
+
+Cost footprints are computed from the program model, never from the
+run, so they must be byte-identical across worker counts and across
+cold/warm cache runs.  The diff engine treats a moved cost digest as a
+*code* cause (``cost:<stage>``) — the static half of the acceptance
+criterion that an injected nested loop shows up as a code change, not
+drift.
+"""
+
+from __future__ import annotations
+
+from repro import WorldConfig
+from repro.obs.diff import diff_records, render_diff_text
+from repro.runtime import run_study
+from repro.runtime.footprint import stage_costs
+from repro.runtime.stages import STAGE_GRAPH, STAGE_NAMES
+
+
+def cost_digests(manifest) -> dict:
+    return {
+        name: footprint["digest"]
+        for name, footprint in manifest["cost_footprint"].items()
+    }
+
+
+def test_manifest_cost_covers_every_stage():
+    run = run_study(WorldConfig.small(), workers=1)
+    costs = run.manifest["cost_footprint"]
+    assert set(costs) == set(STAGE_NAMES)
+    for name, footprint in costs.items():
+        assert footprint["digest"], name
+        assert footprint["nesting"] >= 1, name
+        assert footprint["nesting_class"] in (
+            "linear", "quadratic", "polynomial",
+        ), name
+        assert len(footprint["functions"]) >= 1, name
+        assert footprint["hazards"] == 0, name
+
+
+def test_cost_digests_invariant_across_worker_counts():
+    config = WorldConfig.small()
+    serial = run_study(config, workers=1)
+    fanned = run_study(config, workers=4)
+    assert cost_digests(serial.manifest) == cost_digests(fanned.manifest)
+
+
+def test_cost_digests_invariant_cold_vs_warm_cache(tmp_path):
+    config = WorldConfig.small()
+    cold = run_study(config, workers=1, cache_dir=str(tmp_path))
+    warm = run_study(config, workers=1, cache_dir=str(tmp_path))
+    assert cost_digests(cold.manifest) == cost_digests(warm.manifest)
+    # The ledger record carries digest-only footprints, shaped for diffing.
+    for run in (cold, warm):
+        record = run.result.ledger_record
+        assert record is not None
+        assert record["cost_footprint"] == cost_digests(run.manifest)
+
+
+def test_stage_costs_resolves_default_graph():
+    costs = stage_costs(STAGE_GRAPH)
+    assert set(costs) == set(STAGE_NAMES)
+    for footprint in costs.values():
+        assert len(footprint["digest"]) == 40
+    # Stages whose run paths reach the same function set legitimately
+    # share a digest (sensitive rides the confinement machinery); every
+    # other pair is distinct.
+    digests = [footprint["digest"] for footprint in costs.values()]
+    assert len(set(digests)) >= len(digests) - 1
+
+
+def _record(cost: str, value: int) -> dict:
+    return {
+        "run_id": f"run-{cost}",
+        "config": {"digest": "cfg", "seed": 7},
+        "workers": 1,
+        "salts": {"panel": "salt"},
+        "footprints": {"panel": "fp"},
+        "rng_lineage": {"panel": "lineage"},
+        "cost_footprint": {"panel": cost},
+        "stages": [{
+            "stage": "panel",
+            "shards": 1,
+            "cache_hits": 0,
+            "cache_misses": 1,
+            "wall_s": 0.1,
+            "cpu_s": 0.1,
+            "metric_keys": ["panel.count"],
+        }],
+        "metrics": {"panel.count": {"kind": "counter", "value": value}},
+    }
+
+
+def test_diff_classifies_cost_change_as_code_cause():
+    diff = diff_records(_record("cost-a", 1), _record("cost-b", 2))
+    assert diff.changed_costs == ("panel",)
+    assert diff.unexplained() == []
+    (delta,) = diff.deltas
+    assert delta.classification == "code"
+    assert "cost:panel" in delta.caused_by
+    assert diff.to_dict()["changed_costs"] == ["panel"]
+    assert "changed cost footprints: panel" in render_diff_text(diff)
+
+
+def test_diff_without_cost_sections_stays_backward_compatible():
+    record_a = _record("cost", 1)
+    record_b = _record("cost", 1)
+    for record in (record_a, record_b):
+        del record["cost_footprint"]
+    diff = diff_records(record_a, record_b)
+    assert diff.changed_costs == ()
+    assert diff.deltas == []
