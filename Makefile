@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke serve-smoke serve-load scale-smoke calibrate sweep clean
+.PHONY: install test lint bench report run-smoke trace-smoke diff-smoke serve-smoke serve-load scale-smoke profile-smoke calibrate sweep clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -76,6 +76,16 @@ serve-load:
 # the scale report and ledger in build/scale-smoke for CI.
 scale-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/scale_smoke.py
+
+# Continuous-profiling smoke: profiled cold/warm `repro run --workers 4`
+# medium runs (worker span tracks in the trace export, speedscope
+# profiles replayed warm, zero unexplained ledger drift), a profiled
+# streaming columnar pass that must catch the vectorized kernels, and
+# the profile.self_s budget gate against benchmarks/budgets_profile.json
+# (see docs/observability.md).  Leaves profiles, reports and the ledger
+# in build/profile-smoke for CI.
+profile-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/profile_smoke.py
 
 calibrate:
 	$(PYTHON) scripts/calibrate.py medium

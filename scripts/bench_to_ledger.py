@@ -32,6 +32,13 @@ folded in as ``pipeline.flows_per_s{stage=...}`` gauges plus a
 ``pipeline.max_rss_mb`` gauge, so columnar record-path performance is
 budget-gated like everything else.
 
+With ``--profile-report build/profile-report.json`` a per-stage
+hot-function report (``repro run --profile-report``, schema
+``repro.obs/profile-report/v1``) is folded in as
+``profile.self_s{func=...,stage=...}`` gauges — the exact fold
+provenance applies to profiled engine runs, so standalone profiling
+sweeps and engine runs gate against the same budget keys.
+
 The positional pytest-benchmark report may be omitted when at least one
 ``--*-report`` source is given; the appended record is then a bench
 record with only the side-channel gauges.
@@ -42,7 +49,7 @@ import json
 import sys
 
 from repro.errors import ObservabilityError
-from repro.obs import LEDGER_SCHEMA, append_record
+from repro.obs import LEDGER_SCHEMA, append_record, report_gauges
 from repro.obs.metrics import metric_key
 from repro.obs.names import (
     BENCH_TIME,
@@ -228,9 +235,21 @@ def main(argv=None) -> int:
             "throughput is folded in as pipeline.flows_per_s gauges"
         ),
     )
+    parser.add_argument(
+        "--profile-report",
+        metavar="PATH",
+        help=(
+            "profile report (repro run --profile-report) whose per-stage "
+            "hot-function self times are folded in as profile.self_s "
+            "gauges"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.report is None and not (
-        args.lint_report or args.serve_report or args.scale_report
+        args.lint_report
+        or args.serve_report
+        or args.scale_report
+        or args.profile_report
     ):
         parser.error(
             "nothing to fold: give a benchmark report or at least one "
@@ -246,6 +265,9 @@ def main(argv=None) -> int:
         lint = read_json(args.lint_report) if args.lint_report else None
         serve = read_json(args.serve_report) if args.serve_report else None
         scale = read_json(args.scale_report) if args.scale_report else None
+        profile = (
+            read_json(args.profile_report) if args.profile_report else None
+        )
     except OSError as exc:
         print(f"bench_to_ledger: cannot read report: {exc}", file=sys.stderr)
         return 1
@@ -264,6 +286,8 @@ def main(argv=None) -> int:
             record["metrics"].update(serve_gauges_from(serve))
         if scale is not None:
             record["metrics"].update(scale_gauges_from(scale))
+        if profile is not None:
+            record["metrics"].update(report_gauges(profile))
         record = append_record(args.ledger, record)
     except ObservabilityError as exc:
         print(f"bench_to_ledger: {exc}", file=sys.stderr)

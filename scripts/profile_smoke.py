@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the continuous-profiling pipeline.
+
+Usage::
+
+    python scripts/profile_smoke.py [out_dir]
+
+Exercises the whole profiling story in one bounded run:
+
+* ``repro run --workers 4 --profile`` on the medium preset, cold and
+  warm against one cache — the cold trace-event export must carry at
+  least two distinct pid tracks with worker ``stage:*`` spans (the
+  cross-process span stitching, visible), both speedscope exports must
+  validate and decode, and ``repro obs diff`` between the two ledger
+  records must report **zero unexplained drift** (``profile.*`` deltas
+  classify as *timing*, cache deltas as *cache*);
+* a streaming columnar pass (``SyntheticCohortSource`` →
+  ``StreamingRecordPath``, the ``scripts/scale_world.py`` geometry in
+  miniature) profiled until the sampler catches a hot frame inside
+  ``core/kernels.py`` or ``netflow/columns.py`` — the vectorized record
+  path, visible in a flamegraph;
+* the engine report plus the streaming stage fold into a fresh ledger
+  record via ``scripts/bench_to_ledger.py --profile-report``, and
+  ``repro obs check`` gates the resulting
+  ``profile.self_s{func=_total,stage=...}`` gauges against the
+  committed envelope in ``benchmarks/budgets_profile.json`` — and must
+  fail against an impossible one (the gate actually gates);
+* ``repro obs profile`` renders the merged speedscope artifact.
+
+Artifacts (speedscope profiles, reports, trace events, ledger) land in
+``out_dir`` (default ``build/profile-smoke``) so CI can upload them.
+``make profile-smoke`` wires this into CI.
+"""
+
+import json
+import os
+import sys
+
+import bench_to_ledger
+
+from repro import Study, WorldConfig
+from repro.cli import main as cli_main
+from repro.core.stream import StreamingRecordPath, SyntheticCohortSource
+from repro.datasets.builder import build_world
+from repro.obs import (
+    SamplingProfiler,
+    build_report,
+    load_speedscope,
+    load_trace_events,
+    validate_speedscope,
+    write_speedscope,
+)
+from repro.obs.ledger import ledger_path
+from repro.obs.persist import atomic_write_json
+from repro.web.columns import request_table
+
+#: the committed self-time envelope this smoke run must satisfy
+BUDGETS = os.path.join("benchmarks", "budgets_profile.json")
+
+#: streaming-pass geometry: enough rows that the sampler lands inside
+#: the columnar kernels, small enough to stay a smoke test
+STREAM_USERS = 20_000
+STREAM_REQUESTS_PER_USER = 25
+STREAM_COHORT = 5_000
+STREAM_HZ = 997.0
+
+#: sampler attempts before declaring the kernels invisible
+STREAM_ATTEMPTS = 4
+
+#: the columnar modules a streaming profile must name (shortened paths)
+KERNEL_SUFFIXES = ("core/kernels.py", "netflow/columns.py")
+
+
+def _has_kernel_frame(profile) -> bool:
+    """Whether any sampled stack touches the columnar kernels."""
+    return any(
+        path.endswith(KERNEL_SUFFIXES)
+        for stack, _weight in profile.stacks()
+        for _name, path, _line in stack
+    )
+
+
+def profile_streaming_pass():
+    """Profile the columnar record path until a kernel frame lands.
+
+    Returns the sampled :class:`~repro.obs.Profile`.  One attempt
+    streams ``STREAM_USERS`` synthetic users through
+    :class:`StreamingRecordPath` under a :class:`SamplingProfiler`;
+    sampling is statistical, so up to ``STREAM_ATTEMPTS`` passes merge
+    until ``core/kernels.py`` / ``netflow/columns.py`` shows up.
+    """
+    study = Study(world=build_world(WorldConfig.small(seed=7)))
+    template_requests = study.visit_log.requests
+    reference = study.geolocation.reference
+    located = {}
+    for address in sorted(
+        {request.ip for request in template_requests}, key=str
+    ):
+        located[address] = reference(address)
+    template = request_table(template_requests)
+
+    profiler = SamplingProfiler(hz=STREAM_HZ)
+    for _attempt in range(STREAM_ATTEMPTS):
+        source = SyntheticCohortSource(
+            template, study.world.streams, STREAM_USERS,
+            STREAM_REQUESTS_PER_USER,
+        )
+        path = StreamingRecordPath(study.classifier, located.get)
+        profiler.start()
+        try:
+            for lo in range(0, STREAM_USERS, STREAM_COHORT):
+                path.consume(
+                    source.cohort(lo, min(lo + STREAM_COHORT, STREAM_USERS))
+                )
+        finally:
+            profiler.stop()
+        if _has_kernel_frame(profiler.profile):
+            break
+    return profiler.profile
+
+
+def main() -> int:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "build/profile-smoke"
+    os.makedirs(out_dir, exist_ok=True)
+    cache = os.path.join(out_dir, "cache")
+
+    # -- profiled engine runs: cold fill, then warm replay ---------------
+    for label in ("cold", "warm"):
+        status = cli_main([
+            "--preset", "medium", "run",
+            "--workers", "4",
+            "--cache-dir", cache,
+            "--profile", os.path.join(out_dir, f"profile-{label}.json"),
+            "--profile-report", os.path.join(out_dir, f"report-{label}.json"),
+            "--trace-events", os.path.join(out_dir, f"events-{label}.json"),
+        ])
+        if status != 0:
+            print(f"FAIL: {label} CLI run exited {status}", file=sys.stderr)
+            return 1
+
+    # The cold trace must carry the stitched worker tracks: stage spans
+    # recorded under at least two distinct worker pids.
+    events = load_trace_events(
+        os.path.join(out_dir, "events-cold.json")
+    )["traceEvents"]
+    worker_pids = {
+        event["pid"]
+        for event in events
+        if event.get("ph") == "X"
+        and str(event.get("name", "")).startswith("stage:")
+        and event["pid"] != 1
+    }
+    if len(worker_pids) < 2:
+        print(
+            f"FAIL: expected worker stage spans on >= 2 distinct pid "
+            f"tracks, saw {sorted(worker_pids)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Both speedscope exports must decode; warm must replay cold.
+    profiles = {
+        label: load_speedscope(os.path.join(out_dir, f"profile-{label}.json"))
+        for label in ("cold", "warm")
+    }
+    if profiles["warm"] != profiles["cold"]:
+        print(
+            "FAIL: warm run did not replay the cold run's profile",
+            file=sys.stderr,
+        )
+        return 1
+    with open(
+        os.path.join(out_dir, "report-cold.json"), "r", encoding="utf-8"
+    ) as handle:
+        report = json.load(handle)
+
+    # Zero unexplained drift between the profiled cold and warm runs:
+    # profile.* gauges classify as timing, cache deltas as cache.
+    status = cli_main([
+        "obs", "--cache-dir", cache,
+        "diff", "latest~1", "latest",
+        "--out", os.path.join(out_dir, "diff.json"),
+    ])
+    if status != 0:
+        print(
+            f"FAIL: profiled cold/warm diff reported drift (exit {status})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # -- streaming columnar pass: the kernels, visible -------------------
+    stream_profile = profile_streaming_pass()
+    if not _has_kernel_frame(stream_profile):
+        print(
+            f"FAIL: no {' / '.join(KERNEL_SUFFIXES)} frame sampled in "
+            f"{STREAM_ATTEMPTS} streaming passes",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Merge the engine and streaming profiles into the final artifact.
+    merged = profiles["cold"].merge(stream_profile)
+    merged_path = os.path.join(out_dir, "profile.json")
+    write_speedscope(merged, merged_path, name="repro profile smoke")
+    with open(merged_path, "r", encoding="utf-8") as handle:
+        validate_speedscope(json.load(handle))
+    if not _has_kernel_frame(load_speedscope(merged_path)):
+        print(
+            "FAIL: merged speedscope artifact lost the kernel frames",
+            file=sys.stderr,
+        )
+        return 1
+
+    # -- ledger fold + budget gate ---------------------------------------
+    stream_report = build_report({"streaming": stream_profile}, hz=STREAM_HZ)
+    report["stages"]["streaming"] = stream_report["stages"]["streaming"]
+    combined_path = os.path.join(out_dir, "report.json")
+    atomic_write_json(report, combined_path)
+
+    ledger = ledger_path(cache)
+    status = bench_to_ledger.main([ledger, "--profile-report", combined_path])
+    if status != 0:
+        print(f"FAIL: bench_to_ledger exited {status}", file=sys.stderr)
+        return 1
+
+    status = cli_main(
+        ["obs", "--cache-dir", cache, "check", "--budgets", BUDGETS]
+    )
+    if status != 0:
+        print(
+            f"FAIL: self times left the {BUDGETS} envelope (exit {status})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # The gate must actually gate: an impossible ceiling has to fail.
+    impossible = os.path.join(out_dir, "budgets-impossible.json")
+    atomic_write_json(
+        {
+            "schema": "repro.obs/budgets/v1",
+            "metrics": {
+                "profile.self_s{func=_total,stage=streaming}": {
+                    "min": 1e12,
+                },
+            },
+        },
+        impossible,
+    )
+    status = cli_main(
+        ["obs", "--cache-dir", cache, "check", "--budgets", impossible]
+    )
+    if status != 1:
+        print(
+            f"FAIL: impossible self-time floor not flagged (exit {status})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # -- the terminal renderer -------------------------------------------
+    status = cli_main(["obs", "profile", merged_path, "--top", "5"])
+    if status != 0:
+        print(f"FAIL: repro obs profile exited {status}", file=sys.stderr)
+        return 1
+
+    print(
+        f"OK: profiled cold/warm medium runs with zero unexplained drift; "
+        f"worker spans on {len(worker_pids)} pid tracks; merged profile "
+        f"({len(merged)} stacks, {merged.seconds:.1f}s sampled) names the "
+        f"columnar kernels; budgets gate exercised; artifacts in {out_dir}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

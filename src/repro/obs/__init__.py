@@ -21,7 +21,13 @@ On top of those, the persistent layer added for longitudinal work:
   every metric delta as config-driven, code-driven or unexplained
   drift, plus the CI **budget checker**;
 * :mod:`repro.obs.export` — span trees as Chrome **trace-event JSON**
-  (Perfetto / ``chrome://tracing`` loadable);
+  (Perfetto / ``chrome://tracing`` loadable, with real pid/tid tracks
+  for stitched worker spans) plus the Prometheus text exposition of a
+  registry snapshot;
+* :mod:`repro.obs.profile` — the zero-dependency **sampling profiler**:
+  mergeable collapsed-stack :class:`Profile` records, speedscope JSON
+  export (schema ``repro.obs/profile/v1``) and the
+  ``profile.self_s{...}`` ledger fold;
 * :mod:`repro.obs.persist` — the shared crash-safe write primitives.
 
 Layering: this package sits below every simulation and runtime layer
@@ -42,12 +48,32 @@ from repro.obs.diff import (
     render_diff_text,
 )
 from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
     TRACE_EVENTS_SCHEMA,
     load_trace_events,
+    parse_prometheus_text,
+    prometheus_text,
     trace_document,
     trace_events,
     validate_trace_events,
     write_trace_events,
+)
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    PROFILE_REPORT_SCHEMA,
+    PROFILE_SCHEMA,
+    Profile,
+    SamplingProfiler,
+    build_report,
+    collapsed_text,
+    decode_speedscope,
+    load_speedscope,
+    parse_collapsed,
+    report_gauges,
+    speedscope_document,
+    validate_collapsed,
+    validate_speedscope,
+    write_speedscope,
 )
 from repro.obs.ledger import (
     LEDGER_FILENAME,
@@ -84,6 +110,7 @@ from repro.obs.trace import (
     Span,
     Tracer,
     current_tracer,
+    spans_to_payload,
     tracing,
 )
 
@@ -100,12 +127,30 @@ __all__ = [
     "load_budgets",
     "render_budget_text",
     "render_diff_text",
+    "PROMETHEUS_CONTENT_TYPE",
     "TRACE_EVENTS_SCHEMA",
     "load_trace_events",
+    "parse_prometheus_text",
+    "prometheus_text",
     "trace_document",
     "trace_events",
     "validate_trace_events",
     "write_trace_events",
+    "DEFAULT_HZ",
+    "PROFILE_REPORT_SCHEMA",
+    "PROFILE_SCHEMA",
+    "Profile",
+    "SamplingProfiler",
+    "build_report",
+    "collapsed_text",
+    "decode_speedscope",
+    "load_speedscope",
+    "parse_collapsed",
+    "report_gauges",
+    "speedscope_document",
+    "validate_collapsed",
+    "validate_speedscope",
+    "write_speedscope",
     "LEDGER_FILENAME",
     "LEDGER_SCHEMA",
     "append_record",
@@ -134,5 +179,6 @@ __all__ = [
     "Span",
     "Tracer",
     "current_tracer",
+    "spans_to_payload",
     "tracing",
 ]

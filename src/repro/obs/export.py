@@ -10,23 +10,33 @@ Perfetto.
 
 Every span becomes one **complete event** (``"ph": "X"``): a name, a
 category (the prefix before ``:`` in the span name), a start timestamp
-``ts`` and duration ``dur`` in integer microseconds, on one
-pid/tid track.  Spans are recorded in opening order, so the emitted
-``ts`` sequence is non-decreasing — the property
-:func:`validate_trace_events` checks, alongside B/E begin/end matching
-for documents produced by other tools.
+``ts`` and duration ``dur`` in integer microseconds.  A span that
+carries its own pid/tid stamp (a worker span grafted back into the
+parent trace) lands on *that* track; unstamped spans land on the
+caller's default track — so a fanned-out run renders with one process
+lane per worker, and when more than one pid appears the exporter emits
+``process_name`` metadata events naming each lane.  Events are emitted
+sorted by ``ts``, and :func:`validate_trace_events` checks
+non-decreasing timestamps **per (pid, tid) track** alongside B/E
+begin/end matching for documents produced by other tools.
 
-Wall-clock origins are rebased to the first span's start, so exported
+Wall-clock origins are rebased to the earliest span start, so exported
 timestamps are small, stable offsets rather than epoch seconds.
+
+This module also owns the Prometheus **text exposition** of a metrics
+registry snapshot (:func:`prometheus_text`) — the ``GET /metrics``
+scrape format of the serve layer.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Mapping, Sequence, Union
+import re
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.errors import ObservabilityError
+from repro.obs.names import METRICS
 from repro.obs.persist import atomic_write_json
 from repro.obs.trace import Span
 
@@ -48,11 +58,19 @@ def _category(name: str) -> str:
 def trace_events(
     spans: Sequence[Span], pid: int = 1, tid: int = 1
 ) -> List[Dict[str, Any]]:
-    """One complete (``X``) trace event per span, in opening order."""
+    """One complete (``X``) trace event per span, sorted by ``ts``.
+
+    ``pid``/``tid`` are the *default* track for spans without their own
+    stamp; a span carrying :attr:`~repro.obs.trace.Span.pid` (a grafted
+    worker span) keeps its real process/thread identity, so fan-out
+    renders as distinct lanes.  When more than one pid appears, leading
+    ``process_name`` metadata events label each lane.
+    """
     if not spans:
         return []
-    origin = spans[0].wall_start
+    origin = min(span.wall_start for span in spans)
     events: List[Dict[str, Any]] = []
+    pids: List[int] = []
     for span in spans:
         if span.wall_end < span.wall_start:
             raise ObservabilityError(
@@ -63,16 +81,40 @@ def trace_events(
         args: Dict[str, Any] = dict(sorted(span.attrs.items()))
         args["depth"] = span.depth
         args["cpu_ms"] = round(span.cpu_s * 1000.0, 3)
+        span_pid = span.pid if span.pid is not None else pid
+        span_tid = span.tid if span.tid is not None else tid
+        if span_pid not in pids:
+            pids.append(span_pid)
         events.append({
             "name": span.name,
             "cat": _category(span.name),
             "ph": "X",
             "ts": int(round((span.wall_start - origin) * 1e6)),
             "dur": int(round(span.wall_s * 1e6)),
-            "pid": pid,
-            "tid": tid,
+            "pid": span_pid,
+            "tid": span_tid,
             "args": args,
         })
+    # Grafted worker spans land in the list after their stage's sibling
+    # spans but carry earlier timestamps; viewers want (and the
+    # validator checks) per-track ts order, so sort globally by ts.
+    events.sort(key=lambda event: event["ts"])
+    if len(pids) > 1:
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": track_pid,
+                "args": {
+                    "name": (
+                        "engine" if track_pid == pid
+                        else f"worker {track_pid}"
+                    ),
+                },
+            }
+            for track_pid in pids
+        ]
+        events = metadata + events
     return events
 
 
@@ -117,9 +159,10 @@ def validate_trace_events(payload: Any) -> None:
 
     Enforced invariants: the JSON-object form with a ``traceEvents``
     list; every event a mapping with ``ph``/``ts``; non-decreasing
-    ``ts`` in emission order; non-negative integer ``ts``/``dur``;
-    complete (``X``) events carry ``dur``; ``B``/``E`` events balance
-    per ``(pid, tid)`` with matching names.
+    ``ts`` in emission order **per (pid, tid) track** (tracks from
+    different processes interleave freely); non-negative integer
+    ``ts``/``dur``; complete (``X``) events carry ``dur``; ``B``/``E``
+    events balance per track with matching names.
     """
     if isinstance(payload, list):
         events = payload  # the array form is also legal Chrome trace
@@ -134,7 +177,7 @@ def validate_trace_events(payload: Any) -> None:
             f"trace document must be an object or array, "
             f"got {type(payload).__name__}"
         )
-    last_ts = None
+    last_ts: Dict[Any, int] = {}
     open_stacks: Dict[Any, List[str]] = {}
     for position, event in enumerate(events):
         where = f"trace event #{position}"
@@ -152,12 +195,13 @@ def validate_trace_events(payload: Any) -> None:
             raise ObservabilityError(
                 f"{where} needs a non-negative integer 'ts', got {ts!r}"
             )
-        if last_ts is not None and ts < last_ts:
-            raise ObservabilityError(
-                f"{where} breaks timestamp ordering ({ts} < {last_ts})"
-            )
-        last_ts = ts
         track = (event.get("pid"), event.get("tid"))
+        if track in last_ts and ts < last_ts[track]:
+            raise ObservabilityError(
+                f"{where} breaks timestamp ordering on track {track} "
+                f"({ts} < {last_ts[track]})"
+            )
+        last_ts[track] = ts
         if phase == "X":
             duration = event.get("dur")
             if not isinstance(duration, int) or duration < 0:
@@ -189,3 +233,153 @@ def validate_trace_events(payload: Any) -> None:
         raise ObservabilityError(
             f"unbalanced 'B' events at end of trace: {unbalanced}"
         )
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+#: the Content-Type of the Prometheus text format, version 0.0.4
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+#: characters legal in a Prometheus metric name
+_PROM_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A dotted registry name as a Prometheus metric name."""
+    sanitized = _PROM_NAME_ILLEGAL.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: Any) -> str:
+    return repr(float(value))
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{label}="{_prom_escape(str(labels[label]))}"'
+        for label in sorted(labels)
+    )
+    return "{" + rendered + "}"
+
+
+def _split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """A canonical registry key back into (name, labels).
+
+    Inverts :func:`repro.obs.metrics.metric_key`: the suffix between
+    the first ``{`` and the final ``}`` splits on ``,`` then on the
+    first ``=`` — registry label values never contain commas (the
+    catalog's label vocabulary is stage names, routes, function labels
+    and the like), which is what keeps the canonical key parseable.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name = key[:brace]
+    labels: Dict[str, str] = {}
+    for part in key[brace + 1:-1].split(","):
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def prometheus_text(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """A registry snapshot in the Prometheus text exposition format.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`
+    document.  Counters and gauges render as single samples; histograms
+    expand into cumulative ``_bucket{le=...}`` series (with the
+    mandatory ``le="+Inf"`` bucket) plus ``_sum`` and ``_count``.
+    ``# TYPE`` is emitted once per metric name, and metrics declared in
+    the catalog (:mod:`repro.obs.names`) carry their description as
+    ``# HELP``.
+    """
+    lines: List[str] = []
+    typed: set = set()
+    for key in sorted(snapshot):
+        entry = snapshot[key]
+        kind = entry.get("kind")
+        value = entry.get("value")
+        name, labels = _split_key(key)
+        prom = _prom_name(name)
+        if prom not in typed:
+            typed.add(prom)
+            declared = METRICS.get(name)
+            if declared is not None:
+                lines.append(f"# HELP {prom} {declared[2]}")
+            prom_type = {
+                "counter": "counter", "gauge": "gauge",
+                "histogram": "histogram",
+            }.get(kind)
+            if prom_type is None:
+                raise ObservabilityError(
+                    f"metric {key!r} has unknown kind {kind!r}"
+                )
+            lines.append(f"# TYPE {prom} {prom_type}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(value)}")
+            continue
+        if not isinstance(value, Mapping):
+            raise ObservabilityError(
+                f"histogram {key!r} carries no snapshot mapping"
+            )
+        cumulative = 0
+        for bound, count in zip(value["bounds"], value["counts"]):
+            cumulative += count
+            bucket = dict(labels)
+            bucket["le"] = _prom_value(bound)
+            lines.append(
+                f"{prom}_bucket{_prom_labels(bucket)} {_prom_value(cumulative)}"
+            )
+        bucket = dict(labels)
+        bucket["le"] = "+Inf"
+        lines.append(
+            f"{prom}_bucket{_prom_labels(bucket)} "
+            f"{_prom_value(value['count'])}"
+        )
+        lines.append(
+            f"{prom}_sum{_prom_labels(labels)} {_prom_value(value['total'])}"
+        )
+        lines.append(
+            f"{prom}_count{_prom_labels(labels)} {_prom_value(value['count'])}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Samples of a Prometheus text exposition, keyed by series.
+
+    Keys are the literal ``name{label="value",...}`` series strings;
+    comment (``#``) and blank lines are skipped.  This is the minimal
+    parser the round-trip tests (and scrape debugging) need — exotic
+    escapes beyond the ones :func:`prometheus_text` emits are not
+    handled.
+    """
+    samples: Dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        series, _, value = stripped.rpartition(" ")
+        if not series:
+            raise ObservabilityError(
+                f"prometheus line {number} needs 'series value', "
+                f"got {line!r:.120}"
+            )
+        try:
+            samples[series] = float(value)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"prometheus line {number} carries a non-numeric "
+                f"value {value!r}"
+            ) from exc
+    return samples

@@ -111,6 +111,14 @@ PIPELINE_FLOWS_PER_S = "pipeline.flows_per_s"
 #: peak resident set of one scale-driver run (scripts/scale_world.py)
 PIPELINE_MAX_RSS_MB = "pipeline.max_rss_mb"
 
+#: per-stage hot-function self time from the sampling profiler
+#: (obs/profile.py), folded into ledger records by
+#: runtime/provenance.py and by scripts/bench_to_ledger.py
+#: --profile-report; ``func=_total`` labels a stage's whole sampled
+#: time and is always present, so budget envelopes stay deterministic.
+#: Classified as timing by the diff engine, never drift.
+PROFILE_SELF_S = "profile.self_s"
+
 #: (name, kind, label names, description) — the closed declaration list.
 #: ``kind`` is counter | gauge | histogram.  O602 compares call-site
 #: label keywords against the label tuple as a *set*: every declared
@@ -164,6 +172,8 @@ _METRIC_DECLS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
      "columnar record-path throughput, rows per second per stage"),
     (PIPELINE_MAX_RSS_MB, "gauge", (),
      "peak resident set of one scale-driver run, MiB"),
+    (PROFILE_SELF_S, "gauge", ("stage", "func"),
+     "sampling-profiler self time per hot function per stage"),
 )
 
 # -- span names -------------------------------------------------------------

@@ -40,6 +40,11 @@ class Span:
     wall_end: float = 0.0
     cpu_start: float = 0.0
     cpu_end: float = 0.0
+    #: recording process / thread identity, stamped only on spans that
+    #: crossed a process boundary (worker spans grafted back into the
+    #: parent trace); ``None`` means "the recording tracer's own track"
+    pid: Optional[int] = None
+    tid: Optional[int] = None
 
     @property
     def wall_s(self) -> float:
@@ -53,7 +58,7 @@ class Span:
 
     def to_row(self) -> Dict[str, Any]:
         """The span as a JSON-able manifest row."""
-        return {
+        row = {
             "name": self.name,
             "index": self.index,
             "parent": self.parent,
@@ -62,6 +67,10 @@ class Span:
             "wall_s": round(self.wall_s, 6),
             "cpu_s": round(self.cpu_s, 6),
         }
+        if self.pid is not None:
+            row["pid"] = self.pid
+            row["tid"] = self.tid
+        return row
 
 
 class Tracer:
@@ -112,6 +121,67 @@ class Tracer:
         """All spans with the given name, in opening order."""
         return [span for span in self.spans if span.name == name]
 
+    def graft(
+        self,
+        rows: List[Dict[str, Any]],
+        parent: Optional[int] = None,
+        offset: float = 0.0,
+    ) -> List[Span]:
+        """Append spans another tracer recorded, re-parented under ours.
+
+        ``rows`` is a :func:`spans_to_payload` export (a worker
+        process's span tree); indices inside it are local, so parents
+        are rebased onto this tracer's index space and the whole tree
+        hangs off ``parent`` (an index into :attr:`spans`, or ``None``
+        for top level).  ``offset`` shifts every wall timestamp — the
+        engine passes the delta between its own clock and the worker
+        rows' origin, which also re-anchors *replayed* spans (a warm
+        run grafting the cold run's worker spans) into the current
+        run's timeline.  CPU timestamps are process-local and ship
+        unshifted; their difference is still the worker's CPU cost.
+        """
+        if parent is not None and not 0 <= parent < len(self.spans):
+            raise ObservabilityError(
+                f"cannot graft under span #{parent}: "
+                f"only {len(self.spans)} spans recorded"
+            )
+        base = len(self.spans)
+        base_depth = self.spans[parent].depth + 1 if parent is not None else 0
+        grafted: List[Span] = []
+        for position, row in enumerate(rows):
+            if not isinstance(row, dict) or "name" not in row:
+                raise ObservabilityError(
+                    f"grafted span #{position} must be a mapping "
+                    f"with a 'name', got {row!r:.120}"
+                )
+            local_parent = row.get("parent")
+            if local_parent is not None and not (
+                isinstance(local_parent, int)
+                and 0 <= local_parent < position
+            ):
+                raise ObservabilityError(
+                    f"grafted span #{position} has parent "
+                    f"{local_parent!r} outside the rows before it"
+                )
+            span = Span(
+                name=str(row["name"]),
+                index=base + position,
+                parent=(
+                    parent if local_parent is None else base + local_parent
+                ),
+                depth=base_depth + int(row.get("depth", 0)),
+                attrs=dict(row.get("attrs") or {}),
+                wall_start=float(row.get("wall_start", 0.0)) + offset,
+                wall_end=float(row.get("wall_end", 0.0)) + offset,
+                cpu_start=float(row.get("cpu_start", 0.0)),
+                cpu_end=float(row.get("cpu_end", 0.0)),
+                pid=row.get("pid"),
+                tid=row.get("tid"),
+            )
+            self.spans.append(span)
+            grafted.append(span)
+        return grafted
+
     def report(self) -> str:
         """A text flamegraph: one line per span, indented by depth.
 
@@ -161,6 +231,14 @@ class NullTracer(Tracer):
     def rows(self) -> List[Dict[str, Any]]:
         return []
 
+    def graft(
+        self,
+        rows: List[Dict[str, Any]],
+        parent: Optional[int] = None,
+        offset: float = 0.0,
+    ) -> List[Span]:
+        return []
+
     def report(self) -> str:
         return "(tracing disabled)"
 
@@ -199,6 +277,33 @@ class CallbackTracer(Tracer):
                 record.wall_end = self.clock.wall()
                 record.cpu_end = self.clock.cpu()
                 self._callback("end", record)
+
+
+def spans_to_payload(spans: List[Span]) -> List[Dict[str, Any]]:
+    """Full-fidelity, JSON/pickle-able span rows for cross-process
+    shipping.
+
+    Unlike :meth:`Span.to_row` (rounded durations, a *report* shape),
+    this keeps the raw wall/CPU start and end readings and the pid/tid
+    stamps, which is what :meth:`Tracer.graft` needs to rebase a worker
+    tree into the parent timeline.  Parent indices stay local to the
+    list, so the payload is self-contained.
+    """
+    return [
+        {
+            "name": span.name,
+            "parent": span.parent,
+            "depth": span.depth,
+            "attrs": dict(sorted(span.attrs.items())),
+            "wall_start": span.wall_start,
+            "wall_end": span.wall_end,
+            "cpu_start": span.cpu_start,
+            "cpu_end": span.cpu_end,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        for span in spans
+    ]
 
 
 #: the process-wide no-op tracer

@@ -19,16 +19,22 @@ process — the engine's "serial path" — through the exact same stage
 functions, which is what makes worker-count invariance testable.
 
 Every shard runs inside its own :class:`repro.obs.MetricsRegistry`
-collection scope, and each result ships back as an
-``(artifact, metrics_snapshot)`` pair.  Because the snapshot is
-shard-local and the engine folds snapshots in canonical plan order, the
-merged registry is byte-identical for any worker count — metrics ride
-the same determinism guarantees as the artifacts themselves.
+collection scope **and** its own :class:`repro.obs.Tracer`, and each
+result ships back as an ``(artifact, metrics_snapshot, span_rows,
+profile)`` tuple.  Because every piece is shard-local and the engine
+folds them in canonical plan order, the merged registry (and the merged
+profile) is byte-identical for any worker count — observability rides
+the same determinism guarantees as the artifacts themselves.  Span rows
+carry the worker's real pid/tid, so the engine can stitch them into the
+parent trace as distinct process tracks; ``profile`` is a
+:class:`repro.obs.Profile` snapshot when the engine asked for sampling
+(``profile_hz``), else ``None``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -36,11 +42,20 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.datasets.builder import World, cached_build_world
 from repro.errors import ExecutionError
 from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.profile import SamplingProfiler
+from repro.obs.trace import Tracer, spans_to_payload, tracing
 from repro.runtime.graph import StageSpec
 from repro.runtime.stages import STAGE_GRAPH
 
-#: a shard's result: the artifact plus its shard-local metrics snapshot
-ShardResult = Tuple[Any, Dict[str, Dict[str, Any]]]
+#: a shard's result: the artifact, its shard-local metrics snapshot,
+#: its span rows (pid/tid-stamped, graftable) and its stack profile
+#: (``None`` when the run is not profiling)
+ShardResult = Tuple[
+    Any,
+    Dict[str, Dict[str, Any]],
+    List[Dict[str, Any]],
+    Optional[Dict[str, Any]],
+]
 
 #: parent-side context inherited by forked workers: (world, products).
 #: Module state by necessity — it is what the fork snapshot carries —
@@ -55,24 +70,57 @@ def _instrumented_run(
     run: Any,
     world: Optional[World],
     products: Mapping[str, Any],
+    stage_name: str,
     shard_key: str,
     payload: Any,
+    profile_hz: Optional[float] = None,
 ) -> ShardResult:
-    """Run one shard inside a fresh metrics collection scope.
+    """Run one shard inside fresh metrics/tracing collection scopes.
 
-    The registry is created here — per shard, per process — so ambient
-    :func:`repro.obs.metrics.inc` calls inside stage code land in a
-    container that travels back with the artifact instead of in global
-    state that a pool worker would silently discard.
+    The registry and tracer are created here — per shard, per process —
+    so ambient :func:`repro.obs.metrics.inc` calls and spans inside
+    stage code land in containers that travel back with the artifact
+    instead of in global state a pool worker would silently discard.
+    The shard's spans root at a ``stage:<name>`` span and are stamped
+    with the recording pid/tid before shipping, so the engine can graft
+    them into the parent trace as real process tracks.  With
+    ``profile_hz`` set, a :class:`~repro.obs.profile.SamplingProfiler`
+    samples this process for the duration of the shard and its profile
+    snapshot ships back too.
     """
     registry = MetricsRegistry()
-    with collecting(registry):
-        artifact = run(world, products, shard_key, payload)
-    return artifact, registry.to_dict()
+    tracer = Tracer()
+    profiler = (
+        SamplingProfiler(hz=profile_hz) if profile_hz is not None else None
+    )
+    with collecting(registry), tracing(tracer):
+        with tracer.span(f"stage:{stage_name}", shard=shard_key):
+            if profiler is not None:
+                profiler.start()
+            try:
+                artifact = run(world, products, shard_key, payload)
+            finally:
+                if profiler is not None:
+                    profiler.stop()
+    pid = os.getpid()
+    tid = threading.get_native_id()
+    for span in tracer.spans:
+        span.pid = pid
+        span.tid = tid
+    profile = profiler.profile.to_dict() if profiler is not None else None
+    return (
+        artifact,
+        registry.to_dict(),
+        spans_to_payload(tracer.spans),
+        profile,
+    )
 
 
 def _run_shard_forked(
-    stage_name: str, shard_key: str, payload: Any
+    stage_name: str,
+    shard_key: str,
+    payload: Any,
+    profile_hz: Optional[float] = None,
 ) -> ShardResult:
     """Task body on the fork path: world/products come from the parent."""
     if _FORK_CONTEXT is None:
@@ -81,7 +129,8 @@ def _run_shard_forked(
         )
     world, products = _FORK_CONTEXT
     return _instrumented_run(
-        STAGE_GRAPH[stage_name].run, world, products, shard_key, payload
+        STAGE_GRAPH[stage_name].run, world, products, stage_name,
+        shard_key, payload, profile_hz,
     )
 
 
@@ -91,21 +140,32 @@ def _run_shard_shipped(
     shard_key: str,
     payload: Any,
     inputs: Mapping[str, Any],
+    profile_hz: Optional[float] = None,
 ) -> ShardResult:
     """Task body on the spawn path: rebuild the world, use shipped inputs."""
     world = cached_build_world(config)
     return _instrumented_run(
-        STAGE_GRAPH[stage_name].run, world, inputs, shard_key, payload
+        STAGE_GRAPH[stage_name].run, world, inputs, stage_name,
+        shard_key, payload, profile_hz,
     )
 
 
 class ShardExecutor:
-    """Executes one stage's shard list with a fixed worker budget."""
+    """Executes one stage's shard list with a fixed worker budget.
 
-    def __init__(self, workers: int = 1) -> None:
+    ``profile_hz`` (optional) turns on per-shard stack sampling: every
+    shard body — inline or pooled — runs under a
+    :class:`~repro.obs.profile.SamplingProfiler` at that rate and ships
+    its profile home in the shard result.
+    """
+
+    def __init__(
+        self, workers: int = 1, profile_hz: Optional[float] = None
+    ) -> None:
         if workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.profile_hz = profile_hz
 
     def execute(
         self,
@@ -114,13 +174,19 @@ class ShardExecutor:
         products: Mapping[str, Any],
         shards: List[Tuple[str, Any]],
     ) -> List[Tuple[str, ShardResult]]:
-        """Run ``shards``; return ``(shard_key, (artifact, metrics))`` in
-        plan order."""
+        """Run ``shards``; return ``(shard_key, (artifact, metrics,
+        spans, profile))`` in plan order."""
         if not shards:
             return []
         if self.workers == 1 or len(shards) == 1:
             return [
-                (key, _instrumented_run(spec.run, world, products, key, payload))
+                (
+                    key,
+                    _instrumented_run(
+                        spec.run, world, products, spec.name, key,
+                        payload, self.profile_hz,
+                    ),
+                )
                 for key, payload in shards
             ]
         return self._execute_pool(spec, world, products, shards)
@@ -148,6 +214,7 @@ class ShardExecutor:
                         key,
                         payload,
                         inputs,
+                        self.profile_hz,
                     )
                     for key, payload in shards
                 ]
@@ -166,7 +233,10 @@ class ShardExecutor:
             try:
                 with ProcessPoolExecutor(max_workers=max_workers) as pool:
                     futures = [
-                        pool.submit(_run_shard_forked, spec.name, key, payload)
+                        pool.submit(
+                            _run_shard_forked, spec.name, key, payload,
+                            self.profile_hz,
+                        )
                         for key, payload in shards
                     ]
                     return [

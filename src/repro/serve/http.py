@@ -29,6 +29,7 @@ from repro.errors import HttpError, ServeError
 __all__ = [
     "HttpError",
     "MAX_BODY_BYTES",
+    "RawResponse",
     "Request",
     "Router",
     "STATUS_PHRASES",
@@ -159,6 +160,20 @@ def response_head(
     if content_length is not None:
         lines.append(f"Content-Length: {content_length}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+@dataclass
+class RawResponse:
+    """A non-JSON handler payload: pre-encoded body + its content type.
+
+    Handlers normally return ``(status, payload)`` with a JSON-able
+    payload; returning ``(status, RawResponse(...))`` instead makes the
+    server write the body verbatim under the given Content-Type — the
+    Prometheus text exposition of ``GET /metrics`` rides on this.
+    """
+
+    body: bytes
+    content_type: str
 
 
 def json_response(status: int, payload: Any) -> bytes:

@@ -11,6 +11,11 @@ Endpoints (see ``docs/service.md`` for the full reference)::
 
     GET  /healthz                     liveness
     GET  /metrics                     job counts + registry snapshot
+                                      (?format=prometheus or an Accept
+                                      preferring text/plain switches to
+                                      the Prometheus text exposition)
+    GET  /profile?seconds=N           sample the service's own stacks
+                                      for N seconds -> speedscope JSON
     POST /studies                     submit a config     -> 202 job
     GET  /studies                     all jobs, oldest first
     GET  /studies/{job_id}            one job document
@@ -55,10 +60,17 @@ from repro.obs.ledger import (
     select_record,
     write_baseline,
 )
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, prometheus_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.persist import append_jsonl_line
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    speedscope_document,
+)
 from repro.serve.http import (
     HttpError,
+    RawResponse,
     Request,
     Router,
     json_response,
@@ -103,6 +115,7 @@ class StudyServer:
         # Literal-suffix routes first: registration order is match order.
         self._router.add("GET", "/healthz", self._get_healthz)
         self._router.add("GET", "/metrics", self._get_metrics)
+        self._router.add("GET", "/profile", self._get_profile)
         self._router.add("POST", "/studies", self._post_studies)
         self._router.add("GET", "/studies", self._get_studies)
         self._router.add(
@@ -200,7 +213,17 @@ class StudyServer:
                     status = await handler(request, params, writer)
                 else:
                     status, payload = await handler(request, params)
-                    writer.write(json_response(status, payload))
+                    if isinstance(payload, RawResponse):
+                        writer.write(
+                            response_head(
+                                status,
+                                content_type=payload.content_type,
+                                content_length=len(payload.body),
+                            )
+                            + payload.body
+                        )
+                    else:
+                        writer.write(json_response(status, payload))
             except HttpError as exc:
                 status = exc.status
                 writer.write(json_response(status, {"error": str(exc)}))
@@ -261,12 +284,58 @@ class StudyServer:
     async def _get_metrics(
         self, request: Request, params: Dict[str, str]
     ) -> Tuple[int, Any]:
+        fmt = request.query.get("format")
+        if fmt not in (None, "json", "prometheus"):
+            raise HttpError(
+                400,
+                f"unknown metrics format {fmt!r} "
+                "(expected 'json' or 'prometheus')",
+            )
+        accept = request.headers.get("accept", "")
+        if fmt == "prometheus" or (
+            fmt is None and "text/plain" in accept
+        ):
+            body = prometheus_text(self.registry.to_dict())
+            return 200, RawResponse(
+                body=body.encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         counts = self.jobs.counts()
         return 200, {
             "jobs": counts,
             "warm_hit_rate": self.jobs.warm_hit_rate,
             "metrics": self.registry.to_dict(),
         }
+
+    def _sample_profile(self, seconds: float, hz: float):
+        """Blocking stack sampling — runs on the executor, never the
+        loop thread, so the service keeps serving while it profiles
+        itself (the sampler observes the loop thread among others)."""
+        profiler = SamplingProfiler(hz=hz)
+        return profiler.sample_for(seconds)
+
+    async def _get_profile(
+        self, request: Request, params: Dict[str, str]
+    ) -> Tuple[int, Any]:
+        try:
+            seconds = float(request.query.get("seconds", "1"))
+            hz = float(request.query.get("hz", str(DEFAULT_HZ)))
+        except ValueError as exc:
+            raise HttpError(
+                400, f"seconds/hz must be numbers: {exc}"
+            ) from exc
+        if not 0 < seconds <= 30:
+            raise HttpError(
+                400, f"seconds must be in (0, 30], got {seconds}"
+            )
+        if not 0 < hz <= 10000:
+            raise HttpError(400, f"hz must be in (0, 10000], got {hz}")
+        profile = await asyncio.get_running_loop().run_in_executor(
+            None, self._sample_profile, seconds, hz
+        )
+        return 200, speedscope_document(
+            profile, name=f"repro serve ({seconds:g}s @ {hz:g}hz)"
+        )
 
     # -- study handlers --------------------------------------------------
     async def _post_studies(

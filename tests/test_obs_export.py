@@ -14,10 +14,14 @@ import pytest
 
 from repro.errors import ObservabilityError
 from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
     TRACE_EVENTS_SCHEMA,
+    MetricsRegistry,
     TickClock,
     Tracer,
     load_trace_events,
+    parse_prometheus_text,
+    prometheus_text,
     trace_document,
     trace_events,
     validate_trace_events,
@@ -160,3 +164,109 @@ class TestValidator:
                 {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
                 {"name": "a", "ph": "E", "ts": 1, "pid": 1, "tid": 2},
             ])
+
+
+class TestWorkerTracks:
+    def make_stitched_tracer(self):
+        """A tracer whose later spans carry grafted worker identities."""
+        tracer = make_tracer()
+        tracer.spans[1].pid, tracer.spans[1].tid = 4001, 11
+        tracer.spans[2].pid, tracer.spans[2].tid = 4002, 12
+        return tracer
+
+    def test_stamped_spans_keep_their_own_tracks(self):
+        events = trace_events(self.make_stitched_tracer().spans)
+        by_name = {
+            event["name"]: event for event in events if event["ph"] == "X"
+        }
+        assert by_name["run"]["pid"] == 1 and by_name["run"]["tid"] == 1
+        assert by_name["stage:panel"]["pid"] == 4001
+        assert by_name["stage:panel"]["tid"] == 11
+        assert by_name["stage:classification"]["pid"] == 4002
+
+    def test_multi_pid_traces_lead_with_process_name_metadata(self):
+        events = trace_events(self.make_stitched_tracer().spans)
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert [event["name"] for event in metadata] == ["process_name"] * 3
+        labels = {
+            event["pid"]: event["args"]["name"] for event in metadata
+        }
+        assert labels == {
+            1: "engine", 4001: "worker 4001", 4002: "worker 4002",
+        }
+        assert events[: len(metadata)] == metadata  # metadata leads
+
+    def test_single_track_traces_carry_no_metadata(self):
+        events = trace_events(make_tracer().spans)
+        assert all(event["ph"] == "X" for event in events)
+
+    def test_stitched_document_validates(self):
+        validate_trace_events(trace_document(self.make_stitched_tracer().spans))
+
+    def test_validator_orders_timestamps_per_track_not_globally(self):
+        # Interleaved tracks each restart at ts 0 — legal.
+        validate_trace_events([
+            {"name": "a", "ph": "X", "ts": 50, "dur": 1, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 0, "dur": 1, "pid": 2, "tid": 1},
+            {"name": "c", "ph": "X", "ts": 60, "dur": 1, "pid": 1, "tid": 1},
+            {"name": "d", "ph": "X", "ts": 5, "dur": 1, "pid": 2, "tid": 1},
+        ])
+        # ...but a regression *within* one track is not.
+        with pytest.raises(ObservabilityError, match="on track"):
+            validate_trace_events([
+                {"name": "a", "ph": "X", "ts": 9, "dur": 1, "pid": 2, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 8, "dur": 1, "pid": 2, "tid": 1},
+            ])
+
+
+class TestPrometheus:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("classify.flows", stage="list").inc(10)
+        registry.counter("classify.flows", stage="none").inc(3)
+        registry.gauge("serve.warm_hit_rate").set(0.5)
+        registry.histogram(
+            "ipmap.country_agreement", buckets=(0.5, 0.9)
+        ).observe(0.95)
+        return registry
+
+    def test_content_type_is_the_prometheus_text_version(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4"
+
+    def test_counters_and_gauges_round_trip(self):
+        text = prometheus_text(self.build_registry().to_dict())
+        samples = parse_prometheus_text(text)
+        assert samples['classify_flows{stage="list"}'] == 10.0
+        assert samples['classify_flows{stage="none"}'] == 3.0
+        assert samples["serve_warm_hit_rate"] == 0.5
+
+    def test_histograms_expand_cumulatively(self):
+        text = prometheus_text(self.build_registry().to_dict())
+        samples = parse_prometheus_text(text)
+        assert samples['ipmap_country_agreement_bucket{le="0.5"}'] == 0.0
+        assert samples['ipmap_country_agreement_bucket{le="0.9"}'] == 0.0
+        assert samples['ipmap_country_agreement_bucket{le="+Inf"}'] == 1.0
+        assert samples["ipmap_country_agreement_sum"] == 0.95
+        assert samples["ipmap_country_agreement_count"] == 1.0
+
+    def test_type_lines_and_catalog_help(self):
+        lines = prometheus_text(self.build_registry().to_dict()).splitlines()
+        assert "# TYPE classify_flows counter" in lines
+        assert "# TYPE serve_warm_hit_rate gauge" in lines
+        assert "# TYPE ipmap_country_agreement histogram" in lines
+        # Catalog-declared metrics carry their description as HELP.
+        assert any(
+            line.startswith("# HELP classify_flows ") for line in lines
+        )
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert prometheus_text({}) == ""
+        assert parse_prometheus_text("") == {}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown kind"):
+            prometheus_text({"x": {"kind": "meter", "value": 1}})
+
+    def test_parser_rejects_non_numeric_values(self):
+        with pytest.raises(ObservabilityError, match="non-numeric"):
+            parse_prometheus_text("metric abc")

@@ -1,0 +1,163 @@
+"""Integration tests for continuous profiling through the runtime.
+
+One profiled cold run (2 process workers, shared cache) and one
+profiled warm replay are shared module-wide; the assertions are
+structural — which stages carry profiles, which gauges land in the
+ledger, which spans carry worker pids — plus the replay lock: a warm
+run must report the cold run's profile *exactly*, the property the
+``profile-smoke`` CI job gates end to end on the medium preset.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import WorldConfig
+from repro.obs import Profile, Tracer, ledger_path, load_ledger, validate_manifest
+from repro.obs.names import PROFILE_SELF_S
+from repro.runtime import run_study
+from repro.runtime.engine import _unwrap_envelope, _wrap_envelope
+
+PROFILE_HZ = 200.0
+
+
+@pytest.fixture(scope="module")
+def engine_config():
+    return WorldConfig.small()
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("profile-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold_run(engine_config, cache_dir):
+    return run_study(
+        engine_config, workers=2, cache_dir=cache_dir,
+        tracer=Tracer(), profile_hz=PROFILE_HZ,
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_run(engine_config, cache_dir, cold_run):
+    return run_study(
+        engine_config, workers=1, cache_dir=cache_dir,
+        tracer=Tracer(), profile_hz=PROFILE_HZ,
+    )
+
+
+def profile_metrics(record):
+    return {
+        key: entry for key, entry in record["metrics"].items()
+        if key.startswith(PROFILE_SELF_S)
+    }
+
+
+class TestProfiledRun:
+    def test_every_stage_owns_a_profile(self, cold_run):
+        stages = {stage["stage"] for stage in cold_run.manifest["stages"]}
+        assert set(cold_run.profiles) == stages
+        assert all(
+            isinstance(profile, Profile)
+            for profile in cold_run.profiles.values()
+        )
+
+    def test_report_covers_every_stage_with_totals(self, cold_run):
+        report = cold_run.profile_report()
+        assert report["schema"] == "repro.obs/profile-report/v1"
+        assert report["hz"] == PROFILE_HZ
+        assert set(report["stages"]) == set(cold_run.profiles)
+        for stage in report["stages"].values():
+            assert stage["self_s"]["_total"] == pytest.approx(
+                stage["seconds"]
+            )
+
+    def test_manifest_carries_the_report_and_validates(self, cold_run):
+        manifest = cold_run.manifest
+        validate_manifest(manifest)
+        assert manifest["profiles"] == cold_run.profile_report()
+
+    def test_ledger_record_folds_profile_gauges(self, cold_run):
+        record = cold_run.ledger_record
+        assert record["profile_hz"] == PROFILE_HZ
+        gauges = profile_metrics(record)
+        for stage in cold_run.profiles:
+            key = f"{PROFILE_SELF_S}{{func=_total,stage={stage}}}"
+            assert gauges[key]["kind"] == "gauge"
+            assert gauges[key]["value"] >= 0.0
+
+    def test_worker_spans_grafted_with_real_pids(self, cold_run):
+        spans = cold_run.result.tracer.spans
+        worker = [
+            span for span in spans
+            if span.pid is not None and span.name.startswith("stage:")
+        ]
+        assert worker, "no grafted worker stage spans"
+        # Multi-shard stages fan out to pool processes; single-shard
+        # stages run inline and stamp the engine's own pid.
+        assert any(span.pid != os.getpid() for span in worker)
+        assert all(span.tid is not None for span in worker)
+        # Grafted trees hang under their stage's execute span.
+        for span in worker:
+            assert span.parent is not None
+            assert spans[span.parent].name == "execute"
+
+    def test_profiling_does_not_change_the_study(
+        self, engine_config, cold_run
+    ):
+        plain = run_study(engine_config, workers=1)
+        assert plain.profile_report() is None
+        assert plain.profiles == {}
+        assert plain.table2_counts() == cold_run.table2_counts()
+
+
+class TestWarmReplay:
+    def test_warm_run_replays_the_cold_profile_exactly(
+        self, cold_run, warm_run
+    ):
+        assert warm_run.profile_report() == cold_run.profile_report()
+        assert warm_run.merged_profile() == cold_run.merged_profile()
+
+    def test_ledger_gauges_have_zero_drift(
+        self, cache_dir, cold_run, warm_run
+    ):
+        records = load_ledger(ledger_path(cache_dir))
+        cold_record, warm_record = records[0], records[1]
+        assert profile_metrics(warm_record) == profile_metrics(cold_record)
+
+    def test_warm_worker_spans_are_replayed(self, warm_run):
+        # Even a 1-worker warm run grafts the cold run's worker spans
+        # out of the cache envelopes, pids intact.
+        pids = {
+            span.pid
+            for span in warm_run.result.tracer.spans
+            if span.pid is not None and span.name.startswith("stage:")
+        }
+        assert len(pids) >= 2
+
+
+class TestEnvelopeCompat:
+    def test_legacy_raw_artifact_unwraps_empty(self):
+        assert _unwrap_envelope({"rows": [1, 2]}) == (
+            {"rows": [1, 2]}, {}, [], None,
+        )
+
+    def test_metrics_only_envelope_unwraps_without_spans_or_profile(self):
+        envelope = _wrap_envelope("artifact", {"k": 1})
+        assert "spans" not in envelope and "profile" not in envelope
+        assert _unwrap_envelope(envelope) == ("artifact", {"k": 1}, [], None)
+
+    def test_full_envelope_round_trips(self):
+        profile = Profile()
+        profile.add_stack((("f", "a/b.py", 1),), 10)
+        envelope = _wrap_envelope(
+            "artifact", {"k": 1},
+            spans=[{"name": "stage:x"}], profile=profile.to_dict(),
+        )
+        artifact, metrics, spans, payload = _unwrap_envelope(envelope)
+        assert (artifact, metrics) == ("artifact", {"k": 1})
+        assert spans == [{"name": "stage:x"}]
+        assert Profile.from_dict(payload) == profile

@@ -16,7 +16,14 @@ import threading
 
 import pytest
 
-from repro.obs import LEDGER_SCHEMA, append_record, ledger_path
+from repro.obs import (
+    LEDGER_SCHEMA,
+    PROMETHEUS_CONTENT_TYPE,
+    append_record,
+    ledger_path,
+    parse_prometheus_text,
+    validate_speedscope,
+)
 from repro.serve import StudyServer, decode_events
 
 
@@ -238,3 +245,77 @@ class TestService:
             "method": "GET", "path": "/healthz",
             "route": "/healthz", "status": 200,
         }
+
+
+def request_with_headers(server, path, headers=None):
+    """Like :func:`request`, but with request headers and the response
+    Content-Type returned."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+class TestMetricsNegotiationAndProfile:
+    def test_metrics_default_is_json(self, server):
+        status, content_type, text = request_with_headers(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        assert "metrics" in json.loads(text)
+
+    def test_metrics_format_prometheus(self, server):
+        status, content_type, text = request_with_headers(
+            server, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert content_type.startswith(PROMETHEUS_CONTENT_TYPE)
+        samples = parse_prometheus_text(text)
+        assert any(
+            series.startswith("serve_http_requests") for series in samples
+        )
+
+    def test_metrics_accept_header_negotiates_prometheus(self, server):
+        status, content_type, text = request_with_headers(
+            server, "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert content_type.startswith(PROMETHEUS_CONTENT_TYPE)
+        parse_prometheus_text(text)
+        # An explicit format wins over Accept.
+        status, content_type, _ = request_with_headers(
+            server, "/metrics?format=json", headers={"Accept": "text/plain"}
+        )
+        assert content_type.startswith("application/json")
+
+    def test_metrics_unknown_format_is_400(self, server):
+        status, _, text = request_with_headers(server, "/metrics?format=xml")
+        assert status == 400
+        assert "format" in json.loads(text)["error"]
+
+    def test_profile_returns_valid_speedscope(self, server):
+        status, content_type, text = request_with_headers(
+            server, "/profile?seconds=0.2&hz=200"
+        )
+        assert status == 200
+        assert content_type.startswith("application/json")
+        document = json.loads(text)
+        validate_speedscope(document)
+        # The server sampled *itself*: its own serve loop is on a stack.
+        frames = {
+            frame["file"] for frame in document["shared"]["frames"]
+        }
+        assert any("repro/serve" in file for file in frames)
+
+    @pytest.mark.parametrize("query", [
+        "seconds=0", "seconds=31", "seconds=abc", "hz=0", "hz=20000",
+    ])
+    def test_profile_bounds_are_400(self, server, query):
+        status, _, text = request_with_headers(server, f"/profile?{query}")
+        assert status == 400, text
